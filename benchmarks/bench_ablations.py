@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Ablation 1 -- interconnect representation inside the macromodel: the full
+  distributed coupled RC network vs the moment-matched coupled pi (S-model)
+  reduction (the paper uses the reduction; this quantifies what it costs).
+* Ablation 2 -- VCCS load-surface grid resolution vs accuracy: how coarse the
+  DC pre-characterisation can be before the macromodel accuracy degrades.
+* Ablation 3 -- the iterative-Thevenin victim model of Zolotov et al. [4]:
+  the paper cites peak errors around -18 % for that approach; this benchmark
+  places it between plain superposition and the macromodel.
+"""
+
+import pytest
+
+from repro.characterization import LibraryCharacterizer
+from repro.experiments import table1_cluster
+from repro.golden import GoldenClusterAnalysis
+from repro.noise import (
+    LinearSuperpositionAnalysis,
+    MacromodelAnalysis,
+    ZolotovIterativeAnalysis,
+    compare_results,
+)
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return table1_cluster()
+
+
+@pytest.fixture(scope="module")
+def golden_result(library_cmos130, cluster):
+    return GoldenClusterAnalysis(library_cmos130).analyze(cluster, dt=ps(1))
+
+
+def test_ablation_interconnect_reduction(benchmark, library_cmos130, characterizer_cmos130, cluster, golden_result):
+    """Ablation 1: coupled-pi reduction vs full RC network in the macromodel."""
+    macromodel_pi = MacromodelAnalysis(
+        library_cmos130, characterizer=characterizer_cmos130, reduction="coupled_pi"
+    )
+    macromodel_full = MacromodelAnalysis(
+        library_cmos130, characterizer=characterizer_cmos130, reduction="full"
+    )
+    macromodel_pi.analyze(cluster, dt=ps(1))
+    result_full = macromodel_full.analyze(cluster, dt=ps(1))
+    result_pi = benchmark(lambda: macromodel_pi.analyze(cluster, dt=ps(1)))
+
+    errors_pi = compare_results(golden_result, result_pi)
+    errors_full = compare_results(golden_result, result_full)
+    print("\n--- Ablation 1: interconnect representation inside the macromodel ---")
+    print(f"{'variant':12s} {'unknowns':>9s} {'peak err%':>10s} {'area err%':>10s} {'runtime(ms)':>12s}")
+    for name, result, errors in (
+        ("coupled_pi", result_pi, errors_pi),
+        ("full RC", result_full, errors_full),
+    ):
+        print(
+            f"{name:12s} {result.details['num_unknowns']:9d} {errors['peak_error_pct']:10.1f} "
+            f"{errors['area_error_pct']:10.1f} {result.runtime_seconds * 1e3:12.1f}"
+        )
+
+    # The reduction keeps the accuracy while shrinking the model.
+    assert result_pi.details["num_unknowns"] < result_full.details["num_unknowns"]
+    assert abs(errors_pi["peak_error_pct"]) < 8.0
+    assert abs(errors_pi["peak_error_pct"] - errors_full["peak_error_pct"]) < 6.0
+    assert result_pi.runtime_seconds < result_full.runtime_seconds * 1.2
+
+
+@pytest.mark.parametrize("grid", [5, 9, 17, 33])
+def test_ablation_vccs_grid(benchmark, library_cmos130, cluster, golden_result, grid):
+    """Ablation 2: VCCS table resolution vs macromodel accuracy."""
+    characterizer = LibraryCharacterizer(library_cmos130, vccs_grid=grid)
+    analysis = MacromodelAnalysis(
+        library_cmos130, characterizer=characterizer, vccs_grid=grid
+    )
+    analysis.analyze(cluster, dt=ps(1))  # characterise outside the timed region
+    result = benchmark(lambda: analysis.analyze(cluster, dt=ps(1)))
+    errors = compare_results(golden_result, result)
+    print(
+        f"\nVCCS grid {grid:3d}x{grid:<3d}: peak err {errors['peak_error_pct']:+6.1f} %  "
+        f"area err {errors['area_error_pct']:+6.1f} %"
+    )
+    # Even the coarse grids stay within the loose band; the fine grids must be
+    # within the paper-like band.
+    assert abs(errors["peak_error_pct"]) < 15.0
+    if grid >= 17:
+        assert abs(errors["peak_error_pct"]) < 8.0
+
+
+def test_ablation_iterative_thevenin(benchmark, library_cmos130, characterizer_cmos130, cluster, golden_result):
+    """Ablation 3: the iterative-Thevenin victim model of [4]."""
+    zolotov = ZolotovIterativeAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    superposition = LinearSuperpositionAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    macromodel = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+
+    superposition_result = superposition.analyze(cluster, dt=ps(1))
+    macromodel_result = macromodel.analyze(cluster, dt=ps(1))
+    zolotov_result = benchmark(lambda: zolotov.analyze(cluster, dt=ps(1)))
+
+    errors = {
+        "superposition": compare_results(golden_result, superposition_result),
+        "iterative_thevenin": compare_results(golden_result, zolotov_result),
+        "macromodel": compare_results(golden_result, macromodel_result),
+    }
+    print("\n--- Ablation 3: victim-driver model comparison (Table-1 cluster) ---")
+    print(f"{'victim model':20s} {'peak err%':>10s} {'area err%':>10s}")
+    for name, error in errors.items():
+        print(f"{name:20s} {error['peak_error_pct']:10.1f} {error['area_error_pct']:10.1f}")
+
+    # Ordering of the three victim models (paper: superposition worst, [4]
+    # intermediate, macromodel best).
+    assert abs(errors["macromodel"]["peak_error_pct"]) < abs(errors["iterative_thevenin"]["peak_error_pct"])
+    assert abs(errors["iterative_thevenin"]["peak_error_pct"]) < abs(errors["superposition"]["peak_error_pct"])

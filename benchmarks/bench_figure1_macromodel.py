@@ -1,0 +1,56 @@
+"""Figure 1 -- the noise-cluster macromodel topology.
+
+Figure 1 of the paper is structural: a victim driving point modelled by the
+non-linear VCCS, two aggressor Thevenin drivers (saturated ramp + R) and the
+coupled driving-point model of the interconnect.  This benchmark builds that
+exact macromodel for the victim + two-aggressor cluster, verifies its
+structure (node/element counts of the reduced model, presence of the VCCS and
+of both Thevenin drivers) and checks that the waveform it produces matches
+the golden transistor-level simulation -- i.e. that the circuit of Figure 1
+is a faithful model of the cluster, which is the figure's claim.
+"""
+
+import pytest
+
+from repro.experiments import figure1_cluster
+from repro.golden import GoldenClusterAnalysis
+from repro.noise import ClusterModelBuilder, DedicatedNoiseEngine, MacromodelAnalysis, compare_results
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return figure1_cluster()
+
+
+def test_figure1_macromodel_structure_and_accuracy(
+    benchmark, library_cmos130, characterizer_cmos130, cluster
+):
+    builder = ClusterModelBuilder(library_cmos130, cluster, characterizer=characterizer_cmos130)
+    analysis = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+
+    # --- structure of the Figure-1 circuit -------------------------------
+    network = analysis.build_network(builder)
+    reduced = builder.reduced_network()
+    # The reduced coupled model has two nodes per net (driving point + far).
+    assert reduced.num_nodes == 2 * (1 + cluster.num_aggressors)
+    # One non-linear VCCS (the victim driver) ...
+    assert len(network.nonlinear_sources) == 1
+    # ... and one Norton-transformed Thevenin source per aggressor.
+    assert len(network._sources) == cluster.num_aggressors
+    print("\n--- Figure 1: reduced coupled driving-point model ---")
+    print(builder.reduced_model().summary())
+
+    # --- accuracy of the Figure-1 circuit ---------------------------------
+    golden = GoldenClusterAnalysis(library_cmos130).analyze(cluster, dt=ps(1))
+    result = benchmark(lambda: analysis.analyze(cluster, dt=ps(1), builder=builder))
+    errors = compare_results(golden, result)
+    print(
+        f"victim driving-point glitch: golden {golden.peak:.3f} V, "
+        f"macromodel {result.peak:.3f} V ({errors['peak_error_pct']:+.1f} %)"
+    )
+    assert abs(errors["peak_error_pct"]) < 8.0
+
+    # The waveforms agree pointwise, not just in their summary metrics.
+    difference = golden.victim_waveform.max_difference(result.victim_waveform)
+    assert difference < 0.1 * library_cmos130.technology.vdd

@@ -1,0 +1,62 @@
+"""Claim B -- ~20x speed-up of the macromodel over circuit simulation.
+
+The paper reports "the speed-up obtained with our approach was about 20X with
+respect to ELDO".  This benchmark measures, for a set of clusters, the
+wall-clock time of the dedicated macromodel engine against the golden
+transistor-level transient simulation of the same cluster (same time step,
+same window), and reports the per-cluster and geometric-mean speed-ups.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import speedup_clusters
+from repro.golden import GoldenClusterAnalysis
+from repro.noise import MacromodelAnalysis
+from repro.units import ps
+
+#: The reproduction target: clearly an order of magnitude, not necessarily 20.
+MINIMUM_GEOMEAN_SPEEDUP = 8.0
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return speedup_clusters(quick=False)
+
+
+def test_macromodel_speedup_over_golden(benchmark, library_cmos130, characterizer_cmos130, cases):
+    golden_analysis = GoldenClusterAnalysis(library_cmos130)
+    macro_analysis = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+
+    # Characterise everything up front (a one-off library cost, as in the paper).
+    for case in cases:
+        macro_analysis.analyze(case.spec, dt=ps(2))
+
+    rows = []
+
+    def run_all_macromodels():
+        rows.clear()
+        for case in cases:
+            macro = macro_analysis.analyze(case.spec, dt=ps(1))
+            rows.append((case, macro))
+        return rows
+
+    benchmark.pedantic(run_all_macromodels, rounds=1, iterations=1)
+
+    print("\n--- Claim B: macromodel speed-up over transistor-level simulation ---")
+    print(f"{'cluster':58s} {'golden(ms)':>11s} {'macro(ms)':>10s} {'speedup':>8s}")
+    speedups = []
+    for case, macro in rows:
+        golden = golden_analysis.analyze(case.spec, dt=ps(1))
+        speedup = golden.runtime_seconds / macro.runtime_seconds
+        speedups.append(speedup)
+        print(
+            f"{case.label:58s} {golden.runtime_seconds * 1e3:11.1f} "
+            f"{macro.runtime_seconds * 1e3:10.1f} {speedup:8.1f}"
+        )
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    print(f"geometric-mean speed-up: {geomean:.1f}x   (paper: ~20x)")
+
+    assert geomean > MINIMUM_GEOMEAN_SPEEDUP
+    assert all(s > 3.0 for s in speedups)

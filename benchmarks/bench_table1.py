@@ -1,0 +1,82 @@
+"""Table 1 -- injected and propagated noise combination.
+
+Regenerates the rows of the paper's Table 1: total noise peak and area at the
+victim driving point computed by the golden transistor-level simulation, by
+linear superposition of the separately evaluated injected and propagated
+noise, and by the non-linear macromodel, together with the percentage errors
+of the last two against the golden reference.
+
+The shape to reproduce (paper values in parentheses): superposition
+underestimates the peak (-22 %) and the area (-52.8 %) badly; the macromodel
+stays within a few percent (+2.6 % peak, +0.8 % area).
+"""
+
+import pytest
+
+from repro.experiments import table1_cluster
+from repro.golden import GoldenClusterAnalysis
+from repro.noise import ClusterNoiseAnalyzer, LinearSuperpositionAnalysis, MacromodelAnalysis, compare_results
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return table1_cluster()
+
+
+@pytest.fixture(scope="module")
+def golden_result(library_cmos130, cluster):
+    return GoldenClusterAnalysis(library_cmos130).analyze(cluster, dt=ps(1))
+
+
+def test_table1_macromodel(benchmark, library_cmos130, characterizer_cmos130, cluster, golden_result):
+    """Timed: the macromodel analysis of the Table-1 cluster."""
+    analysis = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    analysis.analyze(cluster, dt=ps(1))  # warm the characterisation cache
+    result = benchmark(lambda: analysis.analyze(cluster, dt=ps(1)))
+    errors = compare_results(golden_result, result)
+
+    print("\n--- Table 1: injected and propagated noise combination ---")
+    print(f"{'Noise':12s} {'golden':>10s} {'macromodel':>11s} {'err%':>7s}   (paper: +2.6% / +0.8%)")
+    print(f"{'Peak (V)':12s} {golden_result.peak:10.3f} {result.peak:11.3f} {errors['peak_error_pct']:7.1f}")
+    print(
+        f"{'Area (V*ps)':12s} {golden_result.area_v_ps:10.1f} {result.area_v_ps:11.1f} "
+        f"{errors['area_error_pct']:7.1f}"
+    )
+
+    # Shape assertions: the macromodel tracks the golden simulation closely.
+    assert abs(errors["peak_error_pct"]) < 8.0
+    assert abs(errors["area_error_pct"]) < 10.0
+
+
+def test_table1_linear_superposition(benchmark, library_cmos130, characterizer_cmos130, cluster, golden_result):
+    """Timed: the conventional linear-superposition estimate of Table 1."""
+    analysis = LinearSuperpositionAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    analysis.analyze(cluster, dt=ps(1))  # warm the characterisation cache
+    result = benchmark(lambda: analysis.analyze(cluster, dt=ps(1)))
+    errors = compare_results(golden_result, result)
+
+    print("\n--- Table 1: linear superposition baseline ---")
+    print(f"{'Noise':12s} {'golden':>10s} {'superpos.':>10s} {'err%':>7s}   (paper: -22.0% / -52.8%)")
+    print(f"{'Peak (V)':12s} {golden_result.peak:10.3f} {result.peak:10.3f} {errors['peak_error_pct']:7.1f}")
+    print(
+        f"{'Area (V*ps)':12s} {golden_result.area_v_ps:10.1f} {result.area_v_ps:10.1f} "
+        f"{errors['area_error_pct']:7.1f}"
+    )
+
+    # Shape assertions: superposition underestimates both metrics badly.
+    assert errors["peak_error_pct"] < -15.0
+    assert errors["area_error_pct"] < -30.0
+
+
+def test_table1_full_comparison_report(benchmark, library_cmos130, cluster):
+    """Timed end-to-end: all three methods on the Table-1 cluster."""
+    analyzer = ClusterNoiseAnalyzer(library_cmos130)
+
+    def run():
+        return analyzer.analyze(cluster, methods=("macromodel", "superposition"), dt=ps(1))
+
+    run()  # warm caches
+    results = benchmark(run)
+    assert set(results) == {"macromodel", "superposition"}
+    assert results["macromodel"].peak > results["superposition"].peak

@@ -1,0 +1,48 @@
+"""Table 2 -- worst-case overlap of two in-phase aggressors and a glitch.
+
+Regenerates the paper's Table 2: total noise peak and area for the cluster
+where the victim wire runs between two aggressors that switch in phase while
+a noise glitch propagates through the victim NAND2 driver, comparing the
+macromodel against the golden transistor-level simulation.
+
+Shape to reproduce (paper values): macromodel within a few percent of the
+reference (+3.1 % peak, +2.5 % area).
+"""
+
+import pytest
+
+from repro.experiments import table2_cluster
+from repro.golden import GoldenClusterAnalysis
+from repro.noise import MacromodelAnalysis, compare_results
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return table2_cluster()
+
+
+@pytest.fixture(scope="module")
+def golden_result(library_cmos130, cluster):
+    return GoldenClusterAnalysis(library_cmos130).analyze(cluster, dt=ps(1))
+
+
+def test_table2_macromodel_vs_golden(benchmark, library_cmos130, characterizer_cmos130, cluster, golden_result):
+    analysis = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    analysis.analyze(cluster, dt=ps(1))  # warm the characterisation cache
+    result = benchmark(lambda: analysis.analyze(cluster, dt=ps(1)))
+    errors = compare_results(golden_result, result)
+
+    print("\n--- Table 2: two in-phase aggressors + propagating glitch ---")
+    print(f"{'Noise':12s} {'golden':>10s} {'macromodel':>11s} {'err%':>7s}   (paper: +3.1% / +2.5%)")
+    print(f"{'Peak (V)':12s} {golden_result.peak:10.3f} {result.peak:11.3f} {errors['peak_error_pct']:7.1f}")
+    print(
+        f"{'Area (V*ps)':12s} {golden_result.area_v_ps:10.1f} {result.area_v_ps:11.1f} "
+        f"{errors['area_error_pct']:7.1f}"
+    )
+    print(f"speed-up vs golden: {golden_result.runtime_seconds / result.runtime_seconds:.1f}x")
+
+    assert abs(errors["peak_error_pct"]) < 8.0
+    assert abs(errors["area_error_pct"]) < 10.0
+    # The combined two-aggressor worst case is a large glitch (most of the rail).
+    assert golden_result.peak > 0.5 * library_cmos130.technology.vdd

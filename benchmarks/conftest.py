@@ -1,0 +1,37 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table, figure or in-text claim of the paper.
+The library and the per-cluster characterisation are session-scoped so the
+timed sections measure only the analysis engines (as the paper does: the
+characterisation is a one-off library cost).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.characterization import LibraryCharacterizer
+from repro.technology import build_default_library
+
+
+@pytest.fixture(scope="session")
+def library_cmos130():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture(scope="session")
+def library_cmos90():
+    return build_default_library("cmos90")
+
+
+@pytest.fixture(scope="session")
+def characterizer_cmos130(library_cmos130):
+    return LibraryCharacterizer(library_cmos130)
+
+
+@pytest.fixture(scope="session")
+def characterizer_cmos90(library_cmos90):
+    return LibraryCharacterizer(library_cmos90)

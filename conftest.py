@@ -1,0 +1,14 @@
+"""Pytest configuration: make the in-tree package importable.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` (PEP 660 editable install) cannot build its editable
+wheel.  Adding ``src/`` to ``sys.path`` here keeps the test and benchmark
+suites runnable from a plain checkout without any installation step.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Full-design static noise analysis with the macromodel engine.
+
+The paper's conclusion calls for "a complete methodology for static noise
+analysis based on our macromodel"; this example runs that flow end-to-end on
+a small gate-level design:
+
+1. build a design (instances + nets) and annotate it with coupling
+   parasitics from a SPEF-like file,
+2. extract the noise cluster around every victim net,
+3. analyse each cluster with the non-linear macromodel,
+4. check every glitch against the receiver's noise rejection curve and
+   print the violation report.
+
+Run from the repository root::
+
+    python examples/full_design_sna.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.noise import InputGlitchSpec
+from repro.sna import Design, StaticNoiseAnalysisFlow, annotate_design
+from repro.technology import build_default_library
+from repro.units import ps
+
+PARASITICS = """\
+// coupling parasitics extracted for the bus region
+*NET bus0 *LENGTH 600 *LAYER 4
+*NET bus1 *LENGTH 600 *LAYER 4
+*NET bus2 *LENGTH 600 *LAYER 4
+*NET sel  *LENGTH 250 *LAYER 3
+*COUPLING bus0 bus1 550
+*COUPLING bus1 bus2 550
+*COUPLING bus2 sel  180
+"""
+
+
+def build_design(library) -> Design:
+    """A small bus-like design with three long coupled nets."""
+    design = Design("bus_demo", library)
+    for name in ("d0", "d1", "d2", "en", "s"):
+        design.add_primary_input(name)
+
+    # Drivers of the long bus nets: a weak NAND2, a stronger inverter and an
+    # AOI cell -- deliberately mixed drive strengths so the report shows a
+    # spread of noise levels.
+    design.add_instance("drv0", "NAND2_X1", {"A": "d0", "B": "en", "Z": "bus0"})
+    design.add_instance("drv1", "INV_X4", {"A": "d1", "Z": "bus1"})
+    design.add_instance("drv2", "AOI21_X1", {"A": "d2", "B": "en", "C": "s", "Z": "bus2"})
+    design.add_instance("drv3", "INV_X1", {"A": "s", "Z": "sel"})
+
+    # Receivers at the far end of every net.
+    design.add_instance("rcv0", "INV_X1", {"A": "bus0", "Z": "q0"})
+    design.add_instance("rcv1", "NAND2_X1", {"A": "bus1", "B": "en", "Z": "q1"})
+    design.add_instance("rcv2", "INV_X1", {"A": "bus2", "Z": "q2"})
+    design.add_instance("rcv3", "INV_X1", {"A": "sel", "Z": "q3"})
+    return design
+
+
+def main() -> None:
+    library = build_default_library("cmos130")
+    design = build_design(library)
+    annotate_design(design, PARASITICS)
+    print(design.summary())
+    print()
+
+    # bus0 is known (from an upstream propagation pass) to receive a glitch
+    # at its driver input; the other nets see crosstalk only.
+    flow = StaticNoiseAnalysisFlow(
+        design,
+        num_segments=8,
+        input_glitches={"bus0": InputGlitchSpec(height=0.9, width=ps(250), start_time=ps(150))},
+    )
+
+    print("Extracted noise clusters:")
+    for extraction in flow.extract_clusters():
+        aggressors = ", ".join(extraction.aggressor_nets) or "none"
+        print(f"  victim {extraction.victim_net}: aggressors [{aggressors}]")
+    print()
+
+    report = flow.run(method="macromodel", check_nrc=True, dt=ps(2))
+    print(report.text())
+
+    if report.violations:
+        print("\nNets to fix (spacing, shielding, or upsizing the holding driver):")
+        for violation in report.violations:
+            print(f"  - {violation.victim_net} (margin {violation.nrc_check.margin:+.3f} V)")
+    else:
+        print("\nNo NRC violations: the design is noise-clean under the worst-case assumptions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Table-2 style worst-case analysis: two in-phase aggressors + a glitch.
+
+Beyond reproducing Table 2, this example sweeps the relative phase between
+the two aggressors to show how the worst case (the paper's "worst-case
+overlapping") emerges when the aggressor transitions and the propagated
+glitch align, and how the macromodel tracks the golden simulation across the
+whole alignment range -- which is what makes it usable inside a worst-case
+search.
+
+Run from the repository root::
+
+    python examples/multi_aggressor_worst_case.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from dataclasses import replace
+
+from repro.experiments import default_library, table2_cluster
+from repro.noise import ClusterNoiseAnalyzer, NoiseClusterSpec
+from repro.units import ps
+
+
+def main() -> None:
+    library = default_library("cmos130")
+    analyzer = ClusterNoiseAnalyzer(library)
+
+    base = table2_cluster()
+    print(base.describe())
+    print()
+
+    # 1. The in-phase worst case of Table 2.
+    results = analyzer.analyze(base, methods=("golden", "macromodel"), dt=ps(1))
+    print("Table 2 - worst-case overlap of two in-phase aggressors + glitch")
+    print(analyzer.comparison_table(results))
+    print()
+
+    # 2. Sweep the skew of the second aggressor: the total noise peaks when
+    #    both aggressors switch together, and the macromodel follows the
+    #    golden trend closely enough to locate the same worst case.
+    print("Aggressor skew sweep (second aggressor delayed by 'skew'):")
+    print(f"{'skew (ps)':>10s} {'golden peak (V)':>16s} {'macromodel peak (V)':>20s} {'err %':>7s}")
+    for skew_ps in (0, 50, 100, 200, 400):
+        aggressors = [
+            base.aggressors[0],
+            replace(base.aggressors[1], switch_time=base.aggressors[1].switch_time + ps(skew_ps)),
+        ]
+        spec = NoiseClusterSpec(
+            victim=base.victim,
+            aggressors=aggressors,
+            geometry=base.geometry,
+            num_segments=base.num_segments,
+            name=f"table2_skew_{skew_ps}ps",
+        )
+        swept = analyzer.analyze(spec, methods=("golden", "macromodel"), dt=ps(1))
+        golden_peak = swept["golden"].peak
+        macro_peak = swept["macromodel"].peak
+        error = 100.0 * (macro_peak - golden_peak) / golden_peak
+        print(f"{skew_ps:10d} {golden_peak:16.3f} {macro_peak:20.3f} {error:7.1f}")
+
+    print(
+        "\nThe worst case is the in-phase alignment (skew = 0), as the paper"
+        " assumes; skewing the second aggressor reduces the total glitch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 of the paper: injected + propagated noise combination.
+
+The paper's Table 1 compares the total noise glitch (peak and area) at the
+victim driving point computed by circuit simulation (ELDO), by linear
+superposition of the separately-evaluated injected and propagated noise, and
+by the proposed non-linear macromodel.  This example regenerates that table
+on the reproduction substrate and also prints the component breakdown that
+explains *why* superposition underestimates the combined glitch.
+
+Run from the repository root::
+
+    python examples/table1_injected_plus_propagated.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import default_library, table1_cluster
+from repro.noise import ClusterNoiseAnalyzer, compare_results
+from repro.units import ps
+
+
+def main() -> None:
+    library = default_library("cmos130")
+    cluster = table1_cluster()
+    print(cluster.describe())
+    print()
+
+    analyzer = ClusterNoiseAnalyzer(library)
+    results = analyzer.analyze(
+        cluster, methods=("golden", "superposition", "macromodel"), dt=ps(1)
+    )
+
+    golden = results["golden"]
+    superposition = results["superposition"]
+    macromodel = results["macromodel"]
+    sup_err = compare_results(golden, superposition)
+    mac_err = compare_results(golden, macromodel)
+
+    print("Table 1 - injected and propagated noise combination")
+    print(f"{'Noise':12s} {'golden':>10s} {'superpos.':>10s} {'err%':>7s} {'macromodel':>11s} {'err%':>7s}")
+    print(
+        f"{'Peak (V)':12s} {golden.peak:10.3f} {superposition.peak:10.3f} "
+        f"{sup_err['peak_error_pct']:7.1f} {macromodel.peak:11.3f} {mac_err['peak_error_pct']:7.1f}"
+    )
+    print(
+        f"{'Area (V*ps)':12s} {golden.area_v_ps:10.1f} {superposition.area_v_ps:10.1f} "
+        f"{sup_err['area_error_pct']:7.1f} {macromodel.area_v_ps:11.1f} {mac_err['area_error_pct']:7.1f}"
+    )
+    print()
+
+    injected = superposition.details["injected_metrics"]
+    propagated = superposition.details["propagated_metrics"]
+    print("Why superposition fails (component view):")
+    print(f"  injected-only peak   : {injected.peak:.3f} V")
+    print(f"  propagated-only peak : {propagated.peak:.3f} V")
+    print(f"  linear sum of peaks  : {injected.peak + propagated.peak:.3f} V")
+    print(f"  true combined peak   : {golden.peak:.3f} V")
+    print(
+        "  -> the victim driver's holding current saturates as the output is\n"
+        "     pushed away from the rail, so the real combination is super-linear."
+    )
+
+
+if __name__ == "__main__":
+    main()

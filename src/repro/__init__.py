@@ -1,0 +1,47 @@
+"""repro -- Static noise analysis with a non-linear victim-driver macromodel.
+
+Reproduction of Forzan & Pandini, "Modeling the Non-Linear Behavior of Library
+Cells for an Accurate Static Noise Analysis", DATE 2005.
+
+Sub-packages
+------------
+``repro.circuit``
+    SPICE-class non-linear circuit simulator (the golden reference).
+``repro.technology``
+    Process presets and transistor-level standard-cell generators.
+``repro.characterization``
+    Cell characterisation: VCCS load surfaces, holding resistance, Thevenin
+    driver models, noise-propagation tables, noise rejection curves.
+``repro.interconnect``
+    Coupled RC interconnect construction, moments and reduced-order models.
+``repro.noise``
+    The paper's noise-cluster macromodel and the baselines it is compared to.
+``repro.sna``
+    A small full-design static noise analysis flow built on the above.
+``repro.golden``
+    Transistor-level golden cluster simulations.
+
+Only the lightweight value types are re-exported at the top level; import the
+sub-packages directly for the analysis flows.
+"""
+
+from .units import fF, kohm, mV, ns, ps, to_fF, to_mV, to_ps, to_v_ps, um
+from .waveform import GlitchMetrics, Waveform
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Waveform",
+    "GlitchMetrics",
+    "ps",
+    "ns",
+    "fF",
+    "kohm",
+    "um",
+    "mV",
+    "to_ps",
+    "to_fF",
+    "to_mV",
+    "to_v_ps",
+    "__version__",
+]

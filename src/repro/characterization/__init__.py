@@ -1,0 +1,38 @@
+"""Standard-cell characterisation for static noise analysis.
+
+Implements the pre-characterisation steps the paper's macromodel relies on:
+
+* :func:`characterize_load_surface` -- the DC-swept VCCS load surface
+  ``I_DC = f(V_in, V_out)`` of the victim driver (equation (1) of the paper);
+* :func:`characterize_thevenin_driver` -- saturated-ramp Thevenin models of
+  the switching aggressor drivers (after Dartu & Pileggi, ref. [7]);
+* :func:`characterize_noise_propagation` -- the table-based propagated-noise
+  model used by conventional SNA (and by the linear-superposition baseline);
+* :func:`characterize_nrc` -- noise rejection curves (dynamic noise margins)
+  of receiving cells;
+* :class:`LibraryCharacterizer` -- a caching facade over all of the above.
+"""
+
+from .characterizer import LibraryCharacterizer
+from .loadsurface import VCCSLoadSurface, characterize_load_surface
+from .nrc import NoiseRejectionCurve, characterize_nrc
+from .propagation import (
+    NoisePropagationTable,
+    characterize_noise_propagation,
+    simulate_propagated_glitch,
+)
+from .thevenin import TheveninDriverModel, characterize_thevenin_driver, quiet_driver_resistance
+
+__all__ = [
+    "VCCSLoadSurface",
+    "characterize_load_surface",
+    "TheveninDriverModel",
+    "characterize_thevenin_driver",
+    "quiet_driver_resistance",
+    "NoisePropagationTable",
+    "characterize_noise_propagation",
+    "simulate_propagated_glitch",
+    "NoiseRejectionCurve",
+    "characterize_nrc",
+    "LibraryCharacterizer",
+]

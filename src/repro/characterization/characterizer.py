@@ -1,0 +1,150 @@
+"""Library-level characterisation facade with caching.
+
+Characterising a cell arc (VCCS load surface, Thevenin driver, propagated
+noise table, NRC) requires dozens to hundreds of small circuit simulations.
+The :class:`LibraryCharacterizer` wraps the individual characterisation
+functions, keys every result by the exact characterisation conditions and
+stores it in the owning :class:`~repro.technology.library.CellLibrary`'s
+``characterization_cache`` so repeated analyses of the same cluster
+configuration (the normal case in a full-chip SNA run) pay the cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..technology.cells import NoiseArc, StandardCell
+from ..technology.library import CellLibrary
+from .loadsurface import VCCSLoadSurface, characterize_load_surface
+from .nrc import NoiseRejectionCurve, characterize_nrc
+from .propagation import NoisePropagationTable, characterize_noise_propagation
+from .thevenin import TheveninDriverModel, characterize_thevenin_driver
+
+__all__ = ["LibraryCharacterizer"]
+
+
+def _arc_key(arc: NoiseArc) -> Tuple:
+    return (arc.input_pin, arc.side_inputs, arc.output_high, arc.glitch_rising)
+
+
+class LibraryCharacterizer:
+    """Cached access to all characterised views of a cell library."""
+
+    def __init__(self, library: CellLibrary, *, vccs_grid: int = 17):
+        self.library = library
+        self.technology = library.technology
+        self.vccs_grid = vccs_grid
+
+    @property
+    def _cache(self) -> Dict:
+        return self.library.characterization_cache
+
+    # ------------------------------------------------------------- VCCS table
+
+    def load_surface(
+        self,
+        cell_name: str,
+        arc: NoiseArc,
+        *,
+        num_points: Optional[int] = None,
+    ) -> VCCSLoadSurface:
+        """The VCCS load surface ``I_DC = f(V_in, V_out)`` of a cell arc."""
+        n = num_points or self.vccs_grid
+        key = ("vccs", cell_name, _arc_key(arc), n)
+        if key not in self._cache:
+            cell = self.library.cell(cell_name)
+            self._cache[key] = characterize_load_surface(
+                cell,
+                self.technology,
+                arc=arc,
+                num_vin=n,
+                num_vout=n,
+            )
+        return self._cache[key]
+
+    # --------------------------------------------------------- Thevenin driver
+
+    def thevenin_driver(
+        self,
+        cell_name: str,
+        *,
+        rising: bool = True,
+        input_pin: Optional[str] = None,
+        load_capacitance: float = 20e-15,
+        input_transition: float = 30e-12,
+    ) -> TheveninDriverModel:
+        """The saturated-ramp Thevenin model of a switching driver."""
+        key = ("thevenin", cell_name, rising, input_pin, round(load_capacitance, 20),
+               round(input_transition, 15))
+        if key not in self._cache:
+            cell = self.library.cell(cell_name)
+            self._cache[key] = characterize_thevenin_driver(
+                cell,
+                self.technology,
+                rising=rising,
+                input_pin=input_pin,
+                load_capacitance=load_capacitance,
+                input_transition=input_transition,
+            )
+        return self._cache[key]
+
+    # --------------------------------------------------- propagated-noise table
+
+    def propagation_table(
+        self,
+        cell_name: str,
+        arc: NoiseArc,
+        *,
+        load_capacitance: float = 20e-15,
+        heights: Optional[Sequence[float]] = None,
+        widths: Optional[Sequence[float]] = None,
+    ) -> NoisePropagationTable:
+        """The pre-characterised propagated-noise table of a cell arc."""
+        key = ("prop", cell_name, _arc_key(arc), round(load_capacitance, 20),
+               None if heights is None else tuple(float(h) for h in heights),
+               None if widths is None else tuple(float(w) for w in widths))
+        if key not in self._cache:
+            cell = self.library.cell(cell_name)
+            self._cache[key] = characterize_noise_propagation(
+                cell,
+                self.technology,
+                arc,
+                load_capacitance=load_capacitance,
+                heights=heights,
+                widths=widths,
+            )
+        return self._cache[key]
+
+    # -------------------------------------------------------------------- NRC
+
+    def noise_rejection_curve(
+        self,
+        cell_name: str,
+        arc: Optional[NoiseArc] = None,
+        *,
+        load_capacitance: float = 10e-15,
+        widths: Optional[Sequence[float]] = None,
+    ) -> NoiseRejectionCurve:
+        """The noise rejection curve of a receiver input."""
+        arc_key = None if arc is None else _arc_key(arc)
+        key = ("nrc", cell_name, arc_key, round(load_capacitance, 20),
+               None if widths is None else tuple(float(w) for w in widths))
+        if key not in self._cache:
+            cell = self.library.cell(cell_name)
+            self._cache[key] = characterize_nrc(
+                cell,
+                self.technology,
+                arc,
+                load_capacitance=load_capacitance,
+                widths=widths,
+            )
+        return self._cache[key]
+
+    # ---------------------------------------------------------------- summary
+
+    def cache_summary(self) -> str:
+        kinds: Dict[str, int] = {}
+        for key in self._cache:
+            kinds[key[0]] = kinds.get(key[0], 0) + 1
+        parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"LibraryCharacterizer cache: {parts or 'empty'}"

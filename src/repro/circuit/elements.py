@@ -1,0 +1,598 @@
+"""Circuit elements and their MNA stamps.
+
+The simulator follows the classical Modified Nodal Analysis (MNA)
+formulation.  The unknown vector is ``x = [node voltages, branch currents]``
+where a branch current is allocated for every element that imposes a voltage
+(independent voltage sources and controlled voltage sources).
+
+Every element implements :meth:`Element.stamp`, which adds its contribution to
+the system matrix ``A`` and right-hand side ``z`` given a
+:class:`StampContext` describing the current Newton iterate, the integration
+method and the previous time-step state.  Non-linear elements stamp their
+Norton companion model (linearised around the current iterate), dynamic
+elements stamp their integration companion model (backward Euler or
+trapezoidal).
+
+Sign conventions
+----------------
+* KCL rows are written as "sum of currents *leaving* the node = 0".
+* A current ``i`` flowing from node ``a`` to node ``b`` therefore adds ``+i``
+  to row ``a`` and ``-i`` to row ``b``.
+* Independent sources follow the SPICE convention: positive source current
+  flows from the ``+`` terminal *through the source* to the ``-`` terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sources import DCValue, SourceWaveform
+
+__all__ = [
+    "GROUND",
+    "StampContext",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CurrentSource",
+    "VoltageSource",
+    "VCCS",
+    "VCVS",
+    "BehavioralCurrentSource",
+    "Diode",
+]
+
+#: Node index used for the reference (ground) node.  Ground rows/columns are
+#: simply skipped when stamping.
+GROUND = -1
+
+
+class StampContext:
+    """Bundle of data every element needs while stamping.
+
+    Attributes
+    ----------
+    x:
+        Current Newton iterate of the full unknown vector.
+    prev_x:
+        Accepted solution of the previous time point (``None`` for DC).
+    time:
+        Absolute time of the point being solved (0.0 for DC).
+    dt:
+        Time step (``None`` for DC analysis).
+    method:
+        Integration method, ``"be"`` (backward Euler) or ``"trap"``.
+    gmin:
+        Minimum conductance added from every node to ground for convergence.
+    source_scale:
+        Scaling factor applied to independent sources (used by the
+        source-stepping continuation method).
+    state / prev_state:
+        Per-element mutable dictionaries where dynamic elements store
+        auxiliary quantities (e.g. capacitor current for trapezoidal
+        integration).  ``state`` is written during the step being computed and
+        becomes ``prev_state`` once the step is accepted.
+    """
+
+    __slots__ = (
+        "x",
+        "prev_x",
+        "time",
+        "dt",
+        "method",
+        "gmin",
+        "source_scale",
+        "state",
+        "prev_state",
+    )
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        prev_x: Optional[np.ndarray] = None,
+        time: float = 0.0,
+        dt: Optional[float] = None,
+        method: str = "trap",
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        state: Optional[Dict] = None,
+        prev_state: Optional[Dict] = None,
+    ):
+        self.x = x
+        self.prev_x = prev_x
+        self.time = time
+        self.dt = dt
+        self.method = method
+        self.gmin = gmin
+        self.source_scale = source_scale
+        self.state = state if state is not None else {}
+        self.prev_state = prev_state if prev_state is not None else {}
+
+    # -- voltage accessors ---------------------------------------------------
+
+    def v(self, node: int) -> float:
+        """Voltage of ``node`` in the current iterate (0 for ground)."""
+        if node == GROUND:
+            return 0.0
+        return float(self.x[node])
+
+    def v_prev(self, node: int) -> float:
+        """Voltage of ``node`` at the previous accepted time point."""
+        if node == GROUND or self.prev_x is None:
+            return 0.0
+        return float(self.prev_x[node])
+
+    @property
+    def is_dc(self) -> bool:
+        return self.dt is None
+
+
+# ---------------------------------------------------------------------------
+# Stamping helpers
+# ---------------------------------------------------------------------------
+
+def _add(A: np.ndarray, row: int, col: int, value: float) -> None:
+    if row == GROUND or col == GROUND:
+        return
+    A[row, col] += value
+
+
+def _add_rhs(z: np.ndarray, row: int, value: float) -> None:
+    if row == GROUND:
+        return
+    z[row] += value
+
+
+def stamp_conductance(A: np.ndarray, a: int, b: int, g: float) -> None:
+    """Stamp a conductance ``g`` between nodes ``a`` and ``b``."""
+    _add(A, a, a, g)
+    _add(A, b, b, g)
+    _add(A, a, b, -g)
+    _add(A, b, a, -g)
+
+
+def stamp_current_source(z: np.ndarray, a: int, b: int, current: float) -> None:
+    """Stamp an independent current ``current`` flowing from ``a`` to ``b``.
+
+    The current leaves node ``a`` and enters node ``b``; in the ``A x = z``
+    form this corresponds to injecting ``-current`` into ``a`` and
+    ``+current`` into ``b``.
+    """
+    _add_rhs(z, a, -current)
+    _add_rhs(z, b, current)
+
+
+def stamp_vccs(A: np.ndarray, out_p: int, out_n: int, ctl_p: int, ctl_n: int, gm: float) -> None:
+    """Stamp a linear transconductance: ``i(out_p -> out_n) = gm * (V_ctl_p - V_ctl_n)``."""
+    _add(A, out_p, ctl_p, gm)
+    _add(A, out_p, ctl_n, -gm)
+    _add(A, out_n, ctl_p, -gm)
+    _add(A, out_n, ctl_n, gm)
+
+
+def stamp_nonlinear_current(
+    A: np.ndarray,
+    z: np.ndarray,
+    a: int,
+    b: int,
+    i0: float,
+    gradients: Sequence[Tuple[int, float]],
+    ctx: StampContext,
+) -> None:
+    """Stamp a linearised non-linear current flowing from ``a`` to ``b``.
+
+    The current is ``i = i0 + sum_j g_j (v_j - v_j0)`` where ``v_j0`` are the
+    controlling voltages at the current iterate.  The Jacobian terms go into
+    ``A`` and the affine part ``ieq = i0 - sum_j g_j v_j0`` is treated as an
+    independent current source from ``a`` to ``b``.
+    """
+    ieq = i0
+    for node, g in gradients:
+        _add(A, a, node, g)
+        _add(A, b, node, -g)
+        ieq -= g * ctx.v(node)
+    stamp_current_source(z, a, b, ieq)
+
+
+# ---------------------------------------------------------------------------
+# Element base class
+# ---------------------------------------------------------------------------
+
+class Element:
+    """Base class of all circuit elements."""
+
+    #: Number of extra MNA unknowns (branch currents) the element needs.
+    num_branches: int = 0
+
+    def __init__(self, name: str):
+        self.name = name
+        #: Indices of the element's branch unknowns, assigned by the circuit.
+        self.branch_indices: List[int] = []
+
+    # The circuit assigns node indices by calling ``bind``.
+    def node_names(self) -> List[str]:
+        """Names of the nodes this element connects to (order matters)."""
+        raise NotImplementedError
+
+    def bind(self, node_indices: List[int], branch_indices: List[int]) -> None:
+        """Store the node/branch indices assigned by the circuit."""
+        self._nodes = list(node_indices)
+        self.branch_indices = list(branch_indices)
+
+    @property
+    def nodes(self) -> List[int]:
+        return self._nodes
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        raise NotImplementedError
+
+    def update_state(self, ctx: StampContext) -> None:
+        """Save per-step state after a time point has been accepted."""
+
+    def is_nonlinear(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+# ---------------------------------------------------------------------------
+# Linear passives
+# ---------------------------------------------------------------------------
+
+class Resistor(Element):
+    """A linear resistor between two nodes."""
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name)
+        if resistance <= 0:
+            raise ValueError(f"resistor {name}: resistance must be positive")
+        self.a = a
+        self.b = b
+        self.resistance = float(resistance)
+
+    def node_names(self) -> List[str]:
+        return [self.a, self.b]
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        na, nb = self.nodes
+        stamp_conductance(A, na, nb, 1.0 / self.resistance)
+
+
+class Capacitor(Element):
+    """A linear capacitor between two nodes (also used for coupling caps)."""
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float, ic: Optional[float] = None):
+        super().__init__(name)
+        if capacitance < 0:
+            raise ValueError(f"capacitor {name}: capacitance must be non-negative")
+        self.a = a
+        self.b = b
+        self.capacitance = float(capacitance)
+        #: Optional initial voltage across the capacitor (a -> b).
+        self.ic = ic
+
+    def node_names(self) -> List[str]:
+        return [self.a, self.b]
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        na, nb = self.nodes
+        c = self.capacitance
+        if ctx.is_dc or c == 0.0:
+            # Open circuit at DC; add a tiny conductance for matrix conditioning.
+            stamp_conductance(A, na, nb, ctx.gmin)
+            return
+        dt = ctx.dt
+        v_prev = ctx.v_prev(na) - ctx.v_prev(nb)
+        if ctx.method == "trap":
+            i_prev = ctx.prev_state.get(self.name, {}).get("i", None)
+            if i_prev is None:
+                # First transient step: fall back to backward Euler.
+                geq = c / dt
+                ieq_into_a = geq * v_prev
+            else:
+                geq = 2.0 * c / dt
+                ieq_into_a = geq * v_prev + i_prev
+        else:  # backward Euler
+            geq = c / dt
+            ieq_into_a = geq * v_prev
+        stamp_conductance(A, na, nb, geq)
+        # The companion current source injects ieq into node a (and removes it
+        # from node b), i.e. a source of value ieq flowing from b to a.
+        stamp_current_source(z, nb, na, ieq_into_a)
+
+    def update_state(self, ctx: StampContext) -> None:
+        if ctx.is_dc or self.capacitance == 0.0:
+            ctx.state[self.name] = {"i": 0.0}
+            return
+        na, nb = self.nodes
+        dt = ctx.dt
+        c = self.capacitance
+        v_new = ctx.v(na) - ctx.v(nb)
+        v_prev = ctx.v_prev(na) - ctx.v_prev(nb)
+        i_prev = ctx.prev_state.get(self.name, {}).get("i", None)
+        if ctx.method == "trap" and i_prev is not None:
+            i_new = (2.0 * c / dt) * (v_new - v_prev) - i_prev
+        else:
+            i_new = (c / dt) * (v_new - v_prev)
+        ctx.state[self.name] = {"i": i_new}
+
+    def current(self, ctx: StampContext) -> float:
+        """Capacitor current (a -> b) stored for the last accepted step."""
+        return ctx.state.get(self.name, {}).get("i", 0.0)
+
+
+class Inductor(Element):
+    """A linear inductor between two nodes.
+
+    Inductors are rarely needed for on-chip noise clusters but are included
+    for completeness of the simulator substrate (e.g. package models).  The
+    inductor uses a branch current unknown so that zero-resistance loops do
+    not break the MNA formulation.
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, inductance: float):
+        super().__init__(name)
+        if inductance <= 0:
+            raise ValueError(f"inductor {name}: inductance must be positive")
+        self.a = a
+        self.b = b
+        self.inductance = float(inductance)
+
+    def node_names(self) -> List[str]:
+        return [self.a, self.b]
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        na, nb = self.nodes
+        k = self.branch_indices[0]
+        # Branch current i flows from a to b.
+        _add(A, na, k, 1.0)
+        _add(A, nb, k, -1.0)
+        _add(A, k, na, 1.0)
+        _add(A, k, nb, -1.0)
+        if ctx.is_dc:
+            # V = 0 across the inductor at DC.
+            return
+        dt = ctx.dt
+        L = self.inductance
+        i_prev = ctx.prev_state.get(self.name, {}).get("i", 0.0)
+        v_prev = ctx.prev_state.get(self.name, {}).get("v", 0.0)
+        if ctx.method == "trap" and self.name in ctx.prev_state:
+            req = 2.0 * L / dt
+            veq = req * i_prev + v_prev
+        else:
+            req = L / dt
+            veq = req * i_prev
+        _add(A, k, k, -req)
+        _add_rhs(z, k, -veq)
+
+    def update_state(self, ctx: StampContext) -> None:
+        na, nb = self.nodes
+        k = self.branch_indices[0]
+        i_new = float(ctx.x[k])
+        v_new = ctx.v(na) - ctx.v(nb)
+        ctx.state[self.name] = {"i": i_new, "v": v_new}
+
+
+# ---------------------------------------------------------------------------
+# Independent sources
+# ---------------------------------------------------------------------------
+
+def _as_waveform(value) -> SourceWaveform:
+    if isinstance(value, SourceWaveform):
+        return value
+    return DCValue(float(value))
+
+
+class CurrentSource(Element):
+    """Independent current source; positive current flows from ``a`` to ``b``."""
+
+    def __init__(self, name: str, a: str, b: str, waveform):
+        super().__init__(name)
+        self.a = a
+        self.b = b
+        self.waveform = _as_waveform(waveform)
+
+    def node_names(self) -> List[str]:
+        return [self.a, self.b]
+
+    def value(self, ctx: StampContext) -> float:
+        if ctx.is_dc:
+            return self.waveform.dc_value() * ctx.source_scale
+        return self.waveform(ctx.time) * ctx.source_scale
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        na, nb = self.nodes
+        stamp_current_source(z, na, nb, self.value(ctx))
+
+
+class VoltageSource(Element):
+    """Independent voltage source with a branch current unknown.
+
+    The branch current is positive when flowing from the ``+`` terminal
+    through the source to the ``-`` terminal (SPICE convention).
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, plus: str, minus: str, waveform):
+        super().__init__(name)
+        self.plus = plus
+        self.minus = minus
+        self.waveform = _as_waveform(waveform)
+
+    def node_names(self) -> List[str]:
+        return [self.plus, self.minus]
+
+    def value(self, ctx: StampContext) -> float:
+        if ctx.is_dc:
+            return self.waveform.dc_value() * ctx.source_scale
+        return self.waveform(ctx.time) * ctx.source_scale
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        np_, nm = self.nodes
+        k = self.branch_indices[0]
+        _add(A, np_, k, 1.0)
+        _add(A, nm, k, -1.0)
+        _add(A, k, np_, 1.0)
+        _add(A, k, nm, -1.0)
+        _add_rhs(z, k, self.value(ctx))
+
+    def branch_current(self, x: np.ndarray) -> float:
+        """Current through the source given a solved unknown vector."""
+        return float(x[self.branch_indices[0]])
+
+
+# ---------------------------------------------------------------------------
+# Controlled sources
+# ---------------------------------------------------------------------------
+
+class VCCS(Element):
+    """Linear voltage-controlled current source (SPICE ``G`` element).
+
+    ``i(out_p -> out_n) = gm * (V(ctl_p) - V(ctl_n))``
+    """
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctl_p: str, ctl_n: str, gm: float):
+        super().__init__(name)
+        self.out_p = out_p
+        self.out_n = out_n
+        self.ctl_p = ctl_p
+        self.ctl_n = ctl_n
+        self.gm = float(gm)
+
+    def node_names(self) -> List[str]:
+        return [self.out_p, self.out_n, self.ctl_p, self.ctl_n]
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        op, on, cp, cn = self.nodes
+        stamp_vccs(A, op, on, cp, cn, self.gm)
+
+
+class VCVS(Element):
+    """Linear voltage-controlled voltage source (SPICE ``E`` element)."""
+
+    num_branches = 1
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctl_p: str, ctl_n: str, gain: float):
+        super().__init__(name)
+        self.out_p = out_p
+        self.out_n = out_n
+        self.ctl_p = ctl_p
+        self.ctl_n = ctl_n
+        self.gain = float(gain)
+
+    def node_names(self) -> List[str]:
+        return [self.out_p, self.out_n, self.ctl_p, self.ctl_n]
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        op, on, cp, cn = self.nodes
+        k = self.branch_indices[0]
+        _add(A, op, k, 1.0)
+        _add(A, on, k, -1.0)
+        _add(A, k, op, 1.0)
+        _add(A, k, on, -1.0)
+        _add(A, k, cp, -self.gain)
+        _add(A, k, cn, self.gain)
+
+
+class BehavioralCurrentSource(Element):
+    """A non-linear current source controlled by arbitrary node voltages.
+
+    The current flows from ``out_p`` to ``out_n`` and is computed by
+    ``func(v_controls) -> (i, gradient)`` where ``v_controls`` is the list of
+    controlling node voltages and ``gradient`` is the list of partial
+    derivatives ``di/dv_control``.  This element is the generic mechanism used
+    to embed the paper's table-based VCCS ``I_DC = f(V_in, V_out)`` into a
+    circuit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out_p: str,
+        out_n: str,
+        control_nodes: Sequence[str],
+        func: Callable[[Sequence[float]], Tuple[float, Sequence[float]]],
+    ):
+        super().__init__(name)
+        self.out_p = out_p
+        self.out_n = out_n
+        self.control_nodes = list(control_nodes)
+        self.func = func
+
+    def node_names(self) -> List[str]:
+        return [self.out_p, self.out_n, *self.control_nodes]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        out_p, out_n = self.nodes[0], self.nodes[1]
+        control = self.nodes[2:]
+        v_ctl = [ctx.v(n) for n in control]
+        i0, grads = self.func(v_ctl)
+        gradients = list(zip(control, grads))
+        stamp_nonlinear_current(A, z, out_p, out_n, float(i0), gradients, ctx)
+
+    def current(self, x: np.ndarray) -> float:
+        """Current for a solved vector ``x`` (useful for reporting)."""
+        control = self.nodes[2:]
+        v_ctl = [0.0 if n == GROUND else float(x[n]) for n in control]
+        i0, _ = self.func(v_ctl)
+        return float(i0)
+
+
+class Diode(Element):
+    """An ideal-exponential junction diode (used for clamp/antenna models).
+
+    ``i = i_s * (exp(v/(n*vt)) - 1)`` with a simple current limit to keep the
+    Newton iteration stable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        i_s: float = 1e-14,
+        n: float = 1.0,
+        vt: float = 0.02585,
+    ):
+        super().__init__(name)
+        self.anode = anode
+        self.cathode = cathode
+        self.i_s = float(i_s)
+        self.n = float(n)
+        self.vt = float(vt)
+
+    def node_names(self) -> List[str]:
+        return [self.anode, self.cathode]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def _iv(self, v: float) -> Tuple[float, float]:
+        nvt = self.n * self.vt
+        v_crit = nvt * math.log(nvt / (self.i_s * math.sqrt(2.0)))
+        # Limit the exponent to avoid overflow; linearise beyond v_crit.
+        if v > v_crit:
+            i_crit = self.i_s * (math.exp(v_crit / nvt) - 1.0)
+            g_crit = self.i_s / nvt * math.exp(v_crit / nvt)
+            return i_crit + g_crit * (v - v_crit), g_crit
+        i = self.i_s * (math.exp(v / nvt) - 1.0)
+        g = self.i_s / nvt * math.exp(v / nvt)
+        return i, g
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        na, nc = self.nodes
+        v = ctx.v(na) - ctx.v(nc)
+        i0, g = self._iv(v)
+        gradients = [(na, g), (nc, -g)]
+        stamp_nonlinear_current(A, z, na, nc, i0, gradients, ctx)

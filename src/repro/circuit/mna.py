@@ -1,0 +1,64 @@
+"""Modified Nodal Analysis system assembly.
+
+The assembly is deliberately simple: for every solver iteration the full
+dense matrix is rebuilt from the element stamps.  The circuits handled by the
+noise flow are small (tens to a few hundreds of unknowns) so dense linear
+algebra with NumPy/LAPACK is both fast and robust; sparse assembly would add
+complexity without a measurable benefit at this scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .elements import StampContext
+from .netlist import Circuit
+
+__all__ = ["assemble", "solve_linear_system", "SingularMatrixError"]
+
+
+class SingularMatrixError(RuntimeError):
+    """Raised when the MNA matrix cannot be factorised."""
+
+
+def assemble(circuit: Circuit, ctx: StampContext) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the MNA matrix ``A`` and right-hand side ``z`` for ``ctx``."""
+    circuit.prepare()
+    n = circuit.num_unknowns
+    A = np.zeros((n, n))
+    z = np.zeros(n)
+    for element in circuit.elements:
+        element.stamp(A, z, ctx)
+    # Minimum conductance from every node to ground: keeps the matrix
+    # non-singular when nodes are floating (e.g. gate nodes driven only by
+    # capacitors at DC).
+    gmin = ctx.gmin
+    if gmin > 0.0:
+        num_nodes = circuit.num_nodes
+        idx = np.arange(num_nodes)
+        A[idx, idx] += gmin
+    return A, z
+
+
+def solve_linear_system(A: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Solve ``A x = z``, raising :class:`SingularMatrixError` when singular."""
+    try:
+        x = np.linalg.solve(A, z)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(str(exc)) from exc
+    if not np.all(np.isfinite(x)):
+        raise SingularMatrixError("solution contains non-finite values")
+    return x
+
+
+def residual(circuit: Circuit, ctx: StampContext) -> np.ndarray:
+    """KCL/branch residual ``A(x) x - z(x)`` at the iterate stored in ``ctx``.
+
+    Because non-linear elements stamp exact Norton companions, the residual of
+    the linearised system evaluated at the linearisation point equals the true
+    non-linear residual, which makes this a valid convergence check.
+    """
+    A, z = assemble(circuit, ctx)
+    return A @ ctx.x - z

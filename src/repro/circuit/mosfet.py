@@ -1,0 +1,302 @@
+"""MOSFET device models.
+
+Two static I-V models are provided:
+
+* :class:`Level1Model` -- the classical Shichman-Hodges (SPICE level-1) square
+  law with channel-length modulation.  Simple, smooth enough for Newton, and
+  adequate to reproduce the qualitative non-linearity of a library cell's
+  holding transistor that the paper exploits.
+* :class:`AlphaPowerModel` -- the Sakurai-Newton alpha-power law, which models
+  the weaker gate-overdrive dependence (velocity saturation) of short-channel
+  devices.  Used for the 90 nm technology preset.
+
+The transistor element itself (:class:`MOSFET`) is a three/four terminal
+non-linear element; its drain-source current is stamped as a linearised
+Norton companion at every Newton iteration.  Device capacitances are not part
+of the static model -- the cell generators in :mod:`repro.technology` add
+explicit gate / diffusion capacitors, which keeps the device model simple and
+the capacitive loading visible in the netlist.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .elements import Element, StampContext, stamp_nonlinear_current
+
+__all__ = ["MOSFETParams", "Level1Model", "AlphaPowerModel", "MOSFET"]
+
+
+@dataclass(frozen=True)
+class MOSFETParams:
+    """Technology parameters of a MOSFET model card.
+
+    Attributes
+    ----------
+    polarity:
+        ``"n"`` for NMOS, ``"p"`` for PMOS.
+    vto:
+        Zero-bias threshold voltage (positive number for both polarities).
+    kp:
+        Transconductance parameter ``mu * Cox`` in A/V^2.
+    lambda_:
+        Channel-length modulation coefficient in 1/V.
+    alpha:
+        Velocity-saturation exponent for the alpha-power model
+        (2.0 reproduces the square law).
+    vdsat_coeff:
+        Coefficient of the saturation drain voltage in the alpha-power model:
+        ``Vdsat = vdsat_coeff * (Vgs - Vth) ** (alpha / 2)``.
+    cox:
+        Gate-oxide capacitance per area (F/m^2), used by the cell generators
+        to compute explicit gate capacitances.
+    cj:
+        Junction (diffusion) capacitance per area (F/m^2).
+    cjsw:
+        Junction sidewall capacitance per length (F/m).
+    cgdo:
+        Gate-drain overlap capacitance per width (F/m).
+    l_nominal:
+        Nominal (minimum) channel length of the technology (m).
+    """
+
+    polarity: str
+    vto: float
+    kp: float
+    lambda_: float = 0.05
+    alpha: float = 2.0
+    vdsat_coeff: float = 1.0
+    cox: float = 8e-3
+    cj: float = 1e-3
+    cjsw: float = 1e-10
+    cgdo: float = 3e-10
+    l_nominal: float = 0.13e-6
+
+    def __post_init__(self):
+        if self.polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p'")
+        if self.vto <= 0:
+            raise ValueError("vto is specified as a positive magnitude")
+        if self.kp <= 0:
+            raise ValueError("kp must be positive")
+
+    def scaled(self, **kwargs) -> "MOSFETParams":
+        """Return a copy with selected parameters replaced."""
+        return replace(self, **kwargs)
+
+
+class _StaticModel:
+    """Interface of a static MOSFET I-V model.
+
+    ``ids(vgs, vds)`` must accept ``vds >= 0`` and return
+    ``(ids, gm, gds)`` -- the drain current and its partial derivatives with
+    respect to ``vgs`` and ``vds``.
+    """
+
+    def __init__(self, params: MOSFETParams):
+        self.params = params
+
+    def ids(self, vgs: float, vds: float) -> Tuple[float, float, float]:
+        raise NotImplementedError
+
+
+class Level1Model(_StaticModel):
+    """Shichman-Hodges square-law model with channel-length modulation."""
+
+    def __init__(self, params: MOSFETParams, w: float, l: float):
+        super().__init__(params)
+        self.beta = params.kp * w / l
+
+    def ids(self, vgs: float, vds: float) -> Tuple[float, float, float]:
+        p = self.params
+        vov = vgs - p.vto
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0
+        lam = p.lambda_
+        clm = 1.0 + lam * vds
+        if vds < vov:
+            # Triode (linear) region.
+            ids = self.beta * (vov * vds - 0.5 * vds * vds) * clm
+            gm = self.beta * vds * clm
+            gds = self.beta * (vov - vds) * clm + self.beta * (vov * vds - 0.5 * vds * vds) * lam
+        else:
+            # Saturation region.
+            ids = 0.5 * self.beta * vov * vov * clm
+            gm = self.beta * vov * clm
+            gds = 0.5 * self.beta * vov * vov * lam
+        return ids, gm, gds
+
+
+class AlphaPowerModel(_StaticModel):
+    """Sakurai-Newton alpha-power-law model for short-channel devices."""
+
+    def __init__(self, params: MOSFETParams, w: float, l: float):
+        super().__init__(params)
+        self.w_over_l = w / l
+        # Scale the current factor so that alpha = 2 coincides with level 1.
+        self.b = 0.5 * params.kp * self.w_over_l
+
+    def ids(self, vgs: float, vds: float) -> Tuple[float, float, float]:
+        p = self.params
+        vov = vgs - p.vto
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0
+        alpha = p.alpha
+        lam = p.lambda_
+        clm = 1.0 + lam * vds
+        i_sat = self.b * vov ** alpha
+        di_sat_dvgs = self.b * alpha * vov ** (alpha - 1.0)
+        vdsat = p.vdsat_coeff * vov ** (alpha / 2.0)
+        dvdsat_dvgs = p.vdsat_coeff * (alpha / 2.0) * vov ** (alpha / 2.0 - 1.0)
+        if vds >= vdsat:
+            ids = i_sat * clm
+            gm = di_sat_dvgs * clm
+            gds = i_sat * lam
+            return ids, gm, gds
+        # Triode region: quadratic interpolation that matches the saturation
+        # current and its slope at vds = vdsat (Sakurai-Newton form).
+        u = vds / vdsat
+        shape = u * (2.0 - u)
+        ids = i_sat * shape * clm
+        dshape_dvds = (2.0 - 2.0 * u) / vdsat
+        dshape_dvdsat = -u * (2.0 - 2.0 * u) / vdsat
+        gm = (di_sat_dvgs * shape + i_sat * dshape_dvdsat * dvdsat_dvgs) * clm
+        gds = i_sat * dshape_dvds * clm + i_sat * shape * lam
+        return ids, gm, gds
+
+
+def make_model(params: MOSFETParams, w: float, l: float, model: str = "auto") -> _StaticModel:
+    """Instantiate the static model named ``model`` for the given geometry."""
+    if model == "auto":
+        model = "alpha" if abs(params.alpha - 2.0) > 1e-9 else "level1"
+    if model == "level1":
+        return Level1Model(params, w, l)
+    if model == "alpha":
+        return AlphaPowerModel(params, w, l)
+    raise ValueError(f"unknown MOSFET model '{model}'")
+
+
+class MOSFET(Element):
+    """A MOSFET instance (drain, gate, source[, bulk]).
+
+    The bulk terminal is accepted for netlist compatibility but the body
+    effect is not modelled; the device is electrically symmetric, so source
+    and drain are swapped internally when ``Vds < 0``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        params: MOSFETParams,
+        w: float,
+        l: Optional[float] = None,
+        bulk: Optional[str] = None,
+        model: str = "auto",
+    ):
+        super().__init__(name)
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+        self.bulk = bulk if bulk is not None else source
+        self.params = params
+        self.w = float(w)
+        self.l = float(l) if l is not None else params.l_nominal
+        if self.w <= 0 or self.l <= 0:
+            raise ValueError(f"MOSFET {name}: W and L must be positive")
+        self.model_name = model
+        self._model = make_model(params, self.w, self.l, model)
+        #: Small minimum output conductance added for Newton robustness.
+        self.gds_min = 1e-9
+
+    def node_names(self) -> List[str]:
+        return [self.drain, self.gate, self.source, self.bulk]
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    # -- static evaluation ----------------------------------------------------
+
+    def drain_current(self, vd: float, vg: float, vs: float) -> float:
+        """Drain current (flowing into the drain terminal) at the given biases."""
+        i, _, _, _ = self._evaluate(vd, vg, vs)
+        return i
+
+    def _evaluate(self, vd: float, vg: float, vs: float) -> Tuple[float, float, float, float]:
+        """Return ``(id, dId/dVd, dId/dVg, dId/dVs)`` at the given node voltages.
+
+        ``id`` is the current flowing from the drain node, through the
+        channel, to the source node (positive for a conducting NMOS with
+        ``Vds > 0``; negative values appear for PMOS pull-ups, where the
+        physical current flows source-to-drain).
+        """
+        if self.params.polarity == "p":
+            # Evaluate the complementary NMOS with mirrored voltages and
+            # mirror the current back.
+            i, did_vd, did_vg, did_vs = self._evaluate_nmos(-vd, -vg, -vs)
+            return -i, did_vd, did_vg, did_vs
+        return self._evaluate_nmos(vd, vg, vs)
+
+    def _evaluate_nmos(self, vd: float, vg: float, vs: float) -> Tuple[float, float, float, float]:
+        swapped = vd < vs
+        if swapped:
+            vd, vs = vs, vd
+        vgs = vg - vs
+        vds = vd - vs
+        ids, gm, gds = self._model.ids(vgs, vds)
+        gds = gds + self.gds_min
+        # Partial derivatives with respect to the terminal voltages.
+        did_vg = gm
+        did_vd = gds
+        did_vs = -(gm + gds)
+        if swapped:
+            # The current we computed flows from the (swapped) drain to the
+            # (swapped) source, i.e. from the original source to the original
+            # drain: flip the sign and swap the drain/source derivatives.
+            return -ids, -did_vs, -did_vg, -did_vd
+        return ids, did_vd, did_vg, did_vs
+
+    # -- stamping ---------------------------------------------------------------
+
+    def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
+        nd, ng, ns, _nb = self.nodes
+        vd, vg, vs = ctx.v(nd), ctx.v(ng), ctx.v(ns)
+        i0, did_vd, did_vg, did_vs = self._evaluate(vd, vg, vs)
+        gradients = [(nd, did_vd), (ng, did_vg), (ns, did_vs)]
+        # The channel current flows from drain to source.
+        stamp_nonlinear_current(A, z, nd, ns, i0, gradients, ctx)
+
+    # -- capacitance estimates (used by the cell generators) --------------------
+
+    def gate_capacitance(self) -> float:
+        """Total gate capacitance estimate: C_ox * W * L plus overlaps."""
+        p = self.params
+        return p.cox * self.w * self.l + 2.0 * p.cgdo * self.w
+
+    def diffusion_capacitance(self, diffusion_length: Optional[float] = None) -> float:
+        """Drain/source diffusion capacitance estimate.
+
+        ``diffusion_length`` defaults to 2.5 drawn gate lengths, a typical
+        layout assumption for standard cells.
+        """
+        p = self.params
+        ld = diffusion_length if diffusion_length is not None else 2.5 * self.l
+        area = self.w * ld
+        perimeter = 2.0 * (self.w + ld)
+        return p.cj * area + p.cjsw * perimeter
+
+    def overlap_capacitance(self) -> float:
+        """Gate-drain (Miller) overlap capacitance."""
+        return self.params.cgdo * self.w
+
+    def __repr__(self) -> str:
+        return (
+            f"MOSFET({self.name}, {self.params.polarity}, W={self.w * 1e6:.3f}um, "
+            f"L={self.l * 1e6:.3f}um)"
+        )

@@ -1,0 +1,294 @@
+"""The :class:`Circuit` container: nodes, elements and convenience builders.
+
+A circuit is a flat collection of elements connected by named nodes.  Node
+names are case-insensitive; ``0``, ``gnd`` and ``vss`` are aliases of the
+reference (ground) node.  Elements are bound to integer node indices when they
+are added, and to branch-current indices when the circuit is prepared for
+analysis (:meth:`Circuit.prepare`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .elements import (
+    GROUND,
+    BehavioralCurrentSource,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Element,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .mosfet import MOSFET, MOSFETParams
+from .sources import SourceWaveform
+
+__all__ = ["Circuit", "GROUND_NAMES"]
+
+#: Node names (lower-case) treated as the reference node.
+GROUND_NAMES = {"0", "gnd", "vss", "gnd!", "vss!"}
+
+
+class Circuit:
+    """A flat netlist of elements connected by named nodes."""
+
+    def __init__(self, name: str = "circuit", gmin: float = 1e-12):
+        self.name = name
+        self.gmin = gmin
+        self._node_index: Dict[str, int] = {}
+        self._node_names: List[str] = []
+        self._elements: List[Element] = []
+        self._element_by_name: Dict[str, Element] = {}
+        self._prepared = False
+        self._num_branches = 0
+
+    # ------------------------------------------------------------------ nodes
+
+    @staticmethod
+    def canonical_node_name(name: str) -> str:
+        """Normalise a node name (case-insensitive, ground aliases to ``0``)."""
+        norm = str(name).strip().lower()
+        if norm in GROUND_NAMES:
+            return "0"
+        return norm
+
+    def node(self, name: str) -> int:
+        """Return the index of node ``name``, creating it if necessary."""
+        norm = self.canonical_node_name(name)
+        if norm == "0":
+            return GROUND
+        if norm not in self._node_index:
+            self._node_index[norm] = len(self._node_names)
+            self._node_names.append(norm)
+            self._prepared = False
+        return self._node_index[norm]
+
+    def has_node(self, name: str) -> bool:
+        norm = self.canonical_node_name(name)
+        return norm == "0" or norm in self._node_index
+
+    def node_index(self, name: str) -> int:
+        """Index of an *existing* node (raises ``KeyError`` if unknown)."""
+        norm = self.canonical_node_name(name)
+        if norm == "0":
+            return GROUND
+        return self._node_index[norm]
+
+    @property
+    def node_names(self) -> List[str]:
+        """Names of all non-ground nodes, in index order."""
+        return list(self._node_names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_names)
+
+    # --------------------------------------------------------------- elements
+
+    def add(self, element: Element) -> Element:
+        """Add an element, binding it to node indices."""
+        if element.name in self._element_by_name:
+            raise ValueError(f"duplicate element name '{element.name}'")
+        node_indices = [self.node(n) for n in element.node_names()]
+        element.bind(node_indices, [])
+        self._elements.append(element)
+        self._element_by_name[element.name] = element
+        self._prepared = False
+        return element
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._element_by_name
+
+    def __getitem__(self, name: str) -> Element:
+        return self._element_by_name[name]
+
+    def get(self, name: str, default=None) -> Optional[Element]:
+        return self._element_by_name.get(name, default)
+
+    @property
+    def elements(self) -> List[Element]:
+        return list(self._elements)
+
+    def elements_of_type(self, cls) -> List[Element]:
+        return [e for e in self._elements if isinstance(e, cls)]
+
+    def is_nonlinear(self) -> bool:
+        """True if the circuit contains at least one non-linear element."""
+        return any(e.is_nonlinear() for e in self._elements)
+
+    # ------------------------------------------------------------ preparation
+
+    def prepare(self) -> None:
+        """Assign branch-current indices; must run before any analysis."""
+        if self._prepared:
+            return
+        next_branch = self.num_nodes
+        for element in self._elements:
+            branches = list(range(next_branch, next_branch + element.num_branches))
+            element.bind(element.nodes, branches)
+            next_branch += element.num_branches
+        self._num_branches = next_branch - self.num_nodes
+        self._prepared = True
+
+    @property
+    def num_branches(self) -> int:
+        self.prepare()
+        return self._num_branches
+
+    @property
+    def num_unknowns(self) -> int:
+        """Size of the MNA unknown vector (node voltages + branch currents)."""
+        self.prepare()
+        return self.num_nodes + self._num_branches
+
+    # ------------------------------------------------------ convenience adders
+
+    def add_resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, a, b, resistance))
+
+    def add_capacitor(
+        self, name: str, a: str, b: str, capacitance: float, ic: Optional[float] = None
+    ) -> Capacitor:
+        return self.add(Capacitor(name, a, b, capacitance, ic=ic))
+
+    def add_inductor(self, name: str, a: str, b: str, inductance: float) -> Inductor:
+        return self.add(Inductor(name, a, b, inductance))
+
+    def add_voltage_source(
+        self, name: str, plus: str, minus: str, waveform: Union[float, SourceWaveform]
+    ) -> VoltageSource:
+        return self.add(VoltageSource(name, plus, minus, waveform))
+
+    def add_current_source(
+        self, name: str, a: str, b: str, waveform: Union[float, SourceWaveform]
+    ) -> CurrentSource:
+        return self.add(CurrentSource(name, a, b, waveform))
+
+    def add_vccs(self, name: str, out_p: str, out_n: str, ctl_p: str, ctl_n: str, gm: float) -> VCCS:
+        return self.add(VCCS(name, out_p, out_n, ctl_p, ctl_n, gm))
+
+    def add_vcvs(self, name: str, out_p: str, out_n: str, ctl_p: str, ctl_n: str, gain: float) -> VCVS:
+        return self.add(VCVS(name, out_p, out_n, ctl_p, ctl_n, gain))
+
+    def add_behavioral_current_source(
+        self,
+        name: str,
+        out_p: str,
+        out_n: str,
+        control_nodes: Sequence[str],
+        func,
+    ) -> BehavioralCurrentSource:
+        return self.add(BehavioralCurrentSource(name, out_p, out_n, control_nodes, func))
+
+    def add_diode(self, name: str, anode: str, cathode: str, **kwargs) -> Diode:
+        return self.add(Diode(name, anode, cathode, **kwargs))
+
+    def add_mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        params: MOSFETParams,
+        w: float,
+        l: Optional[float] = None,
+        bulk: Optional[str] = None,
+        model: str = "auto",
+    ) -> MOSFET:
+        return self.add(MOSFET(name, drain, gate, source, params, w, l=l, bulk=bulk, model=model))
+
+    # --------------------------------------------------------------- utilities
+
+    def merge(self, other: "Circuit", prefix: str = "", node_map: Optional[Dict[str, str]] = None) -> None:
+        """Copy all elements of ``other`` into this circuit.
+
+        ``node_map`` maps node names of ``other`` onto node names of this
+        circuit (used to connect the merged sub-circuit); unmapped nodes are
+        prefixed with ``prefix`` to keep them unique.
+        """
+        node_map = {self.canonical_node_name(k): v for k, v in (node_map or {}).items()}
+
+        def translate(node_name: str) -> str:
+            norm = self.canonical_node_name(node_name)
+            if norm == "0":
+                return "0"
+            if norm in node_map:
+                return node_map[norm]
+            return f"{prefix}{norm}" if prefix else norm
+
+        for element in other.elements:
+            clone = _clone_element(element, prefix, translate)
+            self.add(clone)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the circuit contents."""
+        kinds: Dict[str, int] = {}
+        for e in self._elements:
+            kinds[type(e).__name__] = kinds.get(type(e).__name__, 0) + 1
+        parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"Circuit '{self.name}': {self.num_nodes} nodes, {len(self._elements)} elements ({parts})"
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+
+def _clone_element(element: Element, prefix: str, translate) -> Element:
+    """Create a renamed copy of ``element`` with translated node names."""
+    name = f"{prefix}{element.name}" if prefix else element.name
+    if isinstance(element, Resistor):
+        return Resistor(name, translate(element.a), translate(element.b), element.resistance)
+    if isinstance(element, Capacitor):
+        return Capacitor(name, translate(element.a), translate(element.b), element.capacitance, ic=element.ic)
+    if isinstance(element, Inductor):
+        return Inductor(name, translate(element.a), translate(element.b), element.inductance)
+    if isinstance(element, VoltageSource):
+        return VoltageSource(name, translate(element.plus), translate(element.minus), element.waveform)
+    if isinstance(element, CurrentSource):
+        return CurrentSource(name, translate(element.a), translate(element.b), element.waveform)
+    if isinstance(element, VCCS):
+        return VCCS(
+            name,
+            translate(element.out_p),
+            translate(element.out_n),
+            translate(element.ctl_p),
+            translate(element.ctl_n),
+            element.gm,
+        )
+    if isinstance(element, VCVS):
+        return VCVS(
+            name,
+            translate(element.out_p),
+            translate(element.out_n),
+            translate(element.ctl_p),
+            translate(element.ctl_n),
+            element.gain,
+        )
+    if isinstance(element, BehavioralCurrentSource):
+        return BehavioralCurrentSource(
+            name,
+            translate(element.out_p),
+            translate(element.out_n),
+            [translate(n) for n in element.control_nodes],
+            element.func,
+        )
+    if isinstance(element, Diode):
+        return Diode(name, translate(element.anode), translate(element.cathode),
+                     i_s=element.i_s, n=element.n, vt=element.vt)
+    if isinstance(element, MOSFET):
+        return MOSFET(
+            name,
+            translate(element.drain),
+            translate(element.gate),
+            translate(element.source),
+            element.params,
+            element.w,
+            l=element.l,
+            bulk=translate(element.bulk),
+            model=element.model_name,
+        )
+    raise TypeError(f"cannot clone element of type {type(element).__name__}")

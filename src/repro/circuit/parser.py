@@ -1,0 +1,409 @@
+"""SPICE-like netlist parser.
+
+The parser accepts the small, well-defined subset of SPICE syntax that the
+library needs to describe noise clusters and characterisation decks:
+
+* element cards: ``R``, ``C``, ``L``, ``V``, ``I``, ``G`` (linear VCCS),
+  ``E`` (linear VCVS), ``D``, ``M`` (MOSFET) and ``X`` (sub-circuit instance);
+* control cards: ``.model`` (nmos/pmos), ``.subckt``/``.ends``, ``.tran``,
+  ``.dc``, ``.ic``, ``.end``;
+* value suffixes ``f p n u m k meg g t`` and engineering notation;
+* ``*`` comments, ``$``/``;`` trailing comments and ``+`` continuation lines.
+
+Source values can be a DC number, ``DC <v>``, ``PULSE(...)``, ``PWL(...)`` or
+``SIN(...)``.
+
+The parser produces a :class:`ParsedNetlist` with a flat :class:`Circuit`
+(sub-circuits are expanded inline) plus the requested analyses so that simple
+decks can be run end-to-end::
+
+    parsed = parse_netlist(text)
+    result = parsed.run()          # runs the first .tran / .dc card
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .elements import Capacitor, Inductor, Resistor
+from .mosfet import MOSFETParams
+from .netlist import Circuit
+from .sources import (
+    DCValue,
+    PiecewiseLinear,
+    PulseWaveform,
+    SineWaveform,
+    SourceWaveform,
+)
+
+__all__ = ["NetlistError", "ParsedNetlist", "parse_netlist", "parse_value"]
+
+
+class NetlistError(ValueError):
+    """Raised for syntax or semantic errors in a netlist."""
+
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[tgkmunpf])?[a-z]*$", re.IGNORECASE
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE value with optional engineering suffix (``2.5k``, ``10f``)."""
+    token = token.strip()
+    match = _VALUE_RE.match(token)
+    if not match:
+        raise NetlistError(f"cannot parse value '{token}'")
+    number = float(match.group(1))
+    suffix = match.group(2)
+    if suffix:
+        number *= _SUFFIXES[suffix.lower()]
+    return number
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("$", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.rstrip()
+
+
+def _join_continuations(lines: Sequence[str]) -> List[str]:
+    joined: List[str] = []
+    for raw in lines:
+        line = _strip_comment(raw.rstrip("\n"))
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        if line.startswith("+"):
+            if not joined:
+                raise NetlistError("continuation line with nothing to continue")
+            joined[-1] += " " + line[1:].strip()
+        else:
+            joined.append(line.strip())
+    return joined
+
+
+def _split_params(tokens: Sequence[str]) -> Tuple[List[str], Dict[str, str]]:
+    """Split tokens into positional arguments and ``key=value`` parameters."""
+    positional: List[str] = []
+    params: Dict[str, str] = {}
+    for token in tokens:
+        if "=" in token:
+            key, value = token.split("=", 1)
+            params[key.lower()] = value
+        else:
+            positional.append(token)
+    return positional, params
+
+
+_FUNC_SOURCE_RE = re.compile(r"(pulse|pwl|sin)\s*\((.*)\)", re.IGNORECASE | re.DOTALL)
+
+
+def _parse_source_spec(spec: str) -> SourceWaveform:
+    spec = spec.strip()
+    match = _FUNC_SOURCE_RE.search(spec)
+    if match:
+        kind = match.group(1).lower()
+        args = [parse_value(tok) for tok in match.group(2).replace(",", " ").split()]
+        if kind == "pulse":
+            defaults = [0.0, 0.0, 0.0, 1e-12, 1e-12, 1e-9, 0.0]
+            args = args + defaults[len(args):]
+            return PulseWaveform(*args[:7])
+        if kind == "sin":
+            defaults = [0.0, 0.0, 1e6, 0.0, 0.0]
+            args = args + defaults[len(args):]
+            return SineWaveform(*args[:5])
+        if kind == "pwl":
+            if len(args) % 2 != 0 or len(args) < 2:
+                raise NetlistError(f"PWL needs an even number of values: '{spec}'")
+            points = tuple((args[i], args[i + 1]) for i in range(0, len(args), 2))
+            return PiecewiseLinear(points)
+    tokens = spec.split()
+    if tokens and tokens[0].lower() == "dc":
+        tokens = tokens[1:]
+    if not tokens:
+        return DCValue(0.0)
+    return DCValue(parse_value(tokens[0]))
+
+
+@dataclass
+class Analysis:
+    """A requested analysis (``.tran`` or ``.dc``)."""
+
+    kind: str
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SubcircuitDef:
+    name: str
+    ports: List[str]
+    body: List[str]
+
+
+@dataclass
+class ParsedNetlist:
+    """The result of parsing a netlist: circuit, models and analyses."""
+
+    title: str
+    circuit: Circuit
+    models: Dict[str, MOSFETParams]
+    analyses: List[Analysis]
+    initial_conditions: Dict[str, float]
+
+    def run(self):
+        """Run the first requested analysis and return its result."""
+        from .dc import dc_operating_point
+        from .transient import transient
+
+        if not self.analyses:
+            raise NetlistError("netlist contains no .tran or .dc analysis")
+        analysis = self.analyses[0]
+        if analysis.kind == "tran":
+            return transient(
+                self.circuit,
+                t_stop=analysis.params["t_stop"],
+                dt=analysis.params["dt"],
+                initial_conditions=self.initial_conditions or None,
+            )
+        if analysis.kind == "dc":
+            return dc_operating_point(self.circuit)
+        raise NetlistError(f"unsupported analysis '{analysis.kind}'")
+
+
+_DEFAULT_MODEL_PARAMS = {
+    "n": dict(vto=0.35, kp=3.0e-4, lambda_=0.06),
+    "p": dict(vto=0.35, kp=1.2e-4, lambda_=0.08),
+}
+
+
+def _parse_model_card(tokens: List[str]) -> Tuple[str, MOSFETParams]:
+    if len(tokens) < 3:
+        raise NetlistError(f".model card needs a name and a type: {' '.join(tokens)}")
+    name = tokens[1].lower()
+    mtype = tokens[2].lower()
+    if mtype not in ("nmos", "pmos"):
+        raise NetlistError(f"unsupported model type '{mtype}' (only nmos/pmos)")
+    polarity = "n" if mtype == "nmos" else "p"
+    _, params = _split_params(tokens[3:])
+    kwargs = dict(_DEFAULT_MODEL_PARAMS[polarity])
+    mapping = {
+        "vto": "vto",
+        "kp": "kp",
+        "lambda": "lambda_",
+        "alpha": "alpha",
+        "cox": "cox",
+        "cj": "cj",
+        "cjsw": "cjsw",
+        "cgdo": "cgdo",
+        "l": "l_nominal",
+    }
+    for key, value in params.items():
+        if key in mapping:
+            kwargs[mapping[key]] = parse_value(value)
+    kwargs["vto"] = abs(kwargs["vto"])
+    return name, MOSFETParams(polarity=polarity, **kwargs)
+
+
+class _NetlistBuilder:
+    """Stateful helper that expands sub-circuits and builds the flat circuit."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.circuit = Circuit(title or "netlist")
+        self.models: Dict[str, MOSFETParams] = {}
+        self.subckts: Dict[str, SubcircuitDef] = {}
+        self.analyses: List[Analysis] = []
+        self.initial_conditions: Dict[str, float] = {}
+
+    # -- element cards -------------------------------------------------------
+
+    def add_element_card(self, line: str, prefix: str = "", node_map: Optional[Dict[str, str]] = None):
+        node_map = node_map or {}
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        full_name = prefix + name
+
+        def node(n: str) -> str:
+            norm = Circuit.canonical_node_name(n)
+            if norm == "0":
+                return "0"
+            if norm in node_map:
+                return node_map[norm]
+            return prefix + norm if prefix else norm
+
+        if kind == "R":
+            self.circuit.add_resistor(full_name, node(tokens[1]), node(tokens[2]), parse_value(tokens[3]))
+        elif kind == "C":
+            self.circuit.add_capacitor(full_name, node(tokens[1]), node(tokens[2]), parse_value(tokens[3]))
+        elif kind == "L":
+            self.circuit.add_inductor(full_name, node(tokens[1]), node(tokens[2]), parse_value(tokens[3]))
+        elif kind == "V":
+            spec = " ".join(tokens[3:])
+            self.circuit.add_voltage_source(full_name, node(tokens[1]), node(tokens[2]), _parse_source_spec(spec))
+        elif kind == "I":
+            spec = " ".join(tokens[3:])
+            self.circuit.add_current_source(full_name, node(tokens[1]), node(tokens[2]), _parse_source_spec(spec))
+        elif kind == "G":
+            self.circuit.add_vccs(
+                full_name, node(tokens[1]), node(tokens[2]), node(tokens[3]), node(tokens[4]),
+                parse_value(tokens[5]),
+            )
+        elif kind == "E":
+            self.circuit.add_vcvs(
+                full_name, node(tokens[1]), node(tokens[2]), node(tokens[3]), node(tokens[4]),
+                parse_value(tokens[5]),
+            )
+        elif kind == "D":
+            self.circuit.add_diode(full_name, node(tokens[1]), node(tokens[2]))
+        elif kind == "M":
+            positional, params = _split_params(tokens[1:])
+            if len(positional) < 5:
+                raise NetlistError(f"MOSFET card needs d g s b and a model: {line}")
+            d, g, s, b, model_name = positional[:5]
+            model_name = model_name.lower()
+            if model_name not in self.models:
+                raise NetlistError(f"unknown MOSFET model '{model_name}'")
+            model = self.models[model_name]
+            w = parse_value(params.get("w", "1u"))
+            l = parse_value(params.get("l", str(model.l_nominal)))
+            self.circuit.add_mosfet(
+                full_name, node(d), node(g), node(s), model, w=w, l=l, bulk=node(b)
+            )
+        elif kind == "X":
+            positional, _ = _split_params(tokens[1:])
+            subckt_name = positional[-1].lower()
+            instance_nodes = positional[:-1]
+            if subckt_name not in self.subckts:
+                raise NetlistError(f"unknown sub-circuit '{subckt_name}'")
+            definition = self.subckts[subckt_name]
+            if len(instance_nodes) != len(definition.ports):
+                raise NetlistError(
+                    f"sub-circuit '{subckt_name}' expects {len(definition.ports)} ports, "
+                    f"got {len(instance_nodes)}"
+                )
+            inner_map = {
+                Circuit.canonical_node_name(port): node(n)
+                for port, n in zip(definition.ports, instance_nodes)
+            }
+            inner_prefix = f"{full_name}."
+            for body_line in definition.body:
+                self.add_element_card(body_line, prefix=inner_prefix, node_map=inner_map)
+        else:
+            raise NetlistError(f"unsupported element card: {line}")
+
+    # -- control cards ---------------------------------------------------------
+
+    def add_control_card(self, line: str):
+        tokens = line.split()
+        card = tokens[0].lower()
+        if card == ".model":
+            name, params = _parse_model_card(tokens)
+            self.models[name] = params
+        elif card == ".tran":
+            if len(tokens) < 3:
+                raise NetlistError(".tran needs a step and a stop time")
+            self.analyses.append(
+                Analysis("tran", {"dt": parse_value(tokens[1]), "t_stop": parse_value(tokens[2])})
+            )
+        elif card == ".dc" or card == ".op":
+            self.analyses.append(Analysis("dc"))
+        elif card == ".ic":
+            _, params = _split_params(tokens[1:])
+            for key, value in params.items():
+                if key.startswith("v(") and key.endswith(")"):
+                    node_name = key[2:-1]
+                else:
+                    node_name = key
+                self.initial_conditions[node_name] = parse_value(value)
+        elif card in (".end", ".ends", ".options", ".option", ".temp", ".probe", ".print"):
+            pass
+        else:
+            raise NetlistError(f"unsupported control card: {line}")
+
+
+def parse_netlist(text: str, *, title_line: bool = True) -> ParsedNetlist:
+    """Parse a SPICE-like netlist into a :class:`ParsedNetlist`.
+
+    Parameters
+    ----------
+    text:
+        Netlist source.
+    title_line:
+        If ``True`` (SPICE convention) the first non-blank line is treated as
+        the title, not as an element card.
+    """
+    raw_lines = text.splitlines()
+    lines = _join_continuations(raw_lines)
+    if not lines:
+        raise NetlistError("empty netlist")
+
+    title = ""
+    if title_line and lines and not lines[0].startswith("."):
+        first = lines[0].split()
+        looks_like_element = first[0][0].upper() in "RCLVIGEDMX" and len(first) >= 3
+        if not looks_like_element:
+            title = lines[0]
+            lines = lines[1:]
+
+    builder = _NetlistBuilder(title)
+
+    # First pass: collect .model cards and sub-circuit definitions so forward
+    # references work.
+    body_lines: List[str] = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        lower = line.lower()
+        if lower.startswith(".model"):
+            builder.add_control_card(line)
+        elif lower.startswith(".subckt"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .subckt card: {line}")
+            sub_name = tokens[1].lower()
+            ports = tokens[2:]
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].lower().startswith(".ends"):
+                body.append(lines[i])
+                i += 1
+            if i >= len(lines):
+                raise NetlistError(f"sub-circuit '{sub_name}' is missing .ends")
+            builder.subckts[sub_name] = SubcircuitDef(sub_name, ports, body)
+        else:
+            body_lines.append(line)
+        i += 1
+
+    # Second pass: element and analysis cards.
+    for line in body_lines:
+        if line.startswith("."):
+            builder.add_control_card(line)
+        else:
+            builder.add_element_card(line)
+
+    return ParsedNetlist(
+        title=builder.title,
+        circuit=builder.circuit,
+        models=builder.models,
+        analyses=builder.analyses,
+        initial_conditions=builder.initial_conditions,
+    )

@@ -1,0 +1,284 @@
+"""Time-domain source waveform descriptors.
+
+These small value objects describe the excitation applied by independent
+voltage and current sources.  They are deliberately independent of the
+circuit elements so that the same descriptions can be reused by the noise
+macromodel engine (e.g. the saturated-ramp Thevenin source of an aggressor
+driver) and by the SPICE-netlist parser.
+
+Every descriptor is a callable ``value(t)`` returning the instantaneous value
+in SI units, and exposes ``t_interesting()`` with a list of time points where
+the waveform has breakpoints (used by simulators to refine time steps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "SourceWaveform",
+    "DCValue",
+    "PulseWaveform",
+    "PiecewiseLinear",
+    "SaturatedRamp",
+    "SineWaveform",
+    "TriangularGlitch",
+    "ExponentialGlitch",
+]
+
+
+class SourceWaveform:
+    """Base class for source waveforms (callable ``v(t)``)."""
+
+    def __call__(self, t: float) -> float:
+        raise NotImplementedError
+
+    def t_interesting(self) -> List[float]:
+        """Breakpoint times the integrator should not step across blindly."""
+        return []
+
+    def dc_value(self) -> float:
+        """Value used for the DC operating point (t = 0)."""
+        return self(0.0)
+
+
+@dataclass(frozen=True)
+class DCValue(SourceWaveform):
+    """A constant source."""
+
+    value: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PulseWaveform(SourceWaveform):
+    """SPICE-style PULSE(v1 v2 td tr tf pw per) waveform."""
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tl = t - self.delay
+        if self.period > 0.0:
+            tl = math.fmod(tl, self.period)
+        rise = max(self.rise, 1e-18)
+        fall = max(self.fall, 1e-18)
+        if tl < rise:
+            return self.v1 + (self.v2 - self.v1) * tl / rise
+        tl -= rise
+        if tl < self.width:
+            return self.v2
+        tl -= self.width
+        if tl < fall:
+            return self.v2 + (self.v1 - self.v2) * tl / fall
+        return self.v1
+
+    def t_interesting(self) -> List[float]:
+        base = [
+            self.delay,
+            self.delay + self.rise,
+            self.delay + self.rise + self.width,
+            self.delay + self.rise + self.width + self.fall,
+        ]
+        return base
+
+    def dc_value(self) -> float:
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear(SourceWaveform):
+    """SPICE-style PWL waveform from a sequence of ``(t, v)`` points."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        pts = tuple((float(t), float(v)) for t, v in self.points)
+        if len(pts) < 1:
+            raise ValueError("PWL needs at least one point")
+        for (t0, _), (t1, _) in zip(pts, pts[1:]):
+            if t1 <= t0:
+                raise ValueError("PWL time points must be strictly increasing")
+        object.__setattr__(self, "points", pts)
+
+    def __call__(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return pts[-1][1]
+
+    def t_interesting(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def dc_value(self) -> float:
+        return self.points[0][1]
+
+
+@dataclass(frozen=True)
+class SaturatedRamp(SourceWaveform):
+    """The saturated-ramp Thevenin voltage used to model switching drivers.
+
+    ``v(t)`` stays at ``v_start`` until ``delay``, ramps linearly to
+    ``v_end`` over ``transition`` seconds, then stays at ``v_end``.  This is
+    the classical Dartu--Pileggi aggressor-driver model referenced by the
+    paper ([7]).
+    """
+
+    v_start: float
+    v_end: float
+    delay: float
+    transition: float
+
+    def __post_init__(self):
+        if self.transition <= 0:
+            raise ValueError("transition must be positive")
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.v_start
+        if t >= self.delay + self.transition:
+            return self.v_end
+        frac = (t - self.delay) / self.transition
+        return self.v_start + (self.v_end - self.v_start) * frac
+
+    def t_interesting(self) -> List[float]:
+        return [self.delay, self.delay + self.transition]
+
+    def dc_value(self) -> float:
+        return self.v_start
+
+    @property
+    def slew(self) -> float:
+        """Full-swing transition time of the ramp (seconds)."""
+        return self.transition
+
+    def reversed(self) -> "SaturatedRamp":
+        """The same ramp switching in the opposite direction."""
+        return SaturatedRamp(self.v_end, self.v_start, self.delay, self.transition)
+
+
+@dataclass(frozen=True)
+class SineWaveform(SourceWaveform):
+    """SPICE-style SIN(vo va freq td theta) waveform."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        tl = t - self.delay
+        return self.offset + self.amplitude * math.exp(-self.damping * tl) * math.sin(
+            2.0 * math.pi * self.frequency * tl
+        )
+
+    def dc_value(self) -> float:
+        return self.offset
+
+
+@dataclass(frozen=True)
+class TriangularGlitch(SourceWaveform):
+    """A triangular noise glitch on top of a quiescent level.
+
+    Used to inject a propagated-noise glitch at the input of the victim
+    driver: the waveform sits at ``baseline``, rises linearly to
+    ``baseline + height`` over ``rise`` seconds starting at ``delay``, then
+    falls back over ``fall`` seconds.
+    """
+
+    baseline: float
+    height: float
+    delay: float
+    rise: float
+    fall: float
+
+    def __post_init__(self):
+        if self.rise <= 0 or self.fall <= 0:
+            raise ValueError("rise and fall must be positive")
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.baseline
+        tl = t - self.delay
+        if tl < self.rise:
+            return self.baseline + self.height * tl / self.rise
+        tl -= self.rise
+        if tl < self.fall:
+            return self.baseline + self.height * (1.0 - tl / self.fall)
+        return self.baseline
+
+    def t_interesting(self) -> List[float]:
+        return [self.delay, self.delay + self.rise, self.delay + self.rise + self.fall]
+
+    def dc_value(self) -> float:
+        return self.baseline
+
+    @property
+    def width(self) -> float:
+        """Base width of the triangle (seconds)."""
+        return self.rise + self.fall
+
+    @property
+    def area(self) -> float:
+        """Area of the triangle above the baseline (V*s)."""
+        return 0.5 * self.height * self.width
+
+
+@dataclass(frozen=True)
+class ExponentialGlitch(SourceWaveform):
+    """A double-exponential glitch, a common analytical crosstalk template.
+
+    ``v(t) = baseline + height * (exp(-(t-d)/tau_fall) - exp(-(t-d)/tau_rise))``
+    normalised so that its maximum equals ``height``.
+    """
+
+    baseline: float
+    height: float
+    delay: float
+    tau_rise: float
+    tau_fall: float
+
+    def __post_init__(self):
+        if self.tau_rise <= 0 or self.tau_fall <= 0:
+            raise ValueError("time constants must be positive")
+        if self.tau_rise >= self.tau_fall:
+            raise ValueError("tau_rise must be smaller than tau_fall")
+
+    def _peak_normaliser(self) -> float:
+        tr, tf = self.tau_rise, self.tau_fall
+        t_peak = (tr * tf / (tf - tr)) * math.log(tf / tr)
+        return math.exp(-t_peak / tf) - math.exp(-t_peak / tr)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.delay:
+            return self.baseline
+        tl = t - self.delay
+        raw = math.exp(-tl / self.tau_fall) - math.exp(-tl / self.tau_rise)
+        return self.baseline + self.height * raw / self._peak_normaliser()
+
+    def t_interesting(self) -> List[float]:
+        tr, tf = self.tau_rise, self.tau_fall
+        t_peak = (tr * tf / (tf - tr)) * math.log(tf / tr)
+        return [self.delay, self.delay + t_peak, self.delay + 5.0 * tf]
+
+    def dc_value(self) -> float:
+        return self.baseline

@@ -1,0 +1,249 @@
+"""Transient (time-domain) analysis.
+
+The integrator uses the companion-model formulation implemented by the
+elements themselves: backward Euler for the first step (and optionally
+throughout) and trapezoidal integration afterwards.  Every time point is
+solved with the damped Newton iteration from :mod:`repro.circuit.dc`.
+
+The default time step is fixed, which keeps results deterministic and easy to
+compare across the golden simulation, the macromodel engine and the linear
+baselines.  An optional simple step-doubling error control is available for
+users who want adaptivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..waveform import Waveform
+from .dc import ConvergenceError, dc_operating_point, newton_solve
+from .elements import GROUND, StampContext, VoltageSource
+from .netlist import Circuit
+
+__all__ = ["TransientResult", "transient"]
+
+
+@dataclass
+class TransientResult:
+    """Result of a transient analysis.
+
+    Node voltages are accessed by name and returned as
+    :class:`~repro.waveform.Waveform` objects.
+    """
+
+    circuit: Circuit
+    times: np.ndarray
+    solutions: np.ndarray  # shape (n_times, n_unknowns)
+    newton_iterations: int = 0
+
+    def node_voltage(self, node_name: str) -> Waveform:
+        """Voltage waveform of the named node."""
+        idx = self.circuit.node_index(node_name)
+        if idx == GROUND:
+            values = np.zeros_like(self.times)
+        else:
+            values = self.solutions[:, idx]
+        return Waveform(self.times, values)
+
+    def __getitem__(self, node_name: str) -> Waveform:
+        return self.node_voltage(node_name)
+
+    def branch_current(self, source_name: str) -> Waveform:
+        """Current waveform through a voltage source."""
+        element = self.circuit[source_name]
+        if not isinstance(element, VoltageSource):
+            raise TypeError(f"'{source_name}' is not a voltage source")
+        idx = element.branch_indices[0]
+        return Waveform(self.times, self.solutions[:, idx])
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the final time point."""
+        return {
+            name: float(self.solutions[-1, i])
+            for i, name in enumerate(self.circuit.node_names)
+        }
+
+    def voltage_at(self, node_name: str, t: float) -> float:
+        """Interpolated node voltage at time ``t``."""
+        return self.node_voltage(node_name).value_at(t)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.times) - 1
+
+
+def _collect_breakpoints(circuit: Circuit, t_stop: float) -> List[float]:
+    """Source breakpoints inside the simulation window (informational)."""
+    points = set()
+    for element in circuit.elements:
+        waveform = getattr(element, "waveform", None)
+        if waveform is None:
+            continue
+        for t in waveform.t_interesting():
+            if 0.0 < t < t_stop:
+                points.add(float(t))
+    return sorted(points)
+
+
+def transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    *,
+    method: str = "trap",
+    x0: Optional[np.ndarray] = None,
+    initial_conditions: Optional[Dict[str, float]] = None,
+    uic: bool = False,
+    max_newton: int = 50,
+    vtol: float = 1e-6,
+    include_breakpoints: bool = True,
+) -> TransientResult:
+    """Run a transient analysis from ``t = 0`` to ``t_stop``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    t_stop:
+        Final simulation time (seconds).
+    dt:
+        Base time step (seconds).  Source breakpoints are inserted as extra
+        time points so sharp ramps are not stepped over.
+    method:
+        ``"trap"`` (default) or ``"be"``.
+    x0:
+        Optional full initial unknown vector; overrides the DC operating
+        point.
+    initial_conditions:
+        Optional ``{node_name: voltage}`` dictionary.  With ``uic=True`` the
+        DC operating point is skipped and these values (0 V for unspecified
+        nodes) are used directly.
+    uic:
+        "Use initial conditions": skip the DC operating point.
+    max_newton:
+        Newton iteration budget per time point.
+    vtol:
+        Newton convergence tolerance (volts).
+    include_breakpoints:
+        Insert source breakpoints into the time axis.
+    """
+    if t_stop <= 0:
+        raise ValueError("t_stop must be positive")
+    if dt <= 0 or dt > t_stop:
+        raise ValueError("dt must be positive and smaller than t_stop")
+    if method not in ("trap", "be"):
+        raise ValueError("method must be 'trap' or 'be'")
+
+    circuit.prepare()
+    n = circuit.num_unknowns
+
+    # --- time axis ----------------------------------------------------------
+    num_steps = int(round(t_stop / dt))
+    times = list(np.linspace(0.0, t_stop, num_steps + 1))
+    if include_breakpoints:
+        breakpoints = _collect_breakpoints(circuit, t_stop)
+        if breakpoints:
+            merged = np.unique(np.concatenate([np.array(times), np.array(breakpoints)]))
+            # Drop points that are pathologically close to an existing one.
+            keep = [merged[0]]
+            for t in merged[1:]:
+                if t - keep[-1] > dt * 1e-6:
+                    keep.append(t)
+            times = keep
+    times = np.asarray(times, dtype=float)
+
+    # --- initial condition ----------------------------------------------------
+    if x0 is not None:
+        x = np.array(x0, dtype=float, copy=True)
+        if x.shape != (n,):
+            raise ValueError(f"x0 has shape {x.shape}, expected ({n},)")
+    elif uic:
+        x = np.zeros(n)
+        for name, value in (initial_conditions or {}).items():
+            idx = circuit.node_index(name)
+            if idx != GROUND:
+                x[idx] = value
+    else:
+        dc = dc_operating_point(circuit)
+        x = np.array(dc.x, copy=True)
+        for name, value in (initial_conditions or {}).items():
+            idx = circuit.node_index(name)
+            if idx != GROUND:
+                x[idx] = value
+
+    solutions = np.zeros((len(times), n))
+    solutions[0] = x
+
+    # Initialise the per-element dynamic state at t = 0.
+    state0: Dict = {}
+    ctx0 = StampContext(
+        x=x, prev_x=x, time=0.0, dt=None, method=method, gmin=circuit.gmin, state=state0
+    )
+    for element in circuit.elements:
+        element.update_state(ctx0)
+    prev_state = state0
+    prev_x = x
+    total_newton = 0
+
+    # --- time stepping ---------------------------------------------------------
+    for step_index in range(1, len(times)):
+        t = float(times[step_index])
+        step_dt = float(times[step_index] - times[step_index - 1])
+        # Trapezoidal integration needs the previous element currents; the
+        # elements fall back to backward Euler automatically when that state
+        # is missing (i.e. for the first step).
+        step_method = method
+
+        try:
+            x_new, iters = newton_solve(
+                circuit,
+                prev_x,
+                gmin=circuit.gmin,
+                max_iterations=max_newton,
+                vtol=vtol,
+                time=t,
+                dt=step_dt,
+                method=step_method,
+                prev_x=prev_x,
+                prev_state=prev_state,
+            )
+        except ConvergenceError:
+            # Retry the point with backward Euler, which is more forgiving.
+            x_new, iters = newton_solve(
+                circuit,
+                prev_x,
+                gmin=circuit.gmin,
+                max_iterations=max_newton * 2,
+                vtol=vtol,
+                time=t,
+                dt=step_dt,
+                method="be",
+                prev_x=prev_x,
+                prev_state=prev_state,
+            )
+            step_method = "be"
+        total_newton += iters
+
+        # Accept the step: save per-element dynamic state.
+        new_state: Dict = {}
+        ctx_accept = StampContext(
+            x=x_new,
+            prev_x=prev_x,
+            time=t,
+            dt=step_dt,
+            method=step_method,
+            gmin=circuit.gmin,
+            state=new_state,
+            prev_state=prev_state,
+        )
+        for element in circuit.elements:
+            element.update_state(ctx_accept)
+
+        solutions[step_index] = x_new
+        prev_x = x_new
+        prev_state = new_state
+
+    return TransientResult(circuit, times, solutions, newton_iterations=total_newton)

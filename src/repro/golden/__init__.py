@@ -1,0 +1,10 @@
+"""Golden (reference) transistor-level cluster simulations.
+
+The accuracy of every noise model in :mod:`repro.noise` is measured against
+the full transistor-level simulation provided here, in the same way the
+paper's tables report errors against ELDO(TM).
+"""
+
+from .cluster_sim import GoldenClusterAnalysis, build_golden_cluster_circuit
+
+__all__ = ["GoldenClusterAnalysis", "build_golden_cluster_circuit"]

@@ -1,0 +1,180 @@
+"""Golden transistor-level simulation of a noise cluster.
+
+This plays the role ELDO(TM) plays in the paper's experiments: the whole
+cluster -- victim and aggressor drivers at transistor level, the distributed
+coupled RC wiring and transistor-level receivers -- is simulated with the
+general-purpose non-linear circuit simulator of :mod:`repro.circuit`.  Every
+accuracy number in the reproduced tables is an error *with respect to this
+simulation*.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..characterization.thevenin import switching_input_setup
+from ..circuit.netlist import Circuit
+from ..circuit.sources import SaturatedRamp
+from ..circuit.transient import transient
+from ..noise.builder import ClusterModelBuilder
+from ..noise.cluster import NoiseClusterSpec
+from ..noise.results import NoiseAnalysisResult
+from ..noise.vccs import victim_input_waveform
+from ..technology.library import CellLibrary
+from ..units import fF
+
+__all__ = ["GoldenClusterAnalysis", "build_golden_cluster_circuit"]
+
+
+def build_golden_cluster_circuit(
+    library: CellLibrary,
+    spec: NoiseClusterSpec,
+    *,
+    builder: Optional[ClusterModelBuilder] = None,
+    receiver_load: float = fF(2),
+) -> Circuit:
+    """Build the full transistor-level circuit of a noise cluster.
+
+    Node naming: the wiring keeps the ``<net>:<segment>`` convention of
+    :func:`repro.interconnect.build_coupled_rc_network`; the victim driver's
+    noisy input is ``vic_in``; each net's receiver output is
+    ``<net>_rcv_out``.
+    """
+    technology = library.technology
+    builder = builder or ClusterModelBuilder(library, spec)
+    vdd = technology.vdd
+
+    circuit = Circuit(f"golden_{spec.name}")
+    circuit.add_voltage_source("VDD", "vdd", "0", vdd)
+
+    # Wiring: the full distributed coupled RC network (without the lumped
+    # receiver caps -- real receivers are instantiated below instead).
+    from ..interconnect.rcnetwork import build_coupled_rc_network
+
+    wiring = build_coupled_rc_network(spec.geometry, technology, spec.num_segments)
+    wiring.instantiate(circuit)
+
+    # ---------------------------------------------------------------- victim
+    victim_cell = library.cell(spec.victim.driver_cell)
+    arc = builder.victim_arc
+    quiet_input_level = vdd if not arc.glitch_rising else 0.0
+    input_waveform = victim_input_waveform(
+        quiet_input_level, arc.glitch_rising, spec.victim.input_glitch
+    )
+    circuit.add_voltage_source("V_VIC_IN", "vic_in", "0", input_waveform)
+    victim_pins = {arc.input_pin: "vic_in", victim_cell.output_pin: wiring.driver_nodes[spec.victim.net]}
+    for pin, value in arc.side_inputs:
+        node = f"vic_side_{pin}"
+        circuit.add_voltage_source(f"V_VIC_{pin}", node, "0", vdd if value else 0.0)
+        victim_pins[pin] = node
+    victim_cell.instantiate(circuit, "XVIC", victim_pins, technology)
+
+    # -------------------------------------------------------------- aggressors
+    for index, aggressor in enumerate(spec.aggressors):
+        cell = library.cell(aggressor.driver_cell)
+        setup = switching_input_setup(
+            cell, technology, rising=aggressor.rising, input_pin=aggressor.input_pin
+        )
+        prefix = f"XAGG{index}"
+        in_node = f"agg{index}_in"
+        circuit.add_voltage_source(
+            f"V_AGG{index}_IN",
+            in_node,
+            "0",
+            SaturatedRamp(
+                setup.input_start,
+                setup.input_end,
+                aggressor.switch_time,
+                aggressor.input_transition,
+            ),
+        )
+        pins = {setup.input_pin: in_node, cell.output_pin: wiring.driver_nodes[aggressor.net]}
+        for pin, value in setup.side_inputs.items():
+            node = f"agg{index}_side_{pin}"
+            circuit.add_voltage_source(f"V_AGG{index}_{pin}", node, "0", vdd if value else 0.0)
+            pins[pin] = node
+        cell.instantiate(circuit, prefix, pins, technology)
+
+    # --------------------------------------------------------------- receivers
+    def add_receiver(net: str, cell_name: str, pin: str, tag: str) -> None:
+        cell = library.cell(cell_name)
+        pins = {pin: wiring.receiver_nodes[net], cell.output_pin: f"{net}_rcv_out"}
+        # Sensitise the receiver so the noise can propagate through it.
+        side = {}
+        for arc_candidate in cell.noise_arcs():
+            if arc_candidate.input_pin == pin:
+                side = arc_candidate.side_inputs_dict
+                break
+        for other in cell.inputs:
+            if other == pin:
+                continue
+            value = side.get(other, True)
+            node = f"{tag}_side_{other}"
+            circuit.add_voltage_source(f"V_{tag}_{other}", node, "0", vdd if value else 0.0)
+            pins[other] = node
+        cell.instantiate(circuit, tag, pins, technology)
+        circuit.add_capacitor(f"C_{tag}_load", f"{net}_rcv_out", "0", receiver_load)
+
+    add_receiver(spec.victim.net, spec.victim.receiver_cell, spec.victim.receiver_pin, "XRCV_VIC")
+    for index, aggressor in enumerate(spec.aggressors):
+        add_receiver(aggressor.net, aggressor.receiver_cell, aggressor.receiver_pin, f"XRCV_AGG{index}")
+
+    return circuit
+
+
+class GoldenClusterAnalysis:
+    """Reference transistor-level noise analysis of a cluster."""
+
+    method_name = "golden"
+
+    def __init__(self, library: CellLibrary):
+        self.library = library
+
+    def analyze(
+        self,
+        spec: NoiseClusterSpec,
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+        builder: Optional[ClusterModelBuilder] = None,
+    ) -> NoiseAnalysisResult:
+        builder = builder or ClusterModelBuilder(self.library, spec)
+        circuit = build_golden_cluster_circuit(self.library, spec, builder=builder)
+
+        default_t_stop, default_dt = builder.simulation_window(dt)
+        t_stop = t_stop if t_stop is not None else default_t_stop
+        dt = dt if dt is not None else default_dt
+
+        victim_node = f"{spec.victim.net}:0"
+        receiver_node = f"{spec.victim.net}:{spec.num_segments}"
+
+        start = time.perf_counter()
+        result = transient(circuit, t_stop=t_stop, dt=dt)
+        runtime = time.perf_counter() - start
+
+        victim_waveform = result[victim_node]
+        baseline = builder.victim_quiet_level()
+        metrics = victim_waveform.glitch_metrics(baseline=baseline)
+
+        waveforms: Dict[str, object] = {
+            "victim_driving_point": victim_waveform,
+            "victim_receiver": result[receiver_node],
+            "victim_receiver_output": result[f"{spec.victim.net}_rcv_out"],
+        }
+        for aggressor in spec.aggressors:
+            waveforms[f"aggressor:{aggressor.net}"] = result[f"{aggressor.net}:0"]
+
+        return NoiseAnalysisResult(
+            method=self.method_name,
+            victim_waveform=victim_waveform,
+            metrics=metrics,
+            runtime_seconds=runtime,
+            waveforms=waveforms,
+            details={
+                "num_unknowns": circuit.num_unknowns,
+                "newton_iterations": result.newton_iterations,
+                "dt": dt,
+                "t_stop": t_stop,
+            },
+        )

@@ -1,0 +1,32 @@
+"""Coupled interconnect modelling: extraction, moments and reduction.
+
+This package is the stand-in for the parasitic extractor and the network
+reduction engine the paper relies on: parallel-bus geometries are turned
+into distributed coupled RC networks, whose driving-point behaviour can be
+reduced to a coupled pi ("S-model") representation by moment matching, or to
+a PRIMA-style projection-based multiport.
+"""
+
+from .geometry import CoupledSegmentParasitics, ParallelBusGeometry, WireSpec
+from .moments import admittance_moments, elmore_delay, total_port_capacitance, transfer_moments
+from .mor import ReducedMultiport, prima_reduce
+from .pimodel import CoupledPiModel, PiModel, reduce_to_coupled_pi
+from .rcnetwork import CoupledRCNetwork, RCElement, build_coupled_rc_network
+
+__all__ = [
+    "WireSpec",
+    "ParallelBusGeometry",
+    "CoupledSegmentParasitics",
+    "CoupledRCNetwork",
+    "RCElement",
+    "build_coupled_rc_network",
+    "admittance_moments",
+    "transfer_moments",
+    "elmore_delay",
+    "total_port_capacitance",
+    "PiModel",
+    "CoupledPiModel",
+    "reduce_to_coupled_pi",
+    "ReducedMultiport",
+    "prima_reduce",
+]

@@ -1,0 +1,218 @@
+"""Wire geometry descriptions for noise clusters.
+
+The paper's test case is "two 500 um parallel-running interconnects on metal
+layer 4"; this module describes such structures parametrically: a set of
+nets that run in parallel for some common length on a given layer, with
+optional non-coupled extensions at either end.
+
+The geometry is converted into electrical per-segment R/C values using the
+per-layer coefficients of the :class:`~repro.technology.process.MetalLayer`
+(our stand-in for a parasitic extractor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..technology.process import MetalLayer, Technology
+
+__all__ = ["WireSpec", "ParallelBusGeometry", "CoupledSegmentParasitics"]
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """One wire (net) of a parallel bus.
+
+    Attributes
+    ----------
+    name:
+        Net name (used to derive circuit node names).
+    length_um:
+        Total routed length of this net in micrometres.
+    coupled_length_um:
+        Portion of the length that runs parallel (and couples) to its
+        neighbours.  Defaults to the full length.
+    width_factor:
+        Drawn width as a multiple of the minimum width (wider wires have
+        lower resistance and slightly higher ground capacitance).
+    """
+
+    name: str
+    length_um: float
+    coupled_length_um: Optional[float] = None
+    width_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.length_um <= 0:
+            raise ValueError(f"wire {self.name}: length must be positive")
+        coupled = self.coupled_length_um
+        if coupled is None:
+            object.__setattr__(self, "coupled_length_um", self.length_um)
+        elif coupled < 0 or coupled > self.length_um:
+            raise ValueError(
+                f"wire {self.name}: coupled length must be within [0, length]"
+            )
+        if self.width_factor <= 0:
+            raise ValueError(f"wire {self.name}: width_factor must be positive")
+
+
+@dataclass(frozen=True)
+class CoupledSegmentParasitics:
+    """Per-segment electrical values of a discretised coupled bus.
+
+    All lists are indexed by wire position in the owning geometry; coupling
+    capacitances are stored per adjacent pair ``(i, i+1)``.
+    """
+
+    num_segments: int
+    segment_resistance: Tuple[Tuple[float, ...], ...]
+    segment_ground_cap: Tuple[Tuple[float, ...], ...]
+    segment_coupling_cap: Tuple[Tuple[float, ...], ...]
+
+    def total_resistance(self, wire_index: int) -> float:
+        return sum(self.segment_resistance[wire_index])
+
+    def total_ground_cap(self, wire_index: int) -> float:
+        return sum(self.segment_ground_cap[wire_index])
+
+    def total_coupling_cap(self, pair_index: int) -> float:
+        return sum(self.segment_coupling_cap[pair_index])
+
+
+@dataclass
+class ParallelBusGeometry:
+    """A bundle of parallel wires on one metal layer.
+
+    Adjacent wires (in list order) couple to each other over their common
+    coupled length; non-adjacent wires are assumed shielded by the wire in
+    between (their direct coupling is neglected, as extractors typically do
+    beyond the nearest neighbour).
+    """
+
+    wires: List[WireSpec]
+    layer_index: int = 4
+    spacing_factor: float = 1.0
+    name: str = "bus"
+
+    def __post_init__(self):
+        if len(self.wires) < 1:
+            raise ValueError("a bus needs at least one wire")
+        if self.spacing_factor <= 0:
+            raise ValueError("spacing_factor must be positive")
+        names = [w.name for w in self.wires]
+        if len(set(names)) != len(names):
+            raise ValueError("wire names must be unique")
+
+    @property
+    def num_wires(self) -> int:
+        return len(self.wires)
+
+    def wire_index(self, name: str) -> int:
+        for i, wire in enumerate(self.wires):
+            if wire.name == name:
+                return i
+        raise KeyError(f"bus '{self.name}' has no wire '{name}'")
+
+    def adjacent_pairs(self) -> List[Tuple[int, int]]:
+        """Indices of directly adjacent (coupling) wire pairs."""
+        return [(i, i + 1) for i in range(self.num_wires - 1)]
+
+    # ------------------------------------------------------------ extraction
+
+    def layer(self, technology: Technology) -> MetalLayer:
+        return technology.layer(self.layer_index)
+
+    def extract(
+        self, technology: Technology, num_segments: int = 10
+    ) -> CoupledSegmentParasitics:
+        """Discretise the bus into ``num_segments`` coupled RC segments.
+
+        Each wire is cut into equal-length segments.  Coupling capacitance is
+        only present on segments that fall inside the common coupled length
+        (centred on the wire), which approximates partially-coupled routes.
+        """
+        if num_segments < 1:
+            raise ValueError("num_segments must be at least 1")
+        layer = self.layer(technology)
+
+        seg_res: List[Tuple[float, ...]] = []
+        seg_gcap: List[Tuple[float, ...]] = []
+        for wire in self.wires:
+            seg_len = wire.length_um / num_segments
+            r = layer.resistance(seg_len) / wire.width_factor
+            # Wider wires gain area capacitance roughly linearly but keep the
+            # same fringe term; use a 60/40 area/fringe split.
+            cg = layer.ground_cap(seg_len) * (0.4 + 0.6 * wire.width_factor)
+            seg_res.append(tuple([r] * num_segments))
+            seg_gcap.append(tuple([cg] * num_segments))
+
+        seg_ccap: List[Tuple[float, ...]] = []
+        for i, j in self.adjacent_pairs():
+            wire_i, wire_j = self.wires[i], self.wires[j]
+            coupled_len = min(wire_i.coupled_length_um, wire_j.coupled_length_um)
+            ref_len = max(wire_i.length_um, wire_j.length_um)
+            seg_len = ref_len / num_segments
+            total_cc = layer.coupling_cap(coupled_len, self.spacing_factor)
+            # Distribute the total coupling capacitance over the centred
+            # fraction of segments that are actually coupled.
+            coupled_fraction = coupled_len / ref_len if ref_len > 0 else 0.0
+            n_coupled = max(1, int(round(coupled_fraction * num_segments)))
+            start = (num_segments - n_coupled) // 2
+            per_seg = total_cc / n_coupled
+            values = [0.0] * num_segments
+            for k in range(start, start + n_coupled):
+                values[k] = per_seg
+            seg_ccap.append(tuple(values))
+
+        return CoupledSegmentParasitics(
+            num_segments=num_segments,
+            segment_resistance=tuple(seg_res),
+            segment_ground_cap=tuple(seg_gcap),
+            segment_coupling_cap=tuple(seg_ccap),
+        )
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def two_parallel_wires(
+        cls,
+        length_um: float = 500.0,
+        layer_index: int = 4,
+        victim_name: str = "victim",
+        aggressor_name: str = "aggressor",
+        spacing_factor: float = 1.0,
+    ) -> "ParallelBusGeometry":
+        """The paper's Table-1 structure: two parallel wires of equal length."""
+        return cls(
+            wires=[
+                WireSpec(aggressor_name, length_um),
+                WireSpec(victim_name, length_um),
+            ],
+            layer_index=layer_index,
+            spacing_factor=spacing_factor,
+            name="two_parallel_wires",
+        )
+
+    @classmethod
+    def victim_between_aggressors(
+        cls,
+        length_um: float = 500.0,
+        layer_index: int = 4,
+        victim_name: str = "victim",
+        aggressor_names: Sequence[str] = ("aggr1", "aggr2"),
+        spacing_factor: float = 1.0,
+    ) -> "ParallelBusGeometry":
+        """A victim wire sandwiched between two aggressors (Table-2 style)."""
+        if len(aggressor_names) != 2:
+            raise ValueError("victim_between_aggressors needs exactly two aggressor names")
+        return cls(
+            wires=[
+                WireSpec(aggressor_names[0], length_um),
+                WireSpec(victim_name, length_um),
+                WireSpec(aggressor_names[1], length_um),
+            ],
+            layer_index=layer_index,
+            spacing_factor=spacing_factor,
+            name="victim_between_aggressors",
+        )

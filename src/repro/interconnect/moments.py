@@ -1,0 +1,144 @@
+"""Moment computation for coupled RC networks.
+
+The reduction used by the paper's macromodel represents the coupled
+interconnect at the driving points with a model "obtained with
+moment-matching techniques" ([8]).  This module computes those moments:
+
+* :func:`admittance_moments` -- the Taylor coefficients ``Y_k`` of the port
+  admittance matrix ``Y(s) = Y_0 + Y_1 s + Y_2 s^2 + ...`` seen from the
+  driving points with all other ports short-circuited (the standard
+  formulation for driving-point reductions);
+* :func:`transfer_moments` -- voltage-transfer moments from a driven port to
+  any observation node (the first moment is the Elmore delay), used for
+  verification and for receiver-side estimates.
+
+Both are computed from the bordered MNA system
+
+    [G  -B] [v]        [C  0] [v]   [0]
+    [B'  0] [i]  +  s  [0  0] [i] = [e]
+
+where ``B`` is the port incidence matrix and ``e`` the port voltage
+excitation; the series expansion ``x(s) = sum_k x_k s^k`` follows from
+``A0 x_0 = b`` and ``A0 x_k = -A1 x_{k-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .rcnetwork import CoupledRCNetwork
+
+__all__ = ["admittance_moments", "transfer_moments", "elmore_delay", "total_port_capacitance"]
+
+
+def _bordered_system(network: CoupledRCNetwork) -> Tuple[np.ndarray, np.ndarray, List[str], int]:
+    """Build the bordered matrices ``A0``, ``A1`` for the port-driven network."""
+    G, C, nodes = network.matrices()
+    B = network.port_incidence()
+    n = G.shape[0]
+    p = B.shape[1]
+    A0 = np.zeros((n + p, n + p))
+    A1 = np.zeros((n + p, n + p))
+    A0[:n, :n] = G
+    A0[:n, n:] = -B
+    A0[n:, :n] = B.T
+    A1[:n, :n] = C
+    return A0, A1, nodes, p
+
+
+def admittance_moments(network: CoupledRCNetwork, num_moments: int = 4) -> List[np.ndarray]:
+    """Port admittance matrix moments ``[Y_0, Y_1, ..., Y_{num_moments-1}]``.
+
+    ``Y_k`` has shape ``(num_ports, num_ports)`` with ports ordered as
+    :meth:`CoupledRCNetwork.port_nodes`.  For a pure RC network with no DC
+    path to ground ``Y_0`` is numerically zero, ``Y_1`` is the capacitance
+    matrix seen from the ports and higher moments carry the resistive
+    shielding information used by the pi-model reduction.
+    """
+    if num_moments < 1:
+        raise ValueError("num_moments must be at least 1")
+    A0, A1, _nodes, p = _bordered_system(network)
+    n_total = A0.shape[0]
+    n = n_total - p
+
+    lu_solve = _make_solver(A0)
+
+    moments = [np.zeros((p, p)) for _ in range(num_moments)]
+    for j in range(p):
+        b = np.zeros(n_total)
+        b[n + j] = 1.0  # unit voltage at port j, others shorted (0 V)
+        x = lu_solve(b)
+        moments[0][:, j] = x[n:]
+        for k in range(1, num_moments):
+            x = lu_solve(-A1 @ x)
+            moments[k][:, j] = x[n:]
+    return moments
+
+
+def transfer_moments(
+    network: CoupledRCNetwork,
+    driven_net: str,
+    observe_node: str,
+    num_moments: int = 3,
+) -> List[float]:
+    """Voltage-transfer moments from a driven port to an observation node.
+
+    The driven net's port is excited with a unit voltage, all other ports are
+    short-circuited, and the voltage of ``observe_node`` is expanded in
+    powers of ``s``.  The zeroth moment is 1 for nodes on the driven net and
+    0 elsewhere; minus the first moment of a node on the driven net is its
+    Elmore delay from the driving point (for the ideal-driver case).
+    """
+    A0, A1, nodes, p = _bordered_system(network)
+    n = len(nodes)
+    ports = network.port_nodes()
+    try:
+        port_index = ports.index(network.driver_nodes[driven_net])
+    except KeyError as exc:
+        raise KeyError(f"network has no net '{driven_net}'") from exc
+    observe_norm = observe_node.strip().lower()
+    try:
+        observe_index = nodes.index(observe_norm)
+    except ValueError as exc:
+        raise KeyError(f"network has no node '{observe_node}'") from exc
+
+    lu_solve = _make_solver(A0)
+    b = np.zeros(n + p)
+    b[n + port_index] = 1.0
+    x = lu_solve(b)
+    result = [float(x[observe_index])]
+    for _ in range(1, num_moments):
+        x = lu_solve(-A1 @ x)
+        result.append(float(x[observe_index]))
+    return result
+
+
+def elmore_delay(network: CoupledRCNetwork, net: str, observe_node: Optional[str] = None) -> float:
+    """Elmore delay (seconds) from the driving point of ``net`` to a node.
+
+    ``observe_node`` defaults to the net's receiver node.  The value assumes
+    an ideal (zero-impedance) driver at the driving point; add
+    ``R_driver * C_total`` for a resistive driver.
+    """
+    target = observe_node or network.receiver_nodes[net]
+    moments = transfer_moments(network, net, target, num_moments=2)
+    return -moments[1]
+
+
+def total_port_capacitance(network: CoupledRCNetwork) -> np.ndarray:
+    """Total capacitance matrix seen from the ports (the first moment ``Y_1``)."""
+    return admittance_moments(network, num_moments=2)[1]
+
+
+def _make_solver(A: np.ndarray):
+    """Return a reusable dense solver for repeated right-hand sides."""
+    from scipy.linalg import lu_factor, lu_solve
+
+    factorisation = lu_factor(A)
+
+    def solve(rhs: np.ndarray) -> np.ndarray:
+        return lu_solve(factorisation, rhs)
+
+    return solve

@@ -1,0 +1,224 @@
+"""Reduced driving-point models: O'Brien-Savarino pi and the coupled S-model.
+
+The paper represents the interconnect of a noise cluster *at the driving
+points* with a coupled reduced model obtained by moment matching ([8]).  This
+module implements that reduction in two steps:
+
+1. For every net, the driving-point admittance moments ``y1, y2, y3`` (with
+   the other nets' driving points shorted) are matched by the classical
+   O'Brien-Savarino pi model: a near capacitance ``C1`` at the driving point,
+   a resistance ``R`` and a far capacitance ``C2``.
+
+2. The inter-net coupling -- whose total value equals minus the first mutual
+   admittance moment ``y1_ij`` -- is re-attached between the pi nodes of the
+   two nets.  The coupling capacitance is split over the near/far node pairs
+   proportionally to each net's own near/far capacitance split, and the same
+   amounts are removed from the ground capacitances so that the total
+   capacitance seen from every driving point (the first moment) is preserved
+   exactly.
+
+The resulting :class:`CoupledPiModel` realises itself as a new (much smaller)
+:class:`~repro.interconnect.rcnetwork.CoupledRCNetwork`, so downstream code
+can treat the reduced and the full wiring interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .moments import admittance_moments
+from .rcnetwork import CoupledRCNetwork
+
+__all__ = ["PiModel", "CoupledPiModel", "reduce_to_coupled_pi"]
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """A single-port O'Brien-Savarino pi model (near C, series R, far C)."""
+
+    c_near: float
+    resistance: float
+    c_far: float
+
+    @property
+    def total_capacitance(self) -> float:
+        return self.c_near + self.c_far
+
+    @classmethod
+    def from_moments(cls, y1: float, y2: float, y3: float) -> "PiModel":
+        """Build the pi model matching the first three admittance moments.
+
+        For a driving-point admittance ``Y(s) = y1 s + y2 s^2 + y3 s^3 + ...``
+        of an RC network (``y1 > 0``, ``y2 < 0``, ``y3 > 0``) the matching
+        values are::
+
+            C_far = y2^2 / y3
+            R     = - y3^2 / y2^3
+            C_near = y1 - C_far
+
+        Degenerate cases (purely capacitive loads, vanishing higher moments)
+        fall back to a single lumped capacitance.
+        """
+        if y1 <= 0.0:
+            return cls(0.0, 1.0, 0.0)
+        if abs(y3) < 1e-45 or abs(y2) < 1e-40:
+            return cls(y1, 1.0, 0.0)
+        c_far = (y2 * y2) / y3
+        resistance = -(y3 * y3) / (y2 * y2 * y2)
+        c_near = y1 - c_far
+        if c_far <= 0.0 or resistance <= 0.0 or c_near < 0.0 or c_far > y1:
+            # Moments outside the realisable range (can happen for very
+            # resistively-shielded or near-lumped nets): keep it lumped.
+            return cls(y1, 1.0, 0.0)
+        return cls(c_near, resistance, c_far)
+
+    def admittance_moments(self) -> Tuple[float, float, float]:
+        """The first three admittance moments of the realised pi model."""
+        c1, r, c2 = self.c_near, self.resistance, self.c_far
+        y1 = c1 + c2
+        y2 = -r * c2 * c2
+        y3 = r * r * c2 * c2 * c2
+        return y1, y2, y3
+
+    @property
+    def far_fraction(self) -> float:
+        """Fraction of the total capacitance sitting at the far node."""
+        total = self.total_capacitance
+        return self.c_far / total if total > 0.0 else 0.0
+
+
+class CoupledPiModel:
+    """Reduced coupled driving-point model of a multi-net noise cluster."""
+
+    def __init__(
+        self,
+        nets: List[str],
+        pi_models: Dict[str, PiModel],
+        coupling: Dict[Tuple[str, str], float],
+        source_network: Optional[CoupledRCNetwork] = None,
+    ):
+        self.nets = list(nets)
+        self.pi_models = dict(pi_models)
+        #: Total coupling capacitance per unordered net pair.
+        self.coupling = {tuple(sorted(k)): v for k, v in coupling.items()}
+        self.source_network = source_network
+
+    def pi(self, net: str) -> PiModel:
+        return self.pi_models[net]
+
+    def coupling_between(self, net_a: str, net_b: str) -> float:
+        return self.coupling.get(tuple(sorted((net_a, net_b))), 0.0)
+
+    # -------------------------------------------------------------- realisation
+
+    def driver_node(self, net: str) -> str:
+        return f"{net}:dp"
+
+    def far_node(self, net: str) -> str:
+        return f"{net}:far"
+
+    def realize(self, name: str = "reduced_wiring") -> CoupledRCNetwork:
+        """Realise the reduced model as a small RC network.
+
+        Per net: ``C_near`` at the driving point node ``<net>:dp``, the series
+        resistance to ``<net>:far`` and ``C_far`` there.  Coupling capacitors
+        connect the near/far node pairs of coupled nets, with the same amount
+        subtracted from the ground capacitances so the total capacitance per
+        driving point is preserved.
+        """
+        network = CoupledRCNetwork(name)
+
+        ground_caps: Dict[Tuple[str, str], float] = {}
+        for net in self.nets:
+            pi = self.pi_models[net]
+            ground_caps[(net, "near")] = pi.c_near
+            ground_caps[(net, "far")] = pi.c_far
+
+        coupling_elements: List[Tuple[str, str, float]] = []
+        for (net_a, net_b), cc_total in self.coupling.items():
+            if cc_total <= 0.0:
+                continue
+            frac_a = self.pi_models[net_a].far_fraction
+            frac_b = self.pi_models[net_b].far_fraction
+            split = {
+                ("near", "near"): (1.0 - frac_a) * (1.0 - frac_b),
+                ("near", "far"): (1.0 - frac_a) * frac_b,
+                ("far", "near"): frac_a * (1.0 - frac_b),
+                ("far", "far"): frac_a * frac_b,
+            }
+            for (side_a, side_b), fraction in split.items():
+                cc = cc_total * fraction
+                if cc <= 0.0:
+                    continue
+                node_a = self.driver_node(net_a) if side_a == "near" else self.far_node(net_a)
+                node_b = self.driver_node(net_b) if side_b == "near" else self.far_node(net_b)
+                coupling_elements.append((node_a, node_b, cc))
+                # Preserve the total capacitance seen from each driving point:
+                # the coupling capacitor (neighbour shorted in the moment
+                # computation) replaces ground capacitance on both sides.
+                ground_caps[(net_a, side_a)] -= cc
+                ground_caps[(net_b, side_b)] -= cc
+
+        for net in self.nets:
+            pi = self.pi_models[net]
+            dp = self.driver_node(net)
+            far = self.far_node(net)
+            network.add_resistor(dp, far, pi.resistance, net=net)
+            c_near = max(ground_caps[(net, "near")], 0.0)
+            c_far = max(ground_caps[(net, "far")], 0.0)
+            network.add_capacitor(dp, "0", c_near, net=net)
+            network.add_capacitor(far, "0", c_far, net=net)
+            network.set_ports(net, dp, far)
+
+        for node_a, node_b, cc in coupling_elements:
+            net_a = node_a.split(":")[0]
+            network.add_capacitor(node_a, node_b, cc, net=net_a)
+        return network
+
+    def summary(self) -> str:
+        lines = ["CoupledPiModel:"]
+        for net in self.nets:
+            pi = self.pi_models[net]
+            lines.append(
+                f"  {net}: C_near={pi.c_near / 1e-15:.2f} fF, R={pi.resistance:.1f} ohm, "
+                f"C_far={pi.c_far / 1e-15:.2f} fF"
+            )
+        for (a, b), cc in sorted(self.coupling.items()):
+            lines.append(f"  coupling {a}<->{b}: {cc / 1e-15:.2f} fF")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CoupledPiModel(nets={self.nets})"
+
+
+def reduce_to_coupled_pi(network: CoupledRCNetwork) -> CoupledPiModel:
+    """Reduce a coupled RC network to its coupled pi (S-model) representation.
+
+    The per-net pi models are matched to the diagonal driving-point
+    admittance moments; the net-to-net coupling totals come from the first
+    mutual moments (``-y1_ij``).
+    """
+    nets = network.net_names
+    if not nets:
+        raise ValueError("network has no ports/nets to reduce")
+    moments = admittance_moments(network, num_moments=4)
+    y1, y2, y3 = moments[1], moments[2], moments[3]
+
+    pi_models: Dict[str, PiModel] = {}
+    for index, net in enumerate(nets):
+        pi_models[net] = PiModel.from_moments(
+            float(y1[index, index]), float(y2[index, index]), float(y3[index, index])
+        )
+
+    coupling: Dict[Tuple[str, str], float] = {}
+    for i, net_i in enumerate(nets):
+        for j in range(i + 1, len(nets)):
+            net_j = nets[j]
+            cc = -float(y1[i, j])
+            if cc > 1e-21:
+                coupling[(net_i, net_j)] = cc
+
+    return CoupledPiModel(nets, pi_models, coupling, source_network=network)

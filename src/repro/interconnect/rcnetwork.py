@@ -1,0 +1,261 @@
+"""Distributed coupled RC network construction.
+
+A :class:`CoupledRCNetwork` is the electrical view of a noise cluster's
+wiring: a set of RC ladders (one per net) with coupling capacitors between
+adjacent nets.  It can
+
+* be instantiated into a :class:`repro.circuit.Circuit` (for the golden
+  simulation and for macromodels that keep the full network), and
+* expose its conductance / capacitance matrices and port incidence for the
+  moment-matching reduction in :mod:`repro.interconnect.moments` /
+  :mod:`repro.interconnect.pimodel`.
+
+Node naming convention: the driver end of net ``victim`` is node
+``victim:0`` (the *driving point*), interior nodes are ``victim:1`` ...,
+and the far (receiver) end is ``victim:<num_segments>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..technology.process import Technology
+from .geometry import CoupledSegmentParasitics, ParallelBusGeometry
+
+__all__ = ["RCElement", "CoupledRCNetwork", "build_coupled_rc_network"]
+
+
+@dataclass(frozen=True)
+class RCElement:
+    """One passive element of the wiring network (``kind`` is 'R' or 'C')."""
+
+    kind: str
+    node_a: str
+    node_b: str
+    value: float
+
+
+class CoupledRCNetwork:
+    """A passive RC network with named nodes and designated port nodes."""
+
+    def __init__(self, name: str = "wiring"):
+        self.name = name
+        self._elements: List[RCElement] = []
+        self._nodes: List[str] = []
+        self._node_index: Dict[str, int] = {}
+        #: Driving-point node per net name.
+        self.driver_nodes: Dict[str, str] = {}
+        #: Far-end (receiver) node per net name.
+        self.receiver_nodes: Dict[str, str] = {}
+        #: Net name per node (used by cluster extraction / reporting).
+        self.node_net: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def _node(self, name: str) -> int:
+        norm = Circuit.canonical_node_name(name)
+        if norm == "0":
+            return -1
+        if norm not in self._node_index:
+            self._node_index[norm] = len(self._nodes)
+            self._nodes.append(norm)
+        return self._node_index[norm]
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def elements(self) -> List[RCElement]:
+        return list(self._elements)
+
+    @property
+    def net_names(self) -> List[str]:
+        return list(self.driver_nodes)
+
+    # ----------------------------------------------------------------- adders
+
+    def add_resistor(self, node_a: str, node_b: str, value: float, net: Optional[str] = None) -> None:
+        if value <= 0:
+            raise ValueError("resistance must be positive")
+        self._node(node_a)
+        self._node(node_b)
+        self._elements.append(RCElement("R", node_a, node_b, value))
+        if net is not None:
+            self.node_net.setdefault(Circuit.canonical_node_name(node_a), net)
+            self.node_net.setdefault(Circuit.canonical_node_name(node_b), net)
+
+    def add_capacitor(self, node_a: str, node_b: str, value: float, net: Optional[str] = None) -> None:
+        if value < 0:
+            raise ValueError("capacitance must be non-negative")
+        if value == 0.0:
+            return
+        self._node(node_a)
+        self._node(node_b)
+        self._elements.append(RCElement("C", node_a, node_b, value))
+        if net is not None:
+            self.node_net.setdefault(Circuit.canonical_node_name(node_a), net)
+
+    def set_ports(self, net: str, driver_node: str, receiver_node: str) -> None:
+        self.driver_nodes[net] = Circuit.canonical_node_name(driver_node)
+        self.receiver_nodes[net] = Circuit.canonical_node_name(receiver_node)
+
+    # --------------------------------------------------------------- summaries
+
+    def total_ground_cap(self, net: Optional[str] = None) -> float:
+        """Total capacitance to ground (optionally restricted to one net)."""
+        total = 0.0
+        for e in self._elements:
+            if e.kind != "C":
+                continue
+            a = Circuit.canonical_node_name(e.node_a)
+            b = Circuit.canonical_node_name(e.node_b)
+            if b != "0" and a != "0":
+                continue
+            node = a if b == "0" else b
+            if net is None or self.node_net.get(node) == net:
+                total += e.value
+        return total
+
+    def total_coupling_cap(self, net_a: Optional[str] = None, net_b: Optional[str] = None) -> float:
+        """Total node-to-node (coupling) capacitance, optionally between two nets."""
+        total = 0.0
+        for e in self._elements:
+            if e.kind != "C":
+                continue
+            a = Circuit.canonical_node_name(e.node_a)
+            b = Circuit.canonical_node_name(e.node_b)
+            if a == "0" or b == "0":
+                continue
+            na, nb = self.node_net.get(a), self.node_net.get(b)
+            if net_a is None and net_b is None:
+                total += e.value
+            elif {na, nb} == {net_a, net_b}:
+                total += e.value
+        return total
+
+    def total_resistance(self, net: str) -> float:
+        """Total series resistance of a net (sum of its resistor segments)."""
+        total = 0.0
+        for e in self._elements:
+            if e.kind != "R":
+                continue
+            a = Circuit.canonical_node_name(e.node_a)
+            if self.node_net.get(a) == net:
+                total += e.value
+        return total
+
+    # ------------------------------------------------------------- realisation
+
+    def instantiate(self, circuit: Circuit, prefix: str = "") -> None:
+        """Add the network's R and C elements to a circuit."""
+        for index, e in enumerate(self._elements):
+            name = f"{prefix}{self.name}.{e.kind}{index}"
+            if e.kind == "R":
+                circuit.add_resistor(name, e.node_a, e.node_b, e.value)
+            else:
+                circuit.add_capacitor(name, e.node_a, e.node_b, e.value)
+
+    # ----------------------------------------------------------------- matrices
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+        """Nodal conductance and capacitance matrices ``(G, C, node_names)``.
+
+        Ground is eliminated (not a row/column).  These matrices describe the
+        wiring only; drivers and receivers are attached at the port nodes by
+        the callers.
+        """
+        n = self.num_nodes
+        G = np.zeros((n, n))
+        C = np.zeros((n, n))
+        for e in self._elements:
+            ia = self._node(e.node_a)
+            ib = self._node(e.node_b)
+            if e.kind == "R":
+                g = 1.0 / e.value
+                if ia >= 0:
+                    G[ia, ia] += g
+                if ib >= 0:
+                    G[ib, ib] += g
+                if ia >= 0 and ib >= 0:
+                    G[ia, ib] -= g
+                    G[ib, ia] -= g
+            else:
+                c = e.value
+                if ia >= 0:
+                    C[ia, ia] += c
+                if ib >= 0:
+                    C[ib, ib] += c
+                if ia >= 0 and ib >= 0:
+                    C[ia, ib] -= c
+                    C[ib, ia] -= c
+        return G, C, self.nodes
+
+    def port_nodes(self) -> List[str]:
+        """Driving-point nodes, ordered by net insertion order."""
+        return [self.driver_nodes[net] for net in self.driver_nodes]
+
+    def port_incidence(self) -> np.ndarray:
+        """Incidence matrix ``B`` (nodes x ports) selecting the port nodes."""
+        ports = self.port_nodes()
+        B = np.zeros((self.num_nodes, len(ports)))
+        for j, node in enumerate(ports):
+            B[self._node_index[node], j] = 1.0
+        return B
+
+    def __repr__(self) -> str:
+        return (
+            f"CoupledRCNetwork({self.name!r}, {self.num_nodes} nodes, "
+            f"{len(self._elements)} elements, nets={self.net_names})"
+        )
+
+
+def build_coupled_rc_network(
+    geometry: ParallelBusGeometry,
+    technology: Technology,
+    num_segments: int = 10,
+    name: Optional[str] = None,
+) -> CoupledRCNetwork:
+    """Discretise a parallel-bus geometry into a coupled RC ladder network.
+
+    Each wire becomes a ladder of ``num_segments`` resistors; ground
+    capacitance is split half-and-half onto the two nodes flanking each
+    segment (a pi discretisation) and coupling capacitors connect the
+    matching interior nodes of adjacent wires.
+    """
+    parasitics: CoupledSegmentParasitics = geometry.extract(technology, num_segments)
+    network = CoupledRCNetwork(name or geometry.name)
+
+    def node(net: str, index: int) -> str:
+        return f"{net}:{index}"
+
+    for w_index, wire in enumerate(geometry.wires):
+        net = wire.name
+        for seg in range(num_segments):
+            a = node(net, seg)
+            b = node(net, seg + 1)
+            network.add_resistor(a, b, parasitics.segment_resistance[w_index][seg], net=net)
+            half_cap = 0.5 * parasitics.segment_ground_cap[w_index][seg]
+            network.add_capacitor(a, "0", half_cap, net=net)
+            network.add_capacitor(b, "0", half_cap, net=net)
+        network.set_ports(net, node(net, 0), node(net, num_segments))
+
+    for pair_index, (i, j) in enumerate(geometry.adjacent_pairs()):
+        net_i = geometry.wires[i].name
+        net_j = geometry.wires[j].name
+        for seg in range(num_segments):
+            cc = parasitics.segment_coupling_cap[pair_index][seg]
+            if cc <= 0.0:
+                continue
+            # Attach the segment's coupling capacitance between the far nodes
+            # of the matching segments (consistent with the pi discretisation).
+            network.add_capacitor(node(net_i, seg + 1), node(net_j, seg + 1), cc, net=net_i)
+    return network

@@ -1,0 +1,163 @@
+"""High-level noise analysis facade.
+
+:class:`ClusterNoiseAnalyzer` runs any combination of analysis methods
+(golden, macromodel, linear superposition, iterative Thevenin) on one noise
+cluster, shares the characterisation work between them, compares the results
+against the golden reference and checks the total noise against the
+receiver's Noise Rejection Curve -- i.e. the complete per-cluster SNA step
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..characterization.characterizer import LibraryCharacterizer
+from ..characterization.nrc import NoiseRejectionCurve
+from ..technology.library import CellLibrary
+from .builder import ClusterModelBuilder
+from .cluster import NoiseClusterSpec
+from .macromodel import MacromodelAnalysis
+from .results import NoiseAnalysisResult, compare_results
+from .superposition import LinearSuperpositionAnalysis
+from .zolotov import ZolotovIterativeAnalysis
+
+__all__ = ["NRCCheck", "check_against_nrc", "ClusterNoiseAnalyzer"]
+
+
+@dataclass(frozen=True)
+class NRCCheck:
+    """Outcome of comparing a noise glitch with a noise rejection curve."""
+
+    fails: bool
+    height: float
+    width: float
+    failure_height: float
+    margin: float
+    receiver_cell: str = ""
+
+    def describe(self) -> str:
+        status = "FAIL" if self.fails else "pass"
+        return (
+            f"[{status}] glitch {abs(self.height):.3f} V x {self.width * 1e12:.0f} ps vs "
+            f"NRC limit {self.failure_height:.3f} V (margin {self.margin:+.3f} V) "
+            f"at {self.receiver_cell}"
+        )
+
+
+def check_against_nrc(result: NoiseAnalysisResult, nrc: NoiseRejectionCurve) -> NRCCheck:
+    """Check an analysis result's glitch against a noise rejection curve."""
+    height = result.metrics.peak
+    width = result.metrics.width
+    failure_height = nrc.failure_height(width)
+    return NRCCheck(
+        fails=nrc.fails(height, width),
+        height=height,
+        width=width,
+        failure_height=failure_height,
+        margin=nrc.margin(height, width),
+        receiver_cell=nrc.cell_name,
+    )
+
+
+class ClusterNoiseAnalyzer:
+    """Run and compare several noise analysis methods on one cluster."""
+
+    #: Methods understood by :meth:`analyze`.
+    AVAILABLE_METHODS = ("golden", "macromodel", "superposition", "iterative_thevenin")
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        *,
+        reduction: str = "coupled_pi",
+        vccs_grid: int = 17,
+    ):
+        # Imported here (not at module level) because repro.golden depends on
+        # this package's builder: a top-level import would be circular.
+        from ..golden.cluster_sim import GoldenClusterAnalysis
+
+        self.library = library
+        self.characterizer = LibraryCharacterizer(library, vccs_grid=vccs_grid)
+        self.reduction = reduction
+        self.vccs_grid = vccs_grid
+        self._golden = GoldenClusterAnalysis(library)
+        self._macromodel = MacromodelAnalysis(
+            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
+        )
+        self._superposition = LinearSuperpositionAnalysis(
+            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
+        )
+        self._zolotov = ZolotovIterativeAnalysis(
+            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
+        )
+
+    def analyze(
+        self,
+        spec: NoiseClusterSpec,
+        methods: Sequence[str] = ("golden", "macromodel", "superposition"),
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+    ) -> Dict[str, NoiseAnalysisResult]:
+        """Run the requested methods on the cluster and return their results."""
+        unknown = set(methods) - set(self.AVAILABLE_METHODS)
+        if unknown:
+            raise ValueError(f"unknown methods {sorted(unknown)}; available: {self.AVAILABLE_METHODS}")
+
+        builder = ClusterModelBuilder(
+            self.library, spec, characterizer=self.characterizer, vccs_grid=self.vccs_grid
+        )
+        results: Dict[str, NoiseAnalysisResult] = {}
+        for method in methods:
+            if method == "golden":
+                results[method] = self._golden.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
+            elif method == "macromodel":
+                results[method] = self._macromodel.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
+            elif method == "superposition":
+                results[method] = self._superposition.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
+            elif method == "iterative_thevenin":
+                results[method] = self._zolotov.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
+        return results
+
+    # --------------------------------------------------------------- reporting
+
+    @staticmethod
+    def comparison_table(results: Dict[str, NoiseAnalysisResult], reference: str = "golden") -> str:
+        """Human-readable comparison of all results against a reference.
+
+        The rows mirror the paper's tables: peak (V), area (V*ps) and the
+        percentage errors of each method with respect to the reference.
+        """
+        if reference not in results:
+            raise KeyError(f"reference method '{reference}' not in results")
+        ref = results[reference]
+        lines = [
+            f"{'method':28s} {'peak (V)':>10s} {'area (V*ps)':>12s} {'peak err%':>10s} "
+            f"{'area err%':>10s} {'runtime (ms)':>13s}"
+        ]
+        for name, result in results.items():
+            if name == reference:
+                peak_err = area_err = 0.0
+            else:
+                comparison = compare_results(ref, result)
+                peak_err = comparison["peak_error_pct"]
+                area_err = comparison["area_error_pct"]
+            lines.append(
+                f"{result.method:28s} {result.peak:10.4f} {result.area_v_ps:12.2f} "
+                f"{peak_err:10.1f} {area_err:10.1f} {result.runtime_seconds * 1e3:13.2f}"
+            )
+        return "\n".join(lines)
+
+    def nrc_check(
+        self,
+        spec: NoiseClusterSpec,
+        result: NoiseAnalysisResult,
+        *,
+        widths: Optional[Sequence[float]] = None,
+    ) -> NRCCheck:
+        """Check a result against the victim receiver's noise rejection curve."""
+        receiver = spec.victim.receiver_cell
+        nrc = self.characterizer.noise_rejection_curve(receiver, widths=widths)
+        return check_against_nrc(result, nrc)

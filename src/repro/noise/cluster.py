@@ -1,0 +1,186 @@
+"""Noise-cluster specification.
+
+A *noise cluster* (the paper's term) is a victim net together with the
+neighbouring aggressor nets that couple to it.  The
+:class:`NoiseClusterSpec` captures everything the different analysis methods
+need to build their models of the same physical situation:
+
+* the victim: driver cell, quiescent output level, the sensitised input arc
+  and (optionally) the noise glitch arriving at the victim driver's input
+  (the *propagated* noise component);
+* the aggressors: driver cell, switching direction, input transition and
+  switching instant (phase alignment);
+* the receivers loading the far end of every net;
+* the wiring geometry (a parallel bus on some metal layer) and its
+  discretisation.
+
+The golden transistor-level simulation, the paper's macromodel and the
+baselines are all constructed from this single specification, which is what
+makes the accuracy comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..interconnect.geometry import ParallelBusGeometry, WireSpec
+from ..technology.cells import NoiseArc, StandardCell
+from ..technology.library import CellLibrary
+from ..units import ps
+
+__all__ = ["InputGlitchSpec", "VictimSpec", "AggressorSpec", "NoiseClusterSpec"]
+
+
+@dataclass(frozen=True)
+class InputGlitchSpec:
+    """A triangular noise glitch arriving at the victim driver's input.
+
+    ``height`` is the excursion magnitude (volts) away from the quiescent
+    input level; the direction is determined by the victim's sensitised arc
+    (a pin quiet at VDD receives a falling glitch and vice versa).
+    """
+
+    height: float
+    width: float
+    start_time: float
+
+    def __post_init__(self):
+        if self.height < 0:
+            raise ValueError("glitch height is a magnitude and must be non-negative")
+        if self.width <= 0:
+            raise ValueError("glitch width must be positive")
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """The victim net of a noise cluster."""
+
+    net: str = "victim"
+    driver_cell: str = "NAND2_X1"
+    #: Quiescent logic level of the victim net (False = held low, the common
+    #: worst case for rising aggressors).
+    output_high: bool = False
+    #: Input pin the propagated glitch arrives on (None = first sensitised arc).
+    noisy_input_pin: Optional[str] = None
+    #: Propagated-noise glitch at the driver input (None = crosstalk only).
+    input_glitch: Optional[InputGlitchSpec] = None
+    receiver_cell: str = "INV_X1"
+    receiver_pin: str = "A"
+
+    def arc(self, cell: StandardCell) -> NoiseArc:
+        """The sensitised noise arc of the victim driver for this spec."""
+        arcs = cell.noise_arcs(output_high=self.output_high)
+        if not arcs:
+            raise ValueError(
+                f"victim driver {cell.name} has no sensitised arc with output "
+                f"{'high' if self.output_high else 'low'}"
+            )
+        if self.noisy_input_pin is None:
+            return arcs[0]
+        for arc in arcs:
+            if arc.input_pin == self.noisy_input_pin:
+                return arc
+        raise ValueError(
+            f"victim driver {cell.name} has no sensitised arc on pin "
+            f"'{self.noisy_input_pin}' with output {'high' if self.output_high else 'low'}"
+        )
+
+
+@dataclass(frozen=True)
+class AggressorSpec:
+    """One aggressor net of a noise cluster."""
+
+    net: str = "aggressor"
+    driver_cell: str = "INV_X1"
+    #: Direction of the aggressor *output* transition.  Rising aggressors
+    #: inject positive noise on a victim held low.
+    rising: bool = True
+    #: Transition time of the ramp applied to the aggressor driver's input.
+    input_transition: float = ps(30)
+    #: Time at which the aggressor driver's input starts switching.
+    switch_time: float = ps(200)
+    receiver_cell: str = "INV_X1"
+    receiver_pin: str = "A"
+    #: Input pin of the aggressor driver that switches.
+    input_pin: Optional[str] = None
+
+    def with_switch_time(self, switch_time: float) -> "AggressorSpec":
+        return replace(self, switch_time=switch_time)
+
+
+@dataclass
+class NoiseClusterSpec:
+    """A complete victim + aggressors noise cluster."""
+
+    victim: VictimSpec
+    aggressors: List[AggressorSpec]
+    geometry: ParallelBusGeometry
+    num_segments: int = 10
+    name: str = "cluster"
+
+    def __post_init__(self):
+        nets = {w.name for w in self.geometry.wires}
+        if self.victim.net not in nets:
+            raise ValueError(
+                f"victim net '{self.victim.net}' is not part of the geometry ({sorted(nets)})"
+            )
+        for aggressor in self.aggressors:
+            if aggressor.net not in nets:
+                raise ValueError(
+                    f"aggressor net '{aggressor.net}' is not part of the geometry ({sorted(nets)})"
+                )
+        aggressor_nets = [a.net for a in self.aggressors]
+        if len(set(aggressor_nets)) != len(aggressor_nets):
+            raise ValueError("aggressor nets must be unique")
+        if self.victim.net in aggressor_nets:
+            raise ValueError("the victim net cannot also be an aggressor")
+
+    @property
+    def num_aggressors(self) -> int:
+        return len(self.aggressors)
+
+    def aggressor(self, net: str) -> AggressorSpec:
+        for a in self.aggressors:
+            if a.net == net:
+                return a
+        raise KeyError(f"cluster has no aggressor net '{net}'")
+
+    def simulation_window(self) -> Tuple[float, float]:
+        """A reasonable ``(t_stop, dt)`` suggestion for this cluster.
+
+        The window covers the latest stimulus plus a settling margin; callers
+        are free to override it.
+        """
+        latest = 0.0
+        for aggressor in self.aggressors:
+            latest = max(latest, aggressor.switch_time + aggressor.input_transition)
+        if self.victim.input_glitch is not None:
+            g = self.victim.input_glitch
+            latest = max(latest, g.start_time + g.width)
+        t_stop = latest + ps(400)
+        return t_stop, ps(1)
+
+    def describe(self) -> str:
+        lines = [f"NoiseClusterSpec '{self.name}':"]
+        lines.append(
+            f"  victim: net={self.victim.net}, driver={self.victim.driver_cell}, "
+            f"quiet {'high' if self.victim.output_high else 'low'}, "
+            f"receiver={self.victim.receiver_cell}"
+        )
+        if self.victim.input_glitch is not None:
+            g = self.victim.input_glitch
+            lines.append(
+                f"    propagated input glitch: {g.height:.3f} V x {g.width / ps(1):.0f} ps "
+                f"@ {g.start_time / ps(1):.0f} ps"
+            )
+        for a in self.aggressors:
+            lines.append(
+                f"  aggressor: net={a.net}, driver={a.driver_cell}, "
+                f"{'rising' if a.rising else 'falling'}, switch @ {a.switch_time / ps(1):.0f} ps"
+            )
+        lines.append(
+            f"  wiring: {self.geometry.num_wires} wires on M{self.geometry.layer_index}, "
+            f"{self.geometry.wires[0].length_um:.0f} um, {self.num_segments} segments"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Result containers for noise analyses.
+
+Every analysis method (golden transistor-level simulation, the paper's
+macromodel, linear superposition, iterative Thevenin) returns a
+:class:`NoiseAnalysisResult` holding the victim driving-point waveform, the
+glitch metrics used in the paper's tables (peak, area, width), the method
+name and the wall-clock runtime, so benchmarks and reports can compare the
+methods uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..waveform import GlitchMetrics, Waveform
+
+__all__ = ["NoiseAnalysisResult", "compare_results"]
+
+
+@dataclass
+class NoiseAnalysisResult:
+    """Outcome of one noise analysis of a cluster."""
+
+    method: str
+    victim_waveform: Waveform
+    metrics: GlitchMetrics
+    runtime_seconds: float = 0.0
+    #: Waveforms of other observed nodes (receiver input, aggressor nets, ...).
+    waveforms: Dict[str, Waveform] = field(default_factory=dict)
+    #: Free-form extra data (component breakdowns, iteration counts, ...).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def peak(self) -> float:
+        """Noise glitch peak in volts (signed)."""
+        return self.metrics.peak
+
+    @property
+    def area_v_ps(self) -> float:
+        """Noise glitch area in V*ps (the paper's unit)."""
+        return self.metrics.area_v_ps
+
+    @property
+    def width_ps(self) -> float:
+        """Noise glitch width (FWHM) in picoseconds."""
+        return self.metrics.width_ps
+
+    def summary(self) -> str:
+        return (
+            f"{self.method:24s} peak={self.peak:+.4f} V  "
+            f"area={self.area_v_ps:8.2f} V*ps  width={self.width_ps:7.1f} ps  "
+            f"({self.runtime_seconds * 1e3:.1f} ms)"
+        )
+
+
+def compare_results(
+    reference: NoiseAnalysisResult, candidate: NoiseAnalysisResult
+) -> Dict[str, float]:
+    """Relative errors of ``candidate`` with respect to ``reference``.
+
+    Returns a dictionary with ``peak_error_pct`` and ``area_error_pct`` --
+    the two error columns of the paper's tables -- plus the runtime speed-up.
+    """
+    peak_ref = reference.peak
+    area_ref = reference.metrics.area
+    peak_err = 100.0 * (candidate.peak - peak_ref) / peak_ref if peak_ref else float("nan")
+    area_err = 100.0 * (candidate.metrics.area - area_ref) / area_ref if area_ref else float("nan")
+    speedup = (
+        reference.runtime_seconds / candidate.runtime_seconds
+        if candidate.runtime_seconds > 0
+        else float("inf")
+    )
+    return {
+        "peak_error_pct": peak_err,
+        "area_error_pct": area_err,
+        "speedup": speedup,
+    }

@@ -1,0 +1,120 @@
+"""The table-based non-linear VCCS of the victim driver.
+
+:class:`TableVCCS` adapts a characterised
+:class:`~repro.characterization.loadsurface.VCCSLoadSurface` for use by the
+noise engines:
+
+* as a time-dependent non-linear current source ``i(t, v_out)`` for the
+  dedicated macromodel engine -- the input voltage ``V_in(t)`` is a *known*
+  waveform (the noise glitch arriving at the victim driver's input), so at
+  analysis time the VCCS only depends on the unknown output voltage;
+* as a :class:`~repro.circuit.elements.BehavioralCurrentSource` plus an input
+  voltage source for embedding into the general circuit simulator (used by
+  tests to cross-check the dedicated engine against the reference solver).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..characterization.loadsurface import VCCSLoadSurface
+from ..circuit.netlist import Circuit
+from ..circuit.sources import DCValue, SourceWaveform, TriangularGlitch
+from .cluster import InputGlitchSpec
+
+__all__ = ["TableVCCS", "victim_input_waveform"]
+
+
+def victim_input_waveform(
+    quiet_level: float,
+    glitch_rising: bool,
+    glitch: Optional[InputGlitchSpec],
+) -> SourceWaveform:
+    """The victim driver's input voltage waveform.
+
+    With no propagated glitch the input simply sits at its quiescent level;
+    otherwise it is a triangular glitch of the specified height/width in the
+    direction dictated by the sensitised arc.
+    """
+    if glitch is None:
+        return DCValue(quiet_level)
+    direction = 1.0 if glitch_rising else -1.0
+    return TriangularGlitch(
+        baseline=quiet_level,
+        height=direction * glitch.height,
+        delay=glitch.start_time,
+        rise=0.5 * glitch.width,
+        fall=0.5 * glitch.width,
+    )
+
+
+class TableVCCS:
+    """The victim driver as a time-dependent table VCCS ``I_DC(t, V_out)``."""
+
+    def __init__(
+        self,
+        surface: VCCSLoadSurface,
+        input_waveform: SourceWaveform,
+    ):
+        self.surface = surface
+        self.input_waveform = input_waveform
+
+    # ------------------------------------------------------- engine interface
+
+    def current(self, time: float, v_out: float) -> Tuple[float, float]:
+        """Injected current and its derivative w.r.t. the output voltage."""
+        vin = self.input_waveform(time)
+        i, _didvin, didvout = self.surface.evaluate(vin, v_out)
+        return i, didvout
+
+    def input_voltage(self, time: float) -> float:
+        return self.input_waveform(time)
+
+    def quiet_output_conductance(self) -> float:
+        """Output conductance at the quiescent bias (t -> -inf, V_out at rail)."""
+        vin0 = self.input_waveform.dc_value()
+        vout0 = self.surface.quiet_output_voltage(vin0)
+        return self.surface.output_conductance(vin0, vout0)
+
+    def quiet_output_voltage(self) -> float:
+        vin0 = self.input_waveform.dc_value()
+        return self.surface.quiet_output_voltage(vin0)
+
+    # --------------------------------------------- general-simulator interface
+
+    def attach_to_circuit(
+        self,
+        circuit: Circuit,
+        name: str,
+        output_node: str,
+        *,
+        input_node: Optional[str] = None,
+        gnd_node: str = "0",
+    ) -> None:
+        """Embed the VCCS into a general :class:`~repro.circuit.Circuit`.
+
+        A voltage source drives the (possibly private) input node with the
+        victim driver's input waveform and a behavioural current source
+        injects ``f(V_in, V_out)`` into ``output_node``.  Used by tests and by
+        macromodel variants that keep the full RC network inside the general
+        simulator.
+        """
+        in_node = input_node or f"{name}.vin"
+        circuit.add_voltage_source(f"{name}.VIN", in_node, gnd_node, self.input_waveform)
+
+        surface = self.surface
+
+        def func(v_controls):
+            vin, vout = v_controls
+            i, didvin, didvout = surface.evaluate(vin, vout)
+            return i, (didvin, didvout)
+
+        # The behavioural source's current flows from its first node to its
+        # second; to *inject* f into the output node the source is connected
+        # from ground to the output node.
+        circuit.add_behavioral_current_source(
+            f"{name}.IDC", gnd_node, output_node, [in_node, output_node], func
+        )
+
+    def __repr__(self) -> str:
+        return f"TableVCCS({self.surface.cell_name}/{self.surface.input_pin})"

@@ -1,0 +1,176 @@
+"""Iterative-Thevenin victim model (the approach of Zolotov et al., ref. [4]).
+
+The paper contrasts its macromodel with the earlier approach of [4], which
+keeps the analysis linear by representing the victim driver with a Thevenin
+equivalent -- a *pulsed* voltage source (the driver's own response to the
+propagated input glitch) behind a resistance -- and iterates the resistance
+so the linear model tracks the non-linear driver as well as a linear model
+can.  The paper reports that this still underestimates the total noise peak
+by up to 18 % and the width by 20 %.
+
+Implementation outline (one analysis):
+
+1. Simulate the victim driver alone (non-linear table VCCS, aggressors held
+   quiet) to obtain its response to the propagated input glitch; this
+   waveform becomes the pulsed Thevenin source ``V_pulse(t)``.
+2. Linearise the driver at its quiescent point to get the initial Thevenin
+   resistance.
+3. Solve the *linear* cluster (aggressors switching) with the pulsed
+   Thevenin victim and record the total noise.
+4. Re-linearise the VCCS around the midpoint of the observed excursion and
+   repeat step 3 until the peak stops changing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..characterization.characterizer import LibraryCharacterizer
+from ..technology.library import CellLibrary
+from ..waveform import Waveform
+from .builder import ClusterModelBuilder
+from .cluster import NoiseClusterSpec
+from .engine import DedicatedNoiseEngine, MacromodelNetwork
+from .results import NoiseAnalysisResult
+
+__all__ = ["ZolotovIterativeAnalysis"]
+
+
+class ZolotovIterativeAnalysis:
+    """Linear cluster analysis with an iteratively linearised victim driver."""
+
+    method_name = "iterative_thevenin"
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        *,
+        characterizer: Optional[LibraryCharacterizer] = None,
+        reduction: str = "coupled_pi",
+        max_iterations: int = 5,
+        peak_tolerance: float = 0.01,
+        vccs_grid: int = 17,
+    ):
+        self.library = library
+        self.characterizer = characterizer or LibraryCharacterizer(library, vccs_grid=vccs_grid)
+        self.reduction = reduction
+        self.max_iterations = max_iterations
+        self.peak_tolerance = peak_tolerance
+        self.vccs_grid = vccs_grid
+
+    # ------------------------------------------------------------------ pieces
+
+    def _victim_pulse_response(
+        self, builder: ClusterModelBuilder, dt: float, t_stop: float
+    ) -> Waveform:
+        """Victim driving-point response to the input glitch, aggressors quiet."""
+        spec = builder.spec
+        wiring = builder.wiring_network(self.reduction)
+        network = MacromodelNetwork(f"{spec.name}_victim_only")
+        network.import_rc_network(wiring)
+        for aggressor in spec.aggressors:
+            thevenin = builder.aggressor_thevenin(aggressor)
+            network.add_holding_resistor(
+                wiring.driver_nodes[aggressor.net],
+                thevenin.resistance,
+                builder.aggressor_quiet_level(aggressor),
+            )
+        vccs = builder.victim_vccs()
+        victim_node = wiring.driver_nodes[spec.victim.net]
+        network.add_nonlinear_source(victim_node, vccs.current)
+        engine = DedicatedNoiseEngine(network)
+        waveforms = engine.simulate(t_stop, dt, observe=[victim_node])
+        return waveforms[victim_node]
+
+    def _linear_cluster_solve(
+        self,
+        builder: ClusterModelBuilder,
+        pulse: Waveform,
+        victim_resistance: float,
+        dt: float,
+        t_stop: float,
+    ) -> Waveform:
+        """Linear cluster solve with the pulsed-Thevenin victim model."""
+        spec = builder.spec
+        wiring = builder.wiring_network(self.reduction)
+        network = MacromodelNetwork(f"{spec.name}_zolotov")
+        network.import_rc_network(wiring)
+        for aggressor in spec.aggressors:
+            thevenin = builder.aggressor_thevenin(aggressor)
+            network.add_thevenin_driver(
+                wiring.driver_nodes[aggressor.net], thevenin, extra_delay=aggressor.switch_time
+            )
+        victim_node = wiring.driver_nodes[spec.victim.net]
+        conductance = 1.0 / victim_resistance
+        network.add_conductance(victim_node, "0", conductance)
+        network.add_current_source(victim_node, lambda t: pulse(t) * conductance)
+        engine = DedicatedNoiseEngine(network)
+        waveforms = engine.simulate(t_stop, dt, observe=[victim_node])
+        return waveforms[victim_node]
+
+    # ----------------------------------------------------------------- analyse
+
+    def analyze(
+        self,
+        spec: NoiseClusterSpec,
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+        builder: Optional[ClusterModelBuilder] = None,
+    ) -> NoiseAnalysisResult:
+        builder = builder or ClusterModelBuilder(
+            self.library, spec, characterizer=self.characterizer, vccs_grid=self.vccs_grid
+        )
+        builder.victim_surface()
+        for aggressor in spec.aggressors:
+            builder.aggressor_thevenin(aggressor)
+
+        default_t_stop, default_dt = builder.simulation_window(dt)
+        t_stop = t_stop if t_stop is not None else default_t_stop
+        dt = dt if dt is not None else default_dt
+        baseline = builder.victim_quiet_level()
+
+        start = time.perf_counter()
+
+        pulse = self._victim_pulse_response(builder, dt, t_stop)
+        surface = builder.victim_surface()
+        arc = builder.victim_arc
+        vin_quiet = self.library.technology.vdd if not arc.glitch_rising else 0.0
+        resistance = builder.victim_holding_resistance()
+
+        total: Optional[Waveform] = None
+        previous_peak = None
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            total = self._linear_cluster_solve(builder, pulse, resistance, dt, t_stop)
+            metrics = total.glitch_metrics(baseline=baseline)
+            if previous_peak is not None and abs(metrics.peak) > 0:
+                if abs(metrics.peak - previous_peak) <= self.peak_tolerance * abs(metrics.peak):
+                    break
+            previous_peak = metrics.peak
+            # Re-linearise the driver halfway up the observed excursion, at
+            # the input voltage present when the total noise peaks.
+            vin_at_peak = builder.victim_vccs().input_voltage(metrics.peak_time)
+            vout_mid = baseline + 0.5 * metrics.peak
+            resistance = surface.holding_resistance(vin_at_peak, vout_mid)
+            if not (resistance > 0) or resistance == float("inf"):
+                resistance = builder.victim_holding_resistance()
+
+        runtime = time.perf_counter() - start
+        metrics = total.glitch_metrics(baseline=baseline)
+
+        return NoiseAnalysisResult(
+            method=self.method_name,
+            victim_waveform=total,
+            metrics=metrics,
+            runtime_seconds=runtime,
+            waveforms={"victim_driving_point": total, "victim_pulse_response": pulse},
+            details={
+                "iterations": iterations,
+                "final_resistance": resistance,
+                "initial_resistance": builder.victim_holding_resistance(),
+                "quiet_input_voltage": vin_quiet,
+                "reduction": self.reduction,
+            },
+        )

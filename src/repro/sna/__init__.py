@@ -1,0 +1,25 @@
+"""Full-design static noise analysis flow.
+
+A minimal but complete SNA tool built on the noise macromodel: design
+database, coupling-parasitics annotation, noise-cluster extraction,
+per-cluster analysis and NRC-based violation reporting.
+"""
+
+from .design import CouplingAnnotation, Design, Instance, Net
+from .flow import ClusterExtraction, NetNoiseReport, SNAReport, StaticNoiseAnalysisFlow
+from .spef import SPEFError, annotate_design, read_coupling_file, write_coupling_file
+
+__all__ = [
+    "Design",
+    "Instance",
+    "Net",
+    "CouplingAnnotation",
+    "StaticNoiseAnalysisFlow",
+    "ClusterExtraction",
+    "NetNoiseReport",
+    "SNAReport",
+    "read_coupling_file",
+    "write_coupling_file",
+    "annotate_design",
+    "SPEFError",
+]

@@ -1,0 +1,166 @@
+"""Gate-level design representation for the full-chip SNA flow.
+
+The paper's macromodel is meant to be embedded in a complete static noise
+analysis tool (ClariNet / Harmony class).  This module provides the minimal
+design database such a tool needs: cell instances with pin-to-net
+connectivity, plus per-net routing information (length, layer) or explicit
+coupling annotations from which noise clusters can be extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..technology.library import CellLibrary
+
+__all__ = ["Instance", "Net", "CouplingAnnotation", "Design"]
+
+
+@dataclass
+class Instance:
+    """A placed cell instance with its pin connections."""
+
+    name: str
+    cell: str
+    connections: Dict[str, str]  # pin -> net
+
+    def output_net(self, library: CellLibrary) -> Optional[str]:
+        cell = library.cell(self.cell)
+        return self.connections.get(cell.output_pin)
+
+    def input_nets(self, library: CellLibrary) -> Dict[str, str]:
+        cell = library.cell(self.cell)
+        return {pin: net for pin, net in self.connections.items() if pin in cell.inputs}
+
+
+@dataclass
+class Net:
+    """A routed net with simple geometric annotations."""
+
+    name: str
+    length_um: float = 100.0
+    layer_index: int = 3
+    #: Externally supplied logic value of the net when it is quiet
+    #: (None = derive from the driver, assumed low).
+    quiet_high: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class CouplingAnnotation:
+    """Declared capacitive coupling between two nets.
+
+    ``coupled_length_um`` is the common parallel run length; the extraction
+    uses the layer of the *victim* net to convert it into capacitance.
+    """
+
+    net_a: str
+    net_b: str
+    coupled_length_um: float
+
+    def other(self, net: str) -> str:
+        if net == self.net_a:
+            return self.net_b
+        if net == self.net_b:
+            return self.net_a
+        raise KeyError(f"{net} is not part of this coupling annotation")
+
+
+class Design:
+    """A gate-level design: nets, instances and coupling annotations."""
+
+    def __init__(self, name: str, library: CellLibrary):
+        self.name = name
+        self.library = library
+        self.nets: Dict[str, Net] = {}
+        self.instances: Dict[str, Instance] = {}
+        self.couplings: List[CouplingAnnotation] = []
+        #: Nets that are primary inputs (driven from outside the design).
+        self.primary_inputs: Set[str] = set()
+
+    # ------------------------------------------------------------------ edits
+
+    def add_net(
+        self,
+        name: str,
+        *,
+        length_um: float = 100.0,
+        layer_index: int = 3,
+        quiet_high: Optional[bool] = None,
+    ) -> Net:
+        if name in self.nets:
+            raise ValueError(f"net '{name}' already exists")
+        net = Net(name, length_um=length_um, layer_index=layer_index, quiet_high=quiet_high)
+        self.nets[name] = net
+        return net
+
+    def add_primary_input(self, name: str, **kwargs) -> Net:
+        net = self.add_net(name, **kwargs)
+        self.primary_inputs.add(name)
+        return net
+
+    def add_instance(self, name: str, cell: str, connections: Mapping[str, str]) -> Instance:
+        if name in self.instances:
+            raise ValueError(f"instance '{name}' already exists")
+        if cell not in self.library:
+            raise KeyError(f"cell '{cell}' is not in library '{self.library.name}'")
+        library_cell = self.library.cell(cell)
+        for pin in [*library_cell.inputs, library_cell.output_pin]:
+            if pin not in connections:
+                raise ValueError(f"instance '{name}': pin '{pin}' of {cell} is unconnected")
+        for net in connections.values():
+            if net not in self.nets:
+                self.add_net(net)
+        instance = Instance(name, cell, dict(connections))
+        self.instances[name] = instance
+        return instance
+
+    def add_coupling(self, net_a: str, net_b: str, coupled_length_um: float) -> CouplingAnnotation:
+        for net in (net_a, net_b):
+            if net not in self.nets:
+                raise KeyError(f"unknown net '{net}'")
+        annotation = CouplingAnnotation(net_a, net_b, coupled_length_um)
+        self.couplings.append(annotation)
+        return annotation
+
+    # ---------------------------------------------------------------- queries
+
+    def driver_of(self, net: str) -> Optional[Instance]:
+        """The instance driving ``net`` (None for primary inputs)."""
+        for instance in self.instances.values():
+            if instance.output_net(self.library) == net:
+                return instance
+        return None
+
+    def receivers_of(self, net: str) -> List[Tuple[Instance, str]]:
+        """Instances (and the pin) whose inputs are connected to ``net``."""
+        out: List[Tuple[Instance, str]] = []
+        for instance in self.instances.values():
+            for pin, connected in instance.input_nets(self.library).items():
+                if connected == net:
+                    out.append((instance, pin))
+        return out
+
+    def aggressors_of(self, net: str) -> List[Tuple[str, float]]:
+        """Nets coupled to ``net`` with their coupled length."""
+        result = []
+        for coupling in self.couplings:
+            if net in (coupling.net_a, coupling.net_b):
+                result.append((coupling.other(net), coupling.coupled_length_um))
+        return result
+
+    def net_quiet_level(self, net: str) -> bool:
+        """Assumed quiet logic level of a net (False = low)."""
+        annotation = self.nets[net].quiet_high
+        if annotation is not None:
+            return annotation
+        return False
+
+    def summary(self) -> str:
+        return (
+            f"Design '{self.name}': {len(self.instances)} instances, "
+            f"{len(self.nets)} nets, {len(self.couplings)} coupling annotations"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

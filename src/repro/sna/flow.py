@@ -1,0 +1,266 @@
+"""Full-design static noise analysis flow.
+
+This is the "complete methodology for static noise analysis" the paper's
+conclusions call for: iterate over the victim nets of a design, extract each
+noise cluster from the connectivity and coupling annotations, analyse it with
+the selected noise model (the macromodel by default) and check the resulting
+glitch against the receiver's noise rejection curve.
+
+The flow purposely mirrors the structure of industrial tools (ClariNet,
+Harmony): cluster extraction -> per-cluster noise evaluation -> NRC check ->
+violation report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..characterization.characterizer import LibraryCharacterizer
+from ..interconnect.geometry import ParallelBusGeometry, WireSpec
+from ..noise.analysis import ClusterNoiseAnalyzer, NRCCheck, check_against_nrc
+from ..noise.cluster import AggressorSpec, InputGlitchSpec, NoiseClusterSpec, VictimSpec
+from ..noise.results import NoiseAnalysisResult
+from ..units import ps
+from .design import Design
+
+__all__ = ["ClusterExtraction", "NetNoiseReport", "SNAReport", "StaticNoiseAnalysisFlow"]
+
+
+@dataclass
+class ClusterExtraction:
+    """One extracted noise cluster and its provenance in the design."""
+
+    victim_net: str
+    spec: NoiseClusterSpec
+    aggressor_nets: List[str]
+    skipped_aggressors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class NetNoiseReport:
+    """Per-victim-net outcome of the SNA flow."""
+
+    victim_net: str
+    method: str
+    peak: float
+    area_v_ps: float
+    width_ps: float
+    nrc_check: Optional[NRCCheck]
+    runtime_seconds: float
+
+    @property
+    def fails(self) -> bool:
+        return bool(self.nrc_check and self.nrc_check.fails)
+
+    def row(self) -> str:
+        status = "FAIL" if self.fails else ("pass" if self.nrc_check else "n/a ")
+        margin = f"{self.nrc_check.margin:+.3f}" if self.nrc_check else "  -  "
+        return (
+            f"{self.victim_net:16s} {self.peak:8.3f} {self.area_v_ps:10.1f} "
+            f"{self.width_ps:9.1f} {margin:>8s}  {status}"
+        )
+
+
+@dataclass
+class SNAReport:
+    """Design-level noise report."""
+
+    design_name: str
+    method: str
+    nets: List[NetNoiseReport]
+    total_runtime_seconds: float
+
+    @property
+    def violations(self) -> List[NetNoiseReport]:
+        return [n for n in self.nets if n.fails]
+
+    def text(self) -> str:
+        lines = [
+            f"Static noise analysis report for '{self.design_name}' "
+            f"({self.method}, {len(self.nets)} victim nets, "
+            f"{self.total_runtime_seconds:.2f} s)",
+            f"{'victim net':16s} {'peak(V)':>8s} {'area(Vps)':>10s} {'width(ps)':>9s} "
+            f"{'margin':>8s}  status",
+        ]
+        lines.extend(net.row() for net in self.nets)
+        lines.append(f"violations: {len(self.violations)} / {len(self.nets)}")
+        return "\n".join(lines)
+
+
+class StaticNoiseAnalysisFlow:
+    """Cluster extraction + per-cluster noise analysis + NRC checking."""
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        reduction: str = "coupled_pi",
+        num_segments: int = 8,
+        aggressor_switch_time: float = ps(200),
+        aggressor_input_transition: float = ps(40),
+        input_glitches: Optional[Mapping[str, InputGlitchSpec]] = None,
+        max_aggressors: int = 4,
+    ):
+        """
+        Parameters
+        ----------
+        design:
+            The annotated design (nets, instances, couplings).
+        input_glitches:
+            Optional per-victim-net propagated glitches at the victim driver
+            input (e.g. computed by an upstream propagation pass).
+        max_aggressors:
+            Aggressors beyond this count (ordered by coupled length) are
+            dropped from the cluster -- the standard cluster-filtering
+            simplification.
+        """
+        self.design = design
+        self.library = design.library
+        self.analyzer = ClusterNoiseAnalyzer(self.library, reduction=reduction)
+        self.num_segments = num_segments
+        self.aggressor_switch_time = aggressor_switch_time
+        self.aggressor_input_transition = aggressor_input_transition
+        self.input_glitches = dict(input_glitches or {})
+        self.max_aggressors = max_aggressors
+
+    # ------------------------------------------------------------- extraction
+
+    def victim_candidates(self) -> List[str]:
+        """Nets that have a driver, at least one receiver and some coupling."""
+        candidates = []
+        for net in self.design.nets:
+            if net in self.design.primary_inputs:
+                continue
+            if not self.design.aggressors_of(net):
+                continue
+            if self.design.driver_of(net) is None:
+                continue
+            if not self.design.receivers_of(net):
+                continue
+            candidates.append(net)
+        return sorted(candidates)
+
+    def extract_cluster(self, victim_net: str) -> ClusterExtraction:
+        """Build the noise-cluster specification for one victim net."""
+        design = self.design
+        library = self.library
+        victim_driver = design.driver_of(victim_net)
+        if victim_driver is None:
+            raise ValueError(f"net '{victim_net}' has no driver")
+        receivers = design.receivers_of(victim_net)
+        receiver_instance, receiver_pin = receivers[0]
+        victim_info = design.nets[victim_net]
+        victim_quiet_high = design.net_quiet_level(victim_net)
+
+        couplings = sorted(
+            design.aggressors_of(victim_net), key=lambda item: item[1], reverse=True
+        )
+        aggressor_specs: List[AggressorSpec] = []
+        aggressor_nets: List[str] = []
+        skipped: List[str] = []
+        wires: List[WireSpec] = []
+        for index, (aggressor_net, coupled_length) in enumerate(couplings):
+            driver = design.driver_of(aggressor_net)
+            if driver is None or index >= self.max_aggressors:
+                skipped.append(aggressor_net)
+                continue
+            aggressor_info = design.nets[aggressor_net]
+            aggressor_specs.append(
+                AggressorSpec(
+                    net=aggressor_net,
+                    driver_cell=driver.cell,
+                    # Worst case: aggressors push the victim away from its
+                    # quiet rail, all in phase.
+                    rising=not victim_quiet_high,
+                    input_transition=self.aggressor_input_transition,
+                    switch_time=self.aggressor_switch_time,
+                )
+            )
+            aggressor_nets.append(aggressor_net)
+            wires.append(
+                WireSpec(
+                    aggressor_net,
+                    length_um=max(aggressor_info.length_um, coupled_length),
+                    coupled_length_um=coupled_length,
+                )
+            )
+
+        if not aggressor_specs:
+            raise ValueError(f"net '{victim_net}' has no usable aggressors")
+
+        # Place the strongest aggressors adjacent to the victim (one per side).
+        victim_wire = WireSpec(victim_net, length_um=victim_info.length_um)
+        ordered = [victim_wire]
+        for index, wire in enumerate(wires):
+            if index % 2 == 0:
+                ordered.insert(0, wire)
+            else:
+                ordered.append(wire)
+        geometry = ParallelBusGeometry(
+            wires=ordered,
+            layer_index=victim_info.layer_index,
+            name=f"cluster_{victim_net}",
+        )
+
+        spec = NoiseClusterSpec(
+            victim=VictimSpec(
+                net=victim_net,
+                driver_cell=victim_driver.cell,
+                output_high=victim_quiet_high,
+                input_glitch=self.input_glitches.get(victim_net),
+                receiver_cell=receiver_instance.cell,
+                receiver_pin=receiver_pin,
+            ),
+            aggressors=aggressor_specs,
+            geometry=geometry,
+            num_segments=self.num_segments,
+            name=f"cluster_{victim_net}",
+        )
+        return ClusterExtraction(
+            victim_net=victim_net,
+            spec=spec,
+            aggressor_nets=aggressor_nets,
+            skipped_aggressors=skipped,
+        )
+
+    def extract_clusters(self) -> List[ClusterExtraction]:
+        return [self.extract_cluster(net) for net in self.victim_candidates()]
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        *,
+        method: str = "macromodel",
+        check_nrc: bool = True,
+        dt: Optional[float] = None,
+    ) -> SNAReport:
+        """Analyse every victim net of the design with the chosen method."""
+        start = time.perf_counter()
+        reports: List[NetNoiseReport] = []
+        for extraction in self.extract_clusters():
+            results = self.analyzer.analyze(extraction.spec, methods=(method,), dt=dt)
+            result: NoiseAnalysisResult = results[method]
+            nrc_check = None
+            if check_nrc:
+                nrc_check = self.analyzer.nrc_check(extraction.spec, result)
+            reports.append(
+                NetNoiseReport(
+                    victim_net=extraction.victim_net,
+                    method=result.method,
+                    peak=result.peak,
+                    area_v_ps=result.area_v_ps,
+                    width_ps=result.width_ps,
+                    nrc_check=nrc_check,
+                    runtime_seconds=result.runtime_seconds,
+                )
+            )
+        total = time.perf_counter() - start
+        return SNAReport(
+            design_name=self.design.name,
+            method=method,
+            nets=reports,
+            total_runtime_seconds=total,
+        )

@@ -1,0 +1,90 @@
+"""A small SPEF-like coupling parasitics reader/writer.
+
+Real SNA flows read coupling parasitics from SPEF.  This module implements a
+compact subset sufficient to annotate a :class:`~repro.sna.design.Design`
+with per-net routing data and net-to-net coupling:
+
+    *NET <name> *LENGTH <um> *LAYER <index>
+    *COUPLING <net_a> <net_b> <coupled_length_um>
+
+Lines starting with ``//`` are comments.  The writer produces the same
+format, so annotated designs can be round-tripped in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .design import Design
+
+__all__ = ["SPEFError", "read_coupling_file", "write_coupling_file", "annotate_design"]
+
+
+class SPEFError(ValueError):
+    """Raised for malformed parasitics files."""
+
+
+def read_coupling_file(text: str) -> dict:
+    """Parse the parasitics text into ``{"nets": {...}, "couplings": [...]}``."""
+    nets = {}
+    couplings = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("//"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        try:
+            if keyword == "*NET":
+                entry = {"length_um": 100.0, "layer_index": 3}
+                name = tokens[1]
+                index = 2
+                while index < len(tokens):
+                    key = tokens[index].upper()
+                    if key == "*LENGTH":
+                        entry["length_um"] = float(tokens[index + 1])
+                        index += 2
+                    elif key == "*LAYER":
+                        entry["layer_index"] = int(tokens[index + 1])
+                        index += 2
+                    else:
+                        raise SPEFError(f"line {line_number}: unknown token '{tokens[index]}'")
+                nets[name] = entry
+            elif keyword == "*COUPLING":
+                couplings.append(
+                    {"net_a": tokens[1], "net_b": tokens[2], "coupled_length_um": float(tokens[3])}
+                )
+            else:
+                raise SPEFError(f"line {line_number}: unknown keyword '{keyword}'")
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, SPEFError):
+                raise
+            raise SPEFError(f"line {line_number}: malformed entry '{line}'") from exc
+    return {"nets": nets, "couplings": couplings}
+
+
+def annotate_design(design: Design, text: str) -> None:
+    """Apply a parasitics file to a design (lengths, layers, couplings)."""
+    data = read_coupling_file(text)
+    for name, entry in data["nets"].items():
+        if name not in design.nets:
+            design.add_net(name)
+        net = design.nets[name]
+        net.length_um = entry["length_um"]
+        net.layer_index = entry["layer_index"]
+    for coupling in data["couplings"]:
+        design.add_coupling(
+            coupling["net_a"], coupling["net_b"], coupling["coupled_length_um"]
+        )
+
+
+def write_coupling_file(design: Design) -> str:
+    """Serialise a design's routing/coupling annotations."""
+    lines: List[str] = [f"// parasitics for design {design.name}"]
+    for name, net in sorted(design.nets.items()):
+        lines.append(f"*NET {name} *LENGTH {net.length_um:g} *LAYER {net.layer_index}")
+    for coupling in design.couplings:
+        lines.append(
+            f"*COUPLING {coupling.net_a} {coupling.net_b} {coupling.coupled_length_um:g}"
+        )
+    return "\n".join(lines) + "\n"

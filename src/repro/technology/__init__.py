@@ -1,0 +1,30 @@
+"""Process technologies and transistor-level standard cells.
+
+This package is the stand-in for the proprietary foundry libraries the paper
+uses: it provides parameterised 0.13 um and 90 nm technology presets and a
+set of standard cells generated at the transistor level from series/parallel
+pull-network descriptions.
+"""
+
+from .cells import NoiseArc, StandardCell, default_cell_set
+from .library import CellLibrary, build_default_library
+from .network import Leaf, Parallel, PullNetwork, Series
+from .process import MetalLayer, Technology, TECHNOLOGIES, cmos130, cmos90, get_technology
+
+__all__ = [
+    "Technology",
+    "MetalLayer",
+    "cmos130",
+    "cmos90",
+    "get_technology",
+    "TECHNOLOGIES",
+    "StandardCell",
+    "NoiseArc",
+    "default_cell_set",
+    "CellLibrary",
+    "build_default_library",
+    "PullNetwork",
+    "Leaf",
+    "Series",
+    "Parallel",
+]

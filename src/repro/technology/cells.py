@@ -1,0 +1,457 @@
+"""Transistor-level standard-cell generators.
+
+Each :class:`StandardCell` describes a static CMOS gate by its pull-down
+network expression (see :mod:`repro.technology.network`); the pull-up network
+is the series/parallel dual.  From that single description the cell can
+
+* instantiate its transistors (and parasitic gate / diffusion capacitors)
+  into a :class:`repro.circuit.Circuit`,
+* evaluate its logic function,
+* enumerate the quiescent input states that hold the output high or low and
+  the input pins through which a noise glitch can propagate (the *noise
+  arcs* used by the characterisation and analysis flows),
+* estimate per-pin input capacitance.
+
+Two-stage cells (BUF, AND2, OR2) add an output inverter after the first
+stage, which exercises the characterisation flow on cells whose propagated
+noise goes through two levels of non-linearity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from .network import Leaf, Parallel, PullNetwork, Series
+from .process import Technology
+
+__all__ = ["NoiseArc", "StandardCell", "default_cell_set"]
+
+
+@dataclass(frozen=True)
+class NoiseArc:
+    """A sensitised input-to-output noise propagation arc.
+
+    Attributes
+    ----------
+    input_pin:
+        Pin on which the incoming noise glitch arrives.
+    side_inputs:
+        Logic values of the other input pins that sensitise the arc.
+    output_high:
+        Quiescent logic level of the output in this state.
+    glitch_rising:
+        ``True`` when the disturbing glitch on ``input_pin`` rises from a low
+        quiescent level, ``False`` when it falls from a high quiescent level.
+    """
+
+    input_pin: str
+    side_inputs: Tuple[Tuple[str, bool], ...]
+    output_high: bool
+    glitch_rising: bool
+
+    @property
+    def side_inputs_dict(self) -> Dict[str, bool]:
+        return dict(self.side_inputs)
+
+    def input_state(self) -> Dict[str, bool]:
+        """Full quiescent input state (noisy pin at its quiet value)."""
+        state = dict(self.side_inputs)
+        state[self.input_pin] = not self.glitch_rising
+        return state
+
+    def describe(self) -> str:
+        side = ", ".join(f"{k}={int(v)}" for k, v in self.side_inputs)
+        direction = "rising" if self.glitch_rising else "falling"
+        level = "high" if self.output_high else "low"
+        return (
+            f"{direction} glitch on {self.input_pin} (side inputs: {side or 'none'}), "
+            f"output quiet {level}"
+        )
+
+
+class StandardCell:
+    """A static CMOS standard cell described by its pull-down network."""
+
+    def __init__(
+        self,
+        name: str,
+        pull_down: PullNetwork,
+        *,
+        strength: float = 1.0,
+        output_pin: str = "Z",
+        stage1_strength: float = 1.0,
+        output_stage_inverter: bool = False,
+        description: str = "",
+    ):
+        self.name = name
+        self.pull_down = pull_down
+        self.pull_up = pull_down.dual()
+        self.strength = float(strength)
+        self.stage1_strength = float(stage1_strength)
+        self.output_pin = output_pin
+        self.output_stage_inverter = output_stage_inverter
+        self.description = description or name
+        self.inputs: List[str] = pull_down.inputs()
+        if not self.inputs:
+            raise ValueError(f"cell {name} has no inputs")
+
+    # ------------------------------------------------------------------ logic
+
+    def logic(self, inputs: Mapping[str, bool]) -> bool:
+        """Logic value of the output for the given input values."""
+        first_stage = not self.pull_down.conducts(inputs)
+        if self.output_stage_inverter:
+            return not first_stage
+        return first_stage
+
+    def all_input_states(self) -> List[Dict[str, bool]]:
+        """Every combination of logic values on the input pins."""
+        states = []
+        for values in itertools.product([False, True], repeat=len(self.inputs)):
+            states.append(dict(zip(self.inputs, values)))
+        return states
+
+    def quiet_input_states(self, output_high: bool) -> List[Dict[str, bool]]:
+        """All input states that hold the output at the requested level."""
+        return [s for s in self.all_input_states() if self.logic(s) == output_high]
+
+    def _holding_path_count(self, state: Mapping[str, bool]) -> int:
+        """Number of conducting devices in the network that holds the output.
+
+        Used as a proxy for holding strength when selecting the worst-case
+        (weakest) quiescent state.
+        """
+        output_high = self.logic(state)
+        if self.output_stage_inverter:
+            # The output stage is an inverter: its holding strength is fixed,
+            # so all states are equivalent; fall back to counting conducting
+            # first-stage devices for determinism.
+            network = self.pull_down if not output_high else self.pull_down
+            counts = network.count_leaves()
+            return sum(counts.values())
+        network = self.pull_up if output_high else self.pull_down
+        count = 0
+        for pin, occurrences in network.count_leaves().items():
+            conducting = (not state[pin]) if output_high else state[pin]
+            if conducting:
+                count += occurrences
+        return count
+
+    def worst_case_quiet_state(self, output_high: bool) -> Dict[str, bool]:
+        """The quiescent input state with the weakest output holding network."""
+        states = self.quiet_input_states(output_high)
+        if not states:
+            raise ValueError(
+                f"cell {self.name} cannot hold its output {'high' if output_high else 'low'}"
+            )
+        return min(states, key=self._holding_path_count)
+
+    def noise_arcs(self, output_high: Optional[bool] = None) -> List[NoiseArc]:
+        """Sensitised arcs through which an input glitch disturbs the output.
+
+        An arc exists for input pin ``X`` under side-input values ``S`` when
+        flipping ``X`` flips the output.  The glitch direction is away from
+        the pin's quiescent value (a pin quiet at 1 is disturbed by a falling
+        glitch and vice versa).
+        """
+        arcs: List[NoiseArc] = []
+        for state in self.all_input_states():
+            quiet_output = self.logic(state)
+            if output_high is not None and quiet_output != output_high:
+                continue
+            for pin in self.inputs:
+                flipped = dict(state)
+                flipped[pin] = not flipped[pin]
+                if self.logic(flipped) != quiet_output:
+                    side = tuple(sorted((k, v) for k, v in state.items() if k != pin))
+                    arcs.append(
+                        NoiseArc(
+                            input_pin=pin,
+                            side_inputs=side,
+                            output_high=quiet_output,
+                            glitch_rising=not state[pin],
+                        )
+                    )
+        return arcs
+
+    # ------------------------------------------------------------ transistors
+
+    def _widths(self, technology: Technology) -> Tuple[float, float, float, float]:
+        """(wn_stage1, wp_stage1, wn_out, wp_out) widths for this technology."""
+        stage_strength = self.stage1_strength if self.output_stage_inverter else self.strength
+        wn1 = technology.wn_unit * stage_strength * self.pull_down.depth()
+        wp1 = technology.wp_unit * stage_strength * self.pull_up.depth()
+        wn_out = technology.wn_unit * self.strength
+        wp_out = technology.wp_unit * self.strength
+        return wn1, wp1, wn_out, wp_out
+
+    def instantiate(
+        self,
+        circuit: Circuit,
+        instance: str,
+        pin_nodes: Mapping[str, str],
+        technology: Technology,
+        *,
+        vdd_node: str = "vdd",
+        gnd_node: str = "0",
+        add_parasitics: bool = True,
+    ) -> None:
+        """Add this cell's transistors (and parasitics) to ``circuit``.
+
+        Parameters
+        ----------
+        circuit:
+            Target circuit.
+        instance:
+            Instance name; all internal elements and nodes are prefixed with
+            it, so the same cell can be instantiated many times.
+        pin_nodes:
+            Mapping from pin name (inputs and the output pin) to circuit node
+            names.
+        technology:
+            Technology supplying device parameters and sizing.
+        vdd_node / gnd_node:
+            Supply node names in ``circuit``.
+        add_parasitics:
+            When ``True`` (default), explicit gate, overlap and diffusion
+            capacitances are added; the MOSFET model itself is purely static.
+        """
+        for pin in [*self.inputs, self.output_pin]:
+            if pin not in pin_nodes:
+                raise KeyError(f"pin '{pin}' of cell {self.name} is not mapped to a node")
+
+        wn1, wp1, wn_out, wp_out = self._widths(technology)
+        internal_counter = itertools.count()
+        device_counter = itertools.count()
+
+        def make_internal_node(prefix: str):
+            def _make() -> str:
+                return f"{instance}.{prefix}{next(internal_counter)}"
+            return _make
+
+        created_mosfets = []
+
+        def add_fet(polarity: str, gate_node: str, a: str, b: str, width: float):
+            params = technology.nmos if polarity == "n" else technology.pmos
+            name = f"{instance}.M{polarity.upper()}{next(device_counter)}"
+            fet = circuit.add_mosfet(
+                name,
+                drain=a,
+                gate=gate_node,
+                source=b,
+                params=params,
+                w=width,
+                l=technology.l_drawn,
+                bulk=gnd_node if polarity == "n" else vdd_node,
+                model=technology.mosfet_model,
+            )
+            created_mosfets.append(fet)
+            return fet
+
+        first_stage_output = (
+            f"{instance}.Y" if self.output_stage_inverter else pin_nodes[self.output_pin]
+        )
+
+        # Pull-down network: output (top) -> ground (bottom).
+        self.pull_down.build(
+            lambda pin, top, bottom: add_fet("n", pin_nodes[pin], top, bottom, wn1),
+            node_top=first_stage_output,
+            node_bottom=gnd_node,
+            make_internal_node=make_internal_node("n"),
+        )
+        # Pull-up network: vdd (top) -> output (bottom).
+        self.pull_up.build(
+            lambda pin, top, bottom: add_fet("p", pin_nodes[pin], top, bottom, wp1),
+            node_top=vdd_node,
+            node_bottom=first_stage_output,
+            make_internal_node=make_internal_node("p"),
+        )
+
+        if self.output_stage_inverter:
+            add_fet("n", first_stage_output, pin_nodes[self.output_pin], gnd_node, wn_out)
+            add_fet("p", first_stage_output, vdd_node, pin_nodes[self.output_pin], wp_out)
+
+        if not add_parasitics:
+            return
+
+        # Parasitic capacitances: per-device gate cap (gate to ground),
+        # gate-drain overlap (Miller) cap, and diffusion caps on the
+        # non-supply source/drain nodes.
+        cap_counter = itertools.count()
+        supply_nodes = {
+            Circuit.canonical_node_name(vdd_node),
+            Circuit.canonical_node_name(gnd_node),
+            "0",
+        }
+
+        def add_cap(a: str, b: str, value: float):
+            if value <= 0.0:
+                return
+            circuit.add_capacitor(f"{instance}.C{next(cap_counter)}", a, b, value)
+
+        for fet in created_mosfets:
+            add_cap(fet.gate, gnd_node, fet.gate_capacitance())
+            add_cap(fet.gate, fet.drain, fet.overlap_capacitance())
+            for terminal in (fet.drain, fet.source):
+                if Circuit.canonical_node_name(terminal) not in supply_nodes:
+                    add_cap(terminal, gnd_node, fet.diffusion_capacitance())
+
+    # --------------------------------------------------------------- estimates
+
+    def input_capacitance(self, technology: Technology, pin: Optional[str] = None) -> float:
+        """Estimated input capacitance of ``pin`` (or the largest pin).
+
+        The estimate sums the gate capacitances of all transistors driven by
+        the pin (NMOS in the pull-down, PMOS in the pull-up), using the same
+        sizing rules as :meth:`instantiate`.
+        """
+        wn1, wp1, _, _ = self._widths(technology)
+        n_counts = self.pull_down.count_leaves()
+        p_counts = self.pull_up.count_leaves()
+        l = technology.l_drawn
+
+        def pin_cap(p: str) -> float:
+            n_gate = n_counts.get(p, 0) * (
+                technology.nmos.cox * wn1 * l + 2.0 * technology.nmos.cgdo * wn1
+            )
+            p_gate = p_counts.get(p, 0) * (
+                technology.pmos.cox * wp1 * l + 2.0 * technology.pmos.cgdo * wp1
+            )
+            return n_gate + p_gate
+
+        if pin is not None:
+            if pin not in self.inputs:
+                raise KeyError(f"cell {self.name} has no input pin '{pin}'")
+            return pin_cap(pin)
+        return max(pin_cap(p) for p in self.inputs)
+
+    def output_diffusion_capacitance(self, technology: Technology) -> float:
+        """Estimated diffusion capacitance loading the output pin."""
+        wn1, wp1, wn_out, wp_out = self._widths(technology)
+        if self.output_stage_inverter:
+            wn, wp = wn_out, wp_out
+            n_at_output = p_at_output = 1
+        else:
+            wn, wp = wn1, wp1
+            # Devices whose drain connects to the output: the top level of the
+            # pull-down and the bottom level of the pull-up.
+            n_at_output = len(self.pull_down.children) if hasattr(self.pull_down, "children") else 1
+            p_at_output = len(self.pull_up.children) if hasattr(self.pull_up, "children") else 1
+        ld_n = 2.5 * technology.l_drawn
+        ld_p = 2.5 * technology.l_drawn
+        cn = technology.nmos.cj * wn * ld_n + technology.nmos.cjsw * 2.0 * (wn + ld_n)
+        cp = technology.pmos.cj * wp * ld_p + technology.pmos.cjsw * 2.0 * (wp + ld_p)
+        return n_at_output * cn + p_at_output * cp
+
+    def __repr__(self) -> str:
+        return f"StandardCell({self.name}, inputs={self.inputs}, strength={self.strength})"
+
+
+# ---------------------------------------------------------------------------
+# The default cell set
+# ---------------------------------------------------------------------------
+
+def _inv(strength: float) -> StandardCell:
+    return StandardCell(
+        f"INV_X{_fmt(strength)}",
+        Leaf("A"),
+        strength=strength,
+        description="inverter",
+    )
+
+
+def _buf(strength: float) -> StandardCell:
+    return StandardCell(
+        f"BUF_X{_fmt(strength)}",
+        Leaf("A"),
+        strength=strength,
+        output_stage_inverter=True,
+        description="non-inverting buffer (two stages)",
+    )
+
+
+def _nand(n_inputs: int, strength: float) -> StandardCell:
+    pins = ["A", "B", "C", "D"][:n_inputs]
+    return StandardCell(
+        f"NAND{n_inputs}_X{_fmt(strength)}",
+        Series([Leaf(p) for p in pins]),
+        strength=strength,
+        description=f"{n_inputs}-input NAND",
+    )
+
+
+def _nor(n_inputs: int, strength: float) -> StandardCell:
+    pins = ["A", "B", "C", "D"][:n_inputs]
+    return StandardCell(
+        f"NOR{n_inputs}_X{_fmt(strength)}",
+        Parallel([Leaf(p) for p in pins]),
+        strength=strength,
+        description=f"{n_inputs}-input NOR",
+    )
+
+
+def _aoi21(strength: float) -> StandardCell:
+    # Z = not(A*B + C): pull-down = (A series B) parallel C
+    return StandardCell(
+        f"AOI21_X{_fmt(strength)}",
+        Parallel([Series([Leaf("A"), Leaf("B")]), Leaf("C")]),
+        strength=strength,
+        description="AND-OR-invert (2-1)",
+    )
+
+
+def _oai21(strength: float) -> StandardCell:
+    # Z = not((A+B) * C): pull-down = (A parallel B) series C
+    return StandardCell(
+        f"OAI21_X{_fmt(strength)}",
+        Series([Parallel([Leaf("A"), Leaf("B")]), Leaf("C")]),
+        strength=strength,
+        description="OR-AND-invert (2-1)",
+    )
+
+
+def _and2(strength: float) -> StandardCell:
+    return StandardCell(
+        f"AND2_X{_fmt(strength)}",
+        Series([Leaf("A"), Leaf("B")]),
+        strength=strength,
+        output_stage_inverter=True,
+        description="2-input AND (NAND + inverter)",
+    )
+
+
+def _or2(strength: float) -> StandardCell:
+    return StandardCell(
+        f"OR2_X{_fmt(strength)}",
+        Parallel([Leaf("A"), Leaf("B")]),
+        strength=strength,
+        output_stage_inverter=True,
+        description="2-input OR (NOR + inverter)",
+    )
+
+
+def _fmt(strength: float) -> str:
+    if float(strength).is_integer():
+        return str(int(strength))
+    return str(strength).replace(".", "p")
+
+
+def default_cell_set() -> List[StandardCell]:
+    """The standard-cell set used to build the default libraries."""
+    cells: List[StandardCell] = []
+    for strength in (1, 2, 4):
+        cells.append(_inv(strength))
+    for strength in (1, 2):
+        cells.append(_nand(2, strength))
+        cells.append(_nor(2, strength))
+    cells.append(_nand(3, 1))
+    cells.append(_nor(3, 1))
+    cells.append(_aoi21(1))
+    cells.append(_oai21(1))
+    cells.append(_buf(2))
+    cells.append(_and2(1))
+    cells.append(_or2(1))
+    return cells

@@ -1,0 +1,99 @@
+"""The standard-cell library container.
+
+A :class:`CellLibrary` couples a :class:`~repro.technology.process.Technology`
+with a set of :class:`~repro.technology.cells.StandardCell` definitions and
+provides the lookups the characterisation and analysis flows need.  The
+characterised data (VCCS load surfaces, Thevenin driver models,
+noise-propagation tables, noise rejection curves) is attached to the library
+by :mod:`repro.characterization` and cached per (cell, arc) key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .cells import StandardCell, default_cell_set
+from .process import Technology, get_technology
+
+__all__ = ["CellLibrary", "build_default_library"]
+
+
+class CellLibrary:
+    """A named collection of standard cells in a given technology."""
+
+    def __init__(self, name: str, technology: Technology, cells: Optional[Iterable[StandardCell]] = None):
+        self.name = name
+        self.technology = technology
+        self._cells: Dict[str, StandardCell] = {}
+        #: Characterised data attached by repro.characterization; keyed by an
+        #: arbitrary (kind, cell, ...) tuple chosen by the characteriser.
+        self.characterization_cache: Dict = {}
+        for cell in cells or []:
+            self.add_cell(cell)
+
+    # ------------------------------------------------------------------ cells
+
+    def add_cell(self, cell: StandardCell) -> StandardCell:
+        if cell.name in self._cells:
+            raise ValueError(f"library '{self.name}' already contains cell '{cell.name}'")
+        self._cells[cell.name] = cell
+        return cell
+
+    def cell(self, name: str) -> StandardCell:
+        try:
+            return self._cells[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"library '{self.name}' has no cell '{name}' "
+                f"(available: {sorted(self._cells)})"
+            ) from exc
+
+    def __getitem__(self, name: str) -> StandardCell:
+        return self.cell(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[StandardCell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cell_names(self) -> List[str]:
+        return sorted(self._cells)
+
+    def cells_matching(self, prefix: str) -> List[StandardCell]:
+        """All cells whose name starts with ``prefix`` (e.g. ``"NAND2"``)."""
+        return [c for name, c in sorted(self._cells.items()) if name.startswith(prefix)]
+
+    # ------------------------------------------------------------------ summary
+
+    def summary(self) -> str:
+        lines = [f"CellLibrary '{self.name}' ({self.technology.name}, VDD={self.technology.vdd} V)"]
+        for name in self.cell_names:
+            cell = self._cells[name]
+            cin_ff = cell.input_capacitance(self.technology) / 1e-15
+            lines.append(
+                f"  {name:12s} inputs={','.join(cell.inputs):8s} "
+                f"Cin~{cin_ff:.2f} fF  {cell.description}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CellLibrary({self.name!r}, {len(self)} cells, {self.technology.name})"
+
+
+def build_default_library(technology: Optional[Technology] = None, name: Optional[str] = None) -> CellLibrary:
+    """Build the default cell library for a technology.
+
+    ``technology`` may be a :class:`Technology`, a preset name (``"cmos130"``
+    or ``"cmos90"``) or ``None`` (defaults to ``cmos130``).
+    """
+    if technology is None:
+        technology = get_technology("cmos130")
+    elif isinstance(technology, str):
+        technology = get_technology(technology)
+    library_name = name or f"stdcells_{technology.name}"
+    return CellLibrary(library_name, technology, default_cell_set())

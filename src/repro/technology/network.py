@@ -1,0 +1,209 @@
+"""Series/parallel pull-network algebra for static CMOS cells.
+
+A static CMOS gate consists of a pull-down network of NMOS transistors
+between the output and ground, and the *dual* pull-up network of PMOS
+transistors between the output and the supply.  Describing the pull-down
+network as a series/parallel expression is enough to
+
+* generate the transistor-level netlist of the cell (including internal
+  nodes of series stacks),
+* evaluate the cell's logic function,
+* derive the pull-up network by taking the dual of the expression, and
+* compute sizing (series stacks are widened to preserve drive strength) and
+  pin capacitance (how many gates each input drives).
+
+The three node types are :class:`Leaf` (a single transistor driven by an
+input pin), :class:`Series` and :class:`Parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["PullNetwork", "Leaf", "Series", "Parallel"]
+
+
+class PullNetwork:
+    """Base class of pull-network expressions."""
+
+    def conducts(self, inputs: Mapping[str, bool]) -> bool:
+        """True when the network forms a conducting path for the given inputs.
+
+        The input values are interpreted as "gate voltage is high"; for the
+        pull-up (PMOS) network use :meth:`conducts_pmos`.
+        """
+        raise NotImplementedError
+
+    def conducts_pmos(self, inputs: Mapping[str, bool]) -> bool:
+        """Conduction of the same topology built from PMOS devices.
+
+        A PMOS transistor conducts when its gate is *low*, so this simply
+        evaluates the expression with inverted inputs.
+        """
+        inverted = {name: not value for name, value in inputs.items()}
+        return self.conducts(inverted)
+
+    def dual(self) -> "PullNetwork":
+        """The series/parallel dual network (series <-> parallel)."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Maximum number of devices in series along any path."""
+        raise NotImplementedError
+
+    def inputs(self) -> List[str]:
+        """Input pin names appearing in the expression (in first-seen order)."""
+        seen: List[str] = []
+        self._collect_inputs(seen)
+        return seen
+
+    def _collect_inputs(self, accumulator: List[str]) -> None:
+        raise NotImplementedError
+
+    def count_leaves(self) -> Dict[str, int]:
+        """Number of transistors driven by each input pin."""
+        counts: Dict[str, int] = {}
+        self._count_leaves(counts)
+        return counts
+
+    def _count_leaves(self, counts: Dict[str, int]) -> None:
+        raise NotImplementedError
+
+    def build(
+        self,
+        add_transistor: Callable[[str, str, str], None],
+        node_top: str,
+        node_bottom: str,
+        make_internal_node: Callable[[], str],
+    ) -> None:
+        """Instantiate the network's transistors between two nodes.
+
+        ``add_transistor(input_pin, node_a, node_b)`` is called once per leaf;
+        the caller decides polarity, sizing and naming.  ``make_internal_node``
+        returns fresh internal node names for series stacks.
+        """
+        raise NotImplementedError
+
+    # Convenience operators so expressions read naturally:
+    # ``Leaf("A") & Leaf("B")`` is a series (AND-like) connection,
+    # ``Leaf("A") | Leaf("B")`` is a parallel (OR-like) connection.
+    def __and__(self, other: "PullNetwork") -> "PullNetwork":
+        return Series([self, other])
+
+    def __or__(self, other: "PullNetwork") -> "PullNetwork":
+        return Parallel([self, other])
+
+
+class Leaf(PullNetwork):
+    """A single transistor controlled by the named input pin."""
+
+    def __init__(self, input_name: str):
+        self.input_name = input_name
+
+    def conducts(self, inputs: Mapping[str, bool]) -> bool:
+        try:
+            return bool(inputs[self.input_name])
+        except KeyError as exc:
+            raise KeyError(f"missing value for input '{self.input_name}'") from exc
+
+    def dual(self) -> "PullNetwork":
+        return Leaf(self.input_name)
+
+    def depth(self) -> int:
+        return 1
+
+    def _collect_inputs(self, accumulator: List[str]) -> None:
+        if self.input_name not in accumulator:
+            accumulator.append(self.input_name)
+
+    def _count_leaves(self, counts: Dict[str, int]) -> None:
+        counts[self.input_name] = counts.get(self.input_name, 0) + 1
+
+    def build(self, add_transistor, node_top, node_bottom, make_internal_node) -> None:
+        add_transistor(self.input_name, node_top, node_bottom)
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.input_name!r})"
+
+
+class Series(PullNetwork):
+    """Series connection of sub-networks (conducts when *all* conduct)."""
+
+    def __init__(self, children: Sequence[PullNetwork]):
+        if len(children) < 2:
+            raise ValueError("Series needs at least two children")
+        # Flatten nested series for cleaner netlists and depth computation.
+        flat: List[PullNetwork] = []
+        for child in children:
+            if isinstance(child, Series):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = flat
+
+    def conducts(self, inputs: Mapping[str, bool]) -> bool:
+        return all(child.conducts(inputs) for child in self.children)
+
+    def dual(self) -> "PullNetwork":
+        return Parallel([child.dual() for child in self.children])
+
+    def depth(self) -> int:
+        return sum(child.depth() for child in self.children)
+
+    def _collect_inputs(self, accumulator: List[str]) -> None:
+        for child in self.children:
+            child._collect_inputs(accumulator)
+
+    def _count_leaves(self, counts: Dict[str, int]) -> None:
+        for child in self.children:
+            child._count_leaves(counts)
+
+    def build(self, add_transistor, node_top, node_bottom, make_internal_node) -> None:
+        nodes = [node_top]
+        for _ in range(len(self.children) - 1):
+            nodes.append(make_internal_node())
+        nodes.append(node_bottom)
+        for child, (upper, lower) in zip(self.children, zip(nodes, nodes[1:])):
+            child.build(add_transistor, upper, lower, make_internal_node)
+
+    def __repr__(self) -> str:
+        return "Series(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+class Parallel(PullNetwork):
+    """Parallel connection of sub-networks (conducts when *any* conducts)."""
+
+    def __init__(self, children: Sequence[PullNetwork]):
+        if len(children) < 2:
+            raise ValueError("Parallel needs at least two children")
+        flat: List[PullNetwork] = []
+        for child in children:
+            if isinstance(child, Parallel):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = flat
+
+    def conducts(self, inputs: Mapping[str, bool]) -> bool:
+        return any(child.conducts(inputs) for child in self.children)
+
+    def dual(self) -> "PullNetwork":
+        return Series([child.dual() for child in self.children])
+
+    def depth(self) -> int:
+        return max(child.depth() for child in self.children)
+
+    def _collect_inputs(self, accumulator: List[str]) -> None:
+        for child in self.children:
+            child._collect_inputs(accumulator)
+
+    def _count_leaves(self, counts: Dict[str, int]) -> None:
+        for child in self.children:
+            child._count_leaves(counts)
+
+    def build(self, add_transistor, node_top, node_bottom, make_internal_node) -> None:
+        for child in self.children:
+            child.build(add_transistor, node_top, node_bottom, make_internal_node)
+
+    def __repr__(self) -> str:
+        return "Parallel(" + ", ".join(repr(c) for c in self.children) + ")"

@@ -1,0 +1,257 @@
+"""Process technology descriptions.
+
+A :class:`Technology` bundles everything the rest of the library needs to
+know about a CMOS process node:
+
+* supply voltage and nominal channel length;
+* NMOS / PMOS model parameters (:class:`repro.circuit.MOSFETParams`);
+* default transistor sizing rules for standard cells;
+* back-end-of-line metal layer parasitics (sheet resistance, ground and
+  coupling capacitance per unit length).
+
+Two presets are provided, mirroring the technologies used in the paper's
+experiments: a 0.13 um node (``cmos130``) and a 90 nm node (``cmos90``).
+The parameter values are public ball-park numbers for those nodes -- the
+foundry data used by the authors is proprietary -- chosen so that gate drive
+currents, cell input capacitances and wire parasitics land in realistic
+ranges.  The *relative* comparison between the golden simulation, the linear
+superposition baseline and the macromodel does not depend on these absolute
+values because all three methods share the same devices and wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuit.mosfet import MOSFETParams
+from ..units import fF, um
+
+__all__ = ["MetalLayer", "Technology", "cmos130", "cmos90", "get_technology", "TECHNOLOGIES"]
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Parasitic coefficients of a routing metal layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name (``"M4"``).
+    index:
+        Layer number, 1 = lowest routing layer.
+    resistance_per_um:
+        Wire resistance per micrometre of length at minimum width (ohm/um).
+    ground_cap_per_um:
+        Capacitance to the substrate / orthogonal layers per micrometre (F/um,
+        expressed in farads per micrometre of wire length).
+    coupling_cap_per_um:
+        Sidewall coupling capacitance to an adjacent minimum-spaced parallel
+        wire, per micrometre of common run length (F/um).
+    min_width_um / min_spacing_um:
+        Minimum drawn width and spacing in micrometres (informational).
+    """
+
+    name: str
+    index: int
+    resistance_per_um: float
+    ground_cap_per_um: float
+    coupling_cap_per_um: float
+    min_width_um: float = 0.2
+    min_spacing_um: float = 0.2
+
+    def coupling_cap(self, length_um: float, spacing_factor: float = 1.0) -> float:
+        """Total coupling capacitance for ``length_um`` of parallel run.
+
+        ``spacing_factor`` scales the capacitance for non-minimum spacing
+        (2.0 means twice the minimum spacing, roughly halving the coupling).
+        """
+        if spacing_factor <= 0:
+            raise ValueError("spacing_factor must be positive")
+        return self.coupling_cap_per_um * length_um / spacing_factor
+
+    def ground_cap(self, length_um: float) -> float:
+        """Total ground capacitance for ``length_um`` of wire."""
+        return self.ground_cap_per_um * length_um
+
+    def resistance(self, length_um: float) -> float:
+        """Total series resistance for ``length_um`` of wire."""
+        return self.resistance_per_um * length_um
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS process node with devices, sizing rules and metal stack."""
+
+    name: str
+    vdd: float
+    nmos: MOSFETParams
+    pmos: MOSFETParams
+    #: Default width of the unit (X1) NMOS in a standard cell (metres).
+    wn_unit: float
+    #: Default width of the unit (X1) PMOS in a standard cell (metres).
+    wp_unit: float
+    #: Drawn channel length used by the standard cells (metres).
+    l_drawn: float
+    #: Metal stack indexed by layer number.
+    metal_layers: Dict[int, MetalLayer] = field(default_factory=dict)
+    #: MOSFET static model to use ("level1" or "alpha").
+    mosfet_model: str = "level1"
+
+    def layer(self, index: int) -> MetalLayer:
+        """Return the metal layer with the given index."""
+        try:
+            return self.metal_layers[index]
+        except KeyError as exc:
+            raise KeyError(
+                f"technology '{self.name}' has no metal layer {index} "
+                f"(available: {sorted(self.metal_layers)})"
+            ) from exc
+
+    @property
+    def half_vdd(self) -> float:
+        return 0.5 * self.vdd
+
+    def characterization_voltage_range(self, margin: float = 0.2) -> tuple:
+        """Voltage sweep range used for cell characterisation.
+
+        The paper sweeps ``Vin`` and ``Vout`` "across the characterization
+        range corresponding to the typical voltage swing of the given
+        technology"; a symmetric margin beyond the rails covers overshoot.
+        """
+        return (-margin * self.vdd, (1.0 + margin) * self.vdd)
+
+    def __str__(self) -> str:
+        return f"Technology({self.name}, VDD={self.vdd} V, L={self.l_drawn * 1e9:.0f} nm)"
+
+
+def _standard_metal_stack(resistance_scale: float, cap_scale: float) -> Dict[int, MetalLayer]:
+    """Build a typical 6-layer metal stack.
+
+    Lower layers are thinner (higher resistance, higher coupling); the top
+    layers are thick and mostly used for power routing.
+    """
+    stack: Dict[int, MetalLayer] = {}
+    base = [
+        # index, r (ohm/um), cg (fF/um), cc (fF/um), width, spacing
+        (1, 0.80, 0.035, 0.085, 0.16, 0.16),
+        (2, 0.60, 0.032, 0.080, 0.20, 0.20),
+        (3, 0.50, 0.030, 0.080, 0.20, 0.20),
+        (4, 0.40, 0.028, 0.078, 0.20, 0.21),
+        (5, 0.25, 0.030, 0.070, 0.28, 0.28),
+        (6, 0.12, 0.033, 0.060, 0.40, 0.40),
+    ]
+    for index, r, cg, cc, w, s in base:
+        stack[index] = MetalLayer(
+            name=f"M{index}",
+            index=index,
+            resistance_per_um=r * resistance_scale,
+            ground_cap_per_um=fF(cg) * cap_scale,
+            coupling_cap_per_um=fF(cc) * cap_scale,
+            min_width_um=w,
+            min_spacing_um=s,
+        )
+    return stack
+
+
+def cmos130() -> Technology:
+    """A generic 0.13 um CMOS technology (VDD = 1.2 V)."""
+    l_drawn = um(0.13)
+    nmos = MOSFETParams(
+        polarity="n",
+        vto=0.34,
+        kp=3.2e-4,
+        lambda_=0.06,
+        alpha=2.0,
+        cox=1.2e-2,
+        cj=1.0e-3,
+        cjsw=1.0e-10,
+        cgdo=3.0e-10,
+        l_nominal=l_drawn,
+    )
+    pmos = MOSFETParams(
+        polarity="p",
+        vto=0.36,
+        kp=1.3e-4,
+        lambda_=0.09,
+        alpha=2.0,
+        cox=1.2e-2,
+        cj=1.1e-3,
+        cjsw=1.1e-10,
+        cgdo=3.0e-10,
+        l_nominal=l_drawn,
+    )
+    return Technology(
+        name="cmos130",
+        vdd=1.2,
+        nmos=nmos,
+        pmos=pmos,
+        wn_unit=um(0.42),
+        wp_unit=um(0.84),
+        l_drawn=l_drawn,
+        metal_layers=_standard_metal_stack(resistance_scale=1.0, cap_scale=1.0),
+        mosfet_model="level1",
+    )
+
+
+def cmos90() -> Technology:
+    """A generic 90 nm CMOS technology (VDD = 1.0 V).
+
+    The alpha-power-law model (alpha < 2) captures the weaker gate-overdrive
+    dependence of velocity-saturated short-channel devices.
+    """
+    l_drawn = um(0.10)
+    nmos = MOSFETParams(
+        polarity="n",
+        vto=0.29,
+        kp=3.8e-4,
+        lambda_=0.09,
+        alpha=1.45,
+        vdsat_coeff=0.85,
+        cox=1.45e-2,
+        cj=1.1e-3,
+        cjsw=1.0e-10,
+        cgdo=3.2e-10,
+        l_nominal=l_drawn,
+    )
+    pmos = MOSFETParams(
+        polarity="p",
+        vto=0.31,
+        kp=1.7e-4,
+        lambda_=0.12,
+        alpha=1.55,
+        vdsat_coeff=0.9,
+        cox=1.45e-2,
+        cj=1.2e-3,
+        cjsw=1.1e-10,
+        cgdo=3.2e-10,
+        l_nominal=l_drawn,
+    )
+    return Technology(
+        name="cmos90",
+        vdd=1.0,
+        nmos=nmos,
+        pmos=pmos,
+        wn_unit=um(0.30),
+        wp_unit=um(0.60),
+        l_drawn=l_drawn,
+        metal_layers=_standard_metal_stack(resistance_scale=1.35, cap_scale=0.85),
+        mosfet_model="alpha",
+    )
+
+
+TECHNOLOGIES = {
+    "cmos130": cmos130,
+    "cmos90": cmos90,
+}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a technology preset by name (``"cmos130"`` or ``"cmos90"``)."""
+    try:
+        factory = TECHNOLOGIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown technology '{name}' (available: {sorted(TECHNOLOGIES)})"
+        ) from exc
+    return factory()

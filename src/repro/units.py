@@ -1,0 +1,160 @@
+"""Unit helpers and physical constants used across the library.
+
+All internal quantities are kept in SI units (volts, amperes, ohms, farads,
+seconds, metres).  The helpers in this module exist so that user-facing code
+and tests can express values in the units EDA engineers normally use
+(picoseconds, femtofarads, micrometres, ...) without sprinkling powers of ten
+everywhere.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Metric prefixes
+# ---------------------------------------------------------------------------
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * PICO
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICRO
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds / PICO
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NANO
+
+
+# ---------------------------------------------------------------------------
+# Capacitance
+# ---------------------------------------------------------------------------
+
+def fF(value: float) -> float:  # noqa: N802 - conventional EDA unit name
+    """Convert femtofarads to farads."""
+    return value * FEMTO
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Convert picofarads to farads."""
+    return value * PICO
+
+
+def to_fF(farads: float) -> float:  # noqa: N802
+    """Convert farads to femtofarads."""
+    return farads / FEMTO
+
+
+# ---------------------------------------------------------------------------
+# Resistance
+# ---------------------------------------------------------------------------
+
+def kohm(value: float) -> float:
+    """Convert kilo-ohms to ohms."""
+    return value * KILO
+
+
+def ohm(value: float) -> float:
+    """Identity helper for readability."""
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * MICRO
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * NANO
+
+
+def to_um(metres: float) -> float:
+    """Convert metres to micrometres."""
+    return metres / MICRO
+
+
+# ---------------------------------------------------------------------------
+# Voltage / current
+# ---------------------------------------------------------------------------
+
+def mV(value: float) -> float:  # noqa: N802
+    """Convert millivolts to volts."""
+    return value * MILLI
+
+
+def to_mV(volts: float) -> float:  # noqa: N802
+    """Convert volts to millivolts."""
+    return volts / MILLI
+
+
+def uA(value: float) -> float:  # noqa: N802
+    """Convert microamperes to amperes."""
+    return value * MICRO
+
+
+def mA(value: float) -> float:  # noqa: N802
+    """Convert milliamperes to amperes."""
+    return value * MILLI
+
+
+# ---------------------------------------------------------------------------
+# Derived / composite units used in noise analysis
+# ---------------------------------------------------------------------------
+
+def v_ps(value: float) -> float:
+    """Convert a noise area expressed in V*ps to V*s."""
+    return value * PICO
+
+
+def to_v_ps(volt_seconds: float) -> float:
+    """Convert a noise area expressed in V*s to V*ps (the paper's unit)."""
+    return volt_seconds / PICO
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ELECTRON_CHARGE = 1.602176634e-19
+"""Elementary charge in coulombs."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Default simulation temperature in kelvin."""
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Thermal voltage kT/q at the given temperature (volts)."""
+    return BOLTZMANN * temperature_k / ELECTRON_CHARGE

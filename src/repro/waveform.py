@@ -1,0 +1,433 @@
+"""Waveform container and glitch metrics.
+
+A :class:`Waveform` is an immutable pair of monotonically increasing time
+points and the corresponding signal values.  It is the lingua franca of the
+library: the circuit simulator produces waveforms, the noise engines produce
+waveforms, and the noise metrics (peak, width, area) used throughout the
+paper's tables are computed from waveforms.
+
+The glitch metrics follow the conventions of the paper:
+
+* ``peak``  - maximum absolute excursion from the quiescent baseline (volts);
+* ``area``  - integral of the excursion above the baseline (volt-seconds,
+  reported by the paper in V*ps);
+* ``width`` - time spent above a fractional threshold of the peak (default
+  50 %), i.e. the full width at half maximum of the glitch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Waveform", "GlitchMetrics"]
+
+# numpy 2.0 renamed trapz to trapezoid; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class GlitchMetrics:
+    """Summary metrics of a noise glitch.
+
+    Attributes
+    ----------
+    peak:
+        Maximum excursion from the baseline, in volts (signed: positive for
+        glitches above the baseline, negative for undershoot-dominated ones).
+    area:
+        Integral of the absolute excursion, in volt-seconds.
+    width:
+        Full width at ``width_threshold`` times the peak, in seconds.
+    peak_time:
+        Time at which the peak excursion occurs, in seconds.
+    baseline:
+        Quiescent level the excursion is measured from, in volts.
+    width_threshold:
+        Fraction of the peak used for the width measurement.
+    """
+
+    peak: float
+    area: float
+    width: float
+    peak_time: float
+    baseline: float
+    width_threshold: float = 0.5
+
+    @property
+    def area_v_ps(self) -> float:
+        """Glitch area in V*ps, the unit used by the paper's tables."""
+        return self.area / 1e-12
+
+    @property
+    def width_ps(self) -> float:
+        """Glitch width in picoseconds."""
+        return self.width / 1e-12
+
+    def as_dict(self) -> dict:
+        """Return the metrics as a plain dictionary (useful for reports)."""
+        return {
+            "peak_v": self.peak,
+            "area_v_ps": self.area_v_ps,
+            "width_ps": self.width_ps,
+            "peak_time_s": self.peak_time,
+            "baseline_v": self.baseline,
+        }
+
+
+class Waveform:
+    """A sampled signal ``v(t)`` on a strictly increasing time axis."""
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Sequence[Number], values: Sequence[Number]):
+        times_arr = np.asarray(times, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        if times_arr.ndim != 1 or values_arr.ndim != 1:
+            raise ValueError("times and values must be one-dimensional")
+        if times_arr.shape != values_arr.shape:
+            raise ValueError(
+                f"times ({times_arr.shape}) and values ({values_arr.shape}) "
+                "must have the same length"
+            )
+        if times_arr.size < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(times_arr) <= 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "_times", times_arr)
+        object.__setattr__(self, "_values", values_arr)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Time axis in seconds (read-only view)."""
+        view = self._times.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        """Signal values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def t_start(self) -> float:
+        return float(self._times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self._times[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform(n={len(self)}, t=[{self.t_start:.3e}, {self.t_stop:.3e}] s, "
+            f"v=[{self._values.min():.4f}, {self._values.max():.4f}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        return np.array_equal(self._times, other._times) and np.array_equal(
+            self._values, other._values
+        )
+
+    def __hash__(self) -> int:  # waveforms are value objects
+        return hash((self._times.tobytes(), self._values.tobytes()))
+
+    # -- construction helpers -----------------------------------------------
+
+    @classmethod
+    def constant(cls, value: float, t_start: float, t_stop: float, n: int = 2) -> "Waveform":
+        """A flat waveform at ``value`` between ``t_start`` and ``t_stop``."""
+        if n < 2:
+            n = 2
+        times = np.linspace(t_start, t_stop, n)
+        return cls(times, np.full(n, float(value)))
+
+    @classmethod
+    def from_function(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        t_start: float,
+        t_stop: float,
+        n: int = 201,
+    ) -> "Waveform":
+        """Sample a callable ``v(t)`` uniformly on ``[t_start, t_stop]``."""
+        times = np.linspace(t_start, t_stop, n)
+        values = np.asarray(func(times), dtype=float)
+        if values.shape != times.shape:
+            values = np.array([float(func(t)) for t in times])
+        return cls(times, values)
+
+    @classmethod
+    def triangular_glitch(
+        cls,
+        baseline: float,
+        peak: float,
+        t_start: float,
+        rise: float,
+        fall: float,
+        pre: float = 0.0,
+        post: float = 0.0,
+    ) -> "Waveform":
+        """A triangular noise glitch rising from ``baseline`` to ``baseline+peak``.
+
+        Parameters
+        ----------
+        baseline:
+            Quiet level before/after the glitch (volts).
+        peak:
+            Glitch height above the baseline (may be negative for undershoot).
+        t_start:
+            Time at which the glitch starts to rise.
+        rise, fall:
+            Rise and fall durations (seconds).
+        pre, post:
+            Flat guard intervals added before and after the glitch.
+        """
+        if rise <= 0 or fall <= 0:
+            raise ValueError("rise and fall must be positive")
+        t0 = t_start - max(pre, 0.0)
+        points_t = [t0, t_start, t_start + rise, t_start + rise + fall]
+        points_v = [baseline, baseline, baseline + peak, baseline]
+        if post > 0:
+            points_t.append(points_t[-1] + post)
+            points_v.append(baseline)
+        # Remove duplicate leading time if pre == 0.
+        times: list = []
+        values: list = []
+        for t, v in zip(points_t, points_v):
+            if times and t <= times[-1]:
+                continue
+            times.append(t)
+            values.append(v)
+        return cls(times, values)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def __call__(self, t: Union[Number, Sequence[Number], np.ndarray]) -> Union[float, np.ndarray]:
+        """Evaluate the waveform at time(s) ``t`` by linear interpolation.
+
+        Values outside the time range are clamped to the first/last sample.
+        """
+        result = np.interp(np.asarray(t, dtype=float), self._times, self._values)
+        if np.isscalar(t) or (isinstance(t, np.ndarray) and t.ndim == 0):
+            return float(result)
+        return result
+
+    def value_at(self, t: float) -> float:
+        """Scalar interpolation at time ``t``."""
+        return float(np.interp(t, self._times, self._values))
+
+    def resample(self, times: Sequence[Number]) -> "Waveform":
+        """Return the waveform re-sampled on a new time axis."""
+        times_arr = np.asarray(times, dtype=float)
+        return Waveform(times_arr, np.interp(times_arr, self._times, self._values))
+
+    def resample_uniform(self, n: int) -> "Waveform":
+        """Return the waveform re-sampled on ``n`` uniform points."""
+        return self.resample(np.linspace(self.t_start, self.t_stop, n))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _binary(self, other: Union["Waveform", Number], op) -> "Waveform":
+        if isinstance(other, Waveform):
+            times = np.union1d(self._times, other._times)
+            a = np.interp(times, self._times, self._values)
+            b = np.interp(times, other._times, other._values)
+            return Waveform(times, op(a, b))
+        return Waveform(self._times, op(self._values, float(other)))
+
+    def __add__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Waveform", Number]) -> "Waveform":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Number) -> "Waveform":
+        return Waveform(self._times, float(other) - self._values)
+
+    def __mul__(self, scale: Number) -> "Waveform":
+        return Waveform(self._times, self._values * float(scale))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self._times, -self._values)
+
+    def shift(self, dt: float) -> "Waveform":
+        """Return the waveform shifted in time by ``dt`` seconds."""
+        return Waveform(self._times + dt, self._values)
+
+    def clip_time(self, t_start: float, t_stop: float) -> "Waveform":
+        """Return the waveform restricted to ``[t_start, t_stop]``.
+
+        Interpolated samples are inserted exactly at the boundaries so no
+        signal content is lost.
+        """
+        if t_stop <= t_start:
+            raise ValueError("t_stop must be greater than t_start")
+        t_start = max(t_start, self.t_start)
+        t_stop = min(t_stop, self.t_stop)
+        mask = (self._times > t_start) & (self._times < t_stop)
+        times = np.concatenate(([t_start], self._times[mask], [t_stop]))
+        values = np.interp(times, self._times, self._values)
+        return Waveform(times, values)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def max(self) -> float:
+        return float(self._values.max())
+
+    def min(self) -> float:
+        return float(self._values.min())
+
+    def integral(self) -> float:
+        """Integral of the waveform over its full time span (trapezoidal)."""
+        return float(_trapezoid(self._values, self._times))
+
+    def baseline(self) -> float:
+        """Estimate of the quiescent level: the value at the first sample."""
+        return float(self._values[0])
+
+    def excursion(self, baseline: Optional[float] = None) -> "Waveform":
+        """Waveform of the excursion from the baseline."""
+        base = self.baseline() if baseline is None else float(baseline)
+        return Waveform(self._times, self._values - base)
+
+    def peak_excursion(self, baseline: Optional[float] = None) -> Tuple[float, float]:
+        """Return ``(signed peak, time of peak)`` relative to the baseline."""
+        base = self.baseline() if baseline is None else float(baseline)
+        deviation = self._values - base
+        idx = int(np.argmax(np.abs(deviation)))
+        return float(deviation[idx]), float(self._times[idx])
+
+    def crossings(self, level: float) -> list:
+        """Times at which the waveform crosses ``level`` (linear interpolation)."""
+        v = self._values - level
+        out = []
+        for i in range(len(v) - 1):
+            a, b = v[i], v[i + 1]
+            if a == 0.0:
+                out.append(float(self._times[i]))
+            elif a * b < 0.0:
+                frac = a / (a - b)
+                out.append(float(self._times[i] + frac * (self._times[i + 1] - self._times[i])))
+        if v[-1] == 0.0:
+            out.append(float(self._times[-1]))
+        return out
+
+    def glitch_metrics(
+        self,
+        baseline: Optional[float] = None,
+        width_threshold: float = 0.5,
+    ) -> GlitchMetrics:
+        """Compute peak / area / width of the glitch contained in the waveform.
+
+        The glitch polarity is decided by the largest absolute excursion from
+        the baseline; the area integrates only the excursion of that polarity
+        so that ringing of the opposite sign does not cancel the glitch area.
+        """
+        base = self.baseline() if baseline is None else float(baseline)
+        deviation = self._values - base
+        peak_signed, peak_time = self.peak_excursion(base)
+        if peak_signed == 0.0:
+            return GlitchMetrics(0.0, 0.0, 0.0, float(self._times[0]), base, width_threshold)
+
+        sign = 1.0 if peak_signed > 0 else -1.0
+        oriented = deviation * sign
+        positive = np.clip(oriented, 0.0, None)
+        area = float(_trapezoid(positive, self._times))
+
+        # Width at width_threshold * |peak| around the main lobe containing
+        # the peak sample.
+        level = width_threshold * abs(peak_signed)
+        above = oriented >= level
+        peak_idx = int(np.argmax(oriented))
+        if not above[peak_idx]:
+            width = 0.0
+        else:
+            # Walk left and right from the peak to the threshold crossings.
+            left = peak_idx
+            while left > 0 and above[left - 1]:
+                left -= 1
+            right = peak_idx
+            while right < len(above) - 1 and above[right + 1]:
+                right += 1
+            t_left = self._times[left]
+            if left > 0:
+                # interpolate the exact crossing
+                v0, v1 = oriented[left - 1], oriented[left]
+                frac = (level - v0) / (v1 - v0)
+                t_left = self._times[left - 1] + frac * (self._times[left] - self._times[left - 1])
+            t_right = self._times[right]
+            if right < len(above) - 1:
+                v0, v1 = oriented[right], oriented[right + 1]
+                frac = (v0 - level) / (v0 - v1)
+                t_right = self._times[right] + frac * (self._times[right + 1] - self._times[right])
+            width = float(t_right - t_left)
+
+        return GlitchMetrics(
+            peak=float(peak_signed),
+            area=area,
+            width=width,
+            peak_time=peak_time,
+            baseline=base,
+            width_threshold=width_threshold,
+        )
+
+    # -- comparisons -----------------------------------------------------------
+
+    def rms_difference(self, other: "Waveform", n: int = 512) -> float:
+        """RMS difference against ``other`` on the overlapping time window."""
+        t0 = max(self.t_start, other.t_start)
+        t1 = min(self.t_stop, other.t_stop)
+        if t1 <= t0:
+            raise ValueError("waveforms do not overlap in time")
+        times = np.linspace(t0, t1, n)
+        a = self(times)
+        b = other(times)
+        return float(np.sqrt(np.mean((a - b) ** 2)))
+
+    def max_difference(self, other: "Waveform", n: int = 512) -> float:
+        """Maximum absolute difference against ``other`` on the overlap."""
+        t0 = max(self.t_start, other.t_start)
+        t1 = min(self.t_stop, other.t_stop)
+        if t1 <= t0:
+            raise ValueError("waveforms do not overlap in time")
+        times = np.linspace(t0, t1, n)
+        return float(np.max(np.abs(self(times) - other(times))))
+
+
+def align_waveforms(waveforms: Iterable[Waveform], n: int = 1024) -> Tuple[np.ndarray, list]:
+    """Resample a collection of waveforms onto a common uniform time axis.
+
+    Returns the common time axis and the list of value arrays.  The axis spans
+    the union of the individual time ranges; waveforms are clamped outside
+    their own range (consistent with :meth:`Waveform.__call__`).
+    """
+    wf_list = list(waveforms)
+    if not wf_list:
+        raise ValueError("need at least one waveform")
+    t0 = min(w.t_start for w in wf_list)
+    t1 = max(w.t_stop for w in wf_list)
+    times = np.linspace(t0, t1, n)
+    return times, [w(times) for w in wf_list]

@@ -1,0 +1,187 @@
+"""DC analysis and element stamp tests, checked against hand-computed circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Circuit,
+    ConvergenceError,
+    DCValue,
+    dc_operating_point,
+)
+
+
+class TestResistiveNetworks:
+    def test_voltage_divider(self):
+        c = Circuit("divider")
+        c.add_voltage_source("V1", "in", "0", 10.0)
+        c.add_resistor("R1", "in", "mid", 1e3)
+        c.add_resistor("R2", "mid", "0", 3e3)
+        sol = dc_operating_point(c)
+        assert sol["mid"] == pytest.approx(7.5, rel=1e-6)
+        assert sol["in"] == pytest.approx(10.0, rel=1e-9)
+        # Source current: 10 V over 4 kohm, flowing + -> - inside the source.
+        assert sol.source_current("V1") == pytest.approx(-10.0 / 4e3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("isrc")
+        c.add_current_source("I1", "0", "out", 1e-3)  # 1 mA injected into 'out'
+        c.add_resistor("R1", "out", "0", 2e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_superposition_of_sources(self):
+        c = Circuit("super")
+        c.add_voltage_source("V1", "a", "0", 5.0)
+        c.add_current_source("I1", "0", "b", 1e-3)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        sol = dc_operating_point(c)
+        # Node b: (5/1k + 1mA) / (1/1k + 1/1k) = 3 V
+        assert sol["b"] == pytest.approx(3.0, rel=1e-6)
+
+    def test_vccs_gain(self):
+        c = Circuit("vccs")
+        c.add_voltage_source("VC", "ctl", "0", 2.0)
+        c.add_vccs("G1", "0", "out", "ctl", "0", 1e-3)  # injects gm*Vctl into out
+        c.add_resistor("RL", "out", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        c = Circuit("vcvs")
+        c.add_voltage_source("VC", "ctl", "0", 0.5)
+        c.add_vcvs("E1", "out", "0", "ctl", "0", 4.0)
+        c.add_resistor("RL", "out", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_diode_forward_drop(self):
+        c = Circuit("diode")
+        c.add_voltage_source("V1", "in", "0", 5.0)
+        c.add_resistor("R1", "in", "d", 1e3)
+        c.add_diode("D1", "d", "0")
+        sol = dc_operating_point(c)
+        assert 0.4 < sol["d"] < 0.8  # typical silicon forward drop
+
+    def test_capacitor_is_open_at_dc(self):
+        c = Circuit("capdc")
+        c.add_voltage_source("V1", "in", "0", 1.0)
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-12)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_inductor_is_short_at_dc(self):
+        c = Circuit("inddc")
+        c.add_voltage_source("V1", "in", "0", 1.0)
+        c.add_resistor("R1", "in", "mid", 1e3)
+        c.add_inductor("L1", "mid", "out", 1e-9)
+        c.add_resistor("R2", "out", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.5, rel=1e-6)
+        assert sol["mid"] == pytest.approx(0.5, rel=1e-6)
+
+
+class TestValidation:
+    def test_duplicate_element_names_rejected(self):
+        c = Circuit("dups")
+        c.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(ValueError):
+            c.add_resistor("R1", "b", "c", 1.0)
+
+    def test_negative_resistance_rejected(self):
+        c = Circuit("bad")
+        with pytest.raises(ValueError):
+            c.add_resistor("R1", "a", "0", -5.0)
+
+    def test_negative_capacitance_rejected(self):
+        c = Circuit("bad")
+        with pytest.raises(ValueError):
+            c.add_capacitor("C1", "a", "0", -1e-15)
+
+    def test_ground_aliases(self):
+        c = Circuit("gnd")
+        assert c.node("0") == c.node("gnd") == c.node("VSS") == -1
+        assert c.node("a") == c.node("A")
+
+    def test_node_bookkeeping(self):
+        c = Circuit("nodes")
+        c.add_resistor("R1", "a", "b", 1.0)
+        c.add_resistor("R2", "b", "0", 1.0)
+        assert c.num_nodes == 2
+        assert c.has_node("a") and c.has_node("0")
+        assert not c.has_node("zz")
+        with pytest.raises(KeyError):
+            c.node_index("zz")
+
+    def test_summary_and_lookup(self):
+        c = Circuit("look")
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert "R1" in c
+        assert c["R1"].resistance == 1.0
+        assert c.get("nope") is None
+        assert "1 Resistor" in c.summary()
+
+    def test_source_current_requires_voltage_source(self):
+        c = Circuit("src")
+        c.add_voltage_source("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "0", 1.0)
+        sol = dc_operating_point(c)
+        with pytest.raises(TypeError):
+            sol.source_current("R1")
+
+    def test_merge_copies_elements_with_prefix(self):
+        inner = Circuit("inner")
+        inner.add_resistor("R1", "in", "out", 1e3)
+        inner.add_capacitor("C1", "out", "0", 1e-15)
+        outer = Circuit("outer")
+        outer.add_voltage_source("V1", "top", "0", 1.0)
+        outer.merge(inner, prefix="x1.", node_map={"in": "top"})
+        assert "x1.R1" in outer
+        sol = dc_operating_point(outer)
+        assert sol["x1.out"] == pytest.approx(1.0, rel=1e-3)
+
+
+class TestDCSolutionAccessors:
+    def test_voltages_dict(self):
+        c = Circuit("dict")
+        c.add_voltage_source("V1", "a", "0", 2.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        sol = dc_operating_point(c)
+        voltages = sol.voltages()
+        assert voltages["b"] == pytest.approx(1.0, rel=1e-6)
+        assert sol.voltage("0") == 0.0
+
+
+@given(
+    r1=st.floats(min_value=10.0, max_value=1e6),
+    r2=st.floats(min_value=10.0, max_value=1e6),
+    v=st.floats(min_value=-10.0, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_divider_matches_formula(r1, r2, v):
+    c = Circuit("pdiv")
+    c.add_voltage_source("V1", "in", "0", v)
+    c.add_resistor("R1", "in", "mid", r1)
+    c.add_resistor("R2", "mid", "0", r2)
+    sol = dc_operating_point(c)
+    assert sol["mid"] == pytest.approx(v * r2 / (r1 + r2), rel=1e-6, abs=1e-9)
+
+
+@given(
+    conductances=st.lists(st.floats(min_value=1e-6, max_value=1e-2), min_size=1, max_size=5),
+    current=st.floats(min_value=-1e-3, max_value=1e-3),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_parallel_resistors_kcl(conductances, current):
+    """Injected current splits over parallel conductances; V = I / sum(G)."""
+    c = Circuit("par")
+    c.add_current_source("I1", "0", "n", current)
+    for index, g in enumerate(conductances):
+        c.add_resistor(f"R{index}", "n", "0", 1.0 / g)
+    sol = dc_operating_point(c)
+    assert sol["n"] == pytest.approx(current / sum(conductances), rel=1e-6, abs=1e-9)

@@ -1,0 +1,181 @@
+"""MOSFET model tests: operating regions, symmetry and inverter behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, MOSFET, MOSFETParams, PulseWaveform, dc_operating_point, transient
+from repro.circuit.mosfet import AlphaPowerModel, Level1Model, make_model
+from repro.units import fF, ps, um
+
+NMOS = MOSFETParams(polarity="n", vto=0.35, kp=3e-4, lambda_=0.05, l_nominal=0.13e-6)
+PMOS = MOSFETParams(polarity="p", vto=0.35, kp=1.2e-4, lambda_=0.08, l_nominal=0.13e-6)
+
+
+class TestLevel1Model:
+    def test_cutoff(self):
+        model = Level1Model(NMOS, w=1e-6, l=0.13e-6)
+        ids, gm, gds = model.ids(vgs=0.2, vds=1.0)
+        assert ids == 0.0 and gm == 0.0 and gds == 0.0
+
+    def test_triode_and_saturation_continuity(self):
+        model = Level1Model(NMOS, w=1e-6, l=0.13e-6)
+        vgs = 1.0
+        vov = vgs - NMOS.vto
+        below, _, _ = model.ids(vgs, vov - 1e-6)
+        above, _, _ = model.ids(vgs, vov + 1e-6)
+        assert below == pytest.approx(above, rel=1e-3)
+
+    def test_saturation_square_law(self):
+        model = Level1Model(NMOS.scaled(lambda_=0.0), w=1e-6, l=0.13e-6)
+        i1, _, _ = model.ids(0.35 + 0.2, 1.2)
+        i2, _, _ = model.ids(0.35 + 0.4, 1.2)
+        assert i2 / i1 == pytest.approx(4.0, rel=1e-6)
+
+    def test_gm_and_gds_signs(self):
+        model = Level1Model(NMOS, w=1e-6, l=0.13e-6)
+        _, gm, gds = model.ids(1.0, 0.3)
+        assert gm > 0.0 and gds > 0.0
+
+
+class TestAlphaPowerModel:
+    def test_reduces_to_square_law_at_alpha_two(self):
+        params = NMOS.scaled(alpha=2.0, vdsat_coeff=1.0)
+        level1 = Level1Model(params, w=1e-6, l=0.13e-6)
+        alpha = AlphaPowerModel(params, w=1e-6, l=0.13e-6)
+        i_sat_l1, _, _ = level1.ids(1.0, 1.2)
+        i_sat_ap, _, _ = alpha.ids(1.0, 1.2)
+        assert i_sat_ap == pytest.approx(i_sat_l1, rel=1e-6)
+
+    def test_sub_quadratic_overdrive_dependence(self):
+        params = NMOS.scaled(alpha=1.4)
+        model = AlphaPowerModel(params, w=1e-6, l=0.13e-6)
+        i1, _, _ = model.ids(0.35 + 0.2, 1.2)
+        i2, _, _ = model.ids(0.35 + 0.4, 1.2)
+        assert i2 / i1 == pytest.approx(2.0 ** 1.4, rel=0.05)
+
+    def test_triode_matches_saturation_at_vdsat(self):
+        params = NMOS.scaled(alpha=1.4, vdsat_coeff=0.9, lambda_=0.0)
+        model = AlphaPowerModel(params, w=1e-6, l=0.13e-6)
+        vgs = 1.0
+        vdsat = 0.9 * (vgs - params.vto) ** 0.7
+        below, _, _ = model.ids(vgs, vdsat * 0.999)
+        above, _, _ = model.ids(vgs, vdsat * 1.001)
+        assert below == pytest.approx(above, rel=1e-2)
+
+    def test_make_model_auto_selection(self):
+        assert isinstance(make_model(NMOS, 1e-6, 0.13e-6, "auto"), Level1Model)
+        assert isinstance(make_model(NMOS.scaled(alpha=1.4), 1e-6, 0.13e-6, "auto"), AlphaPowerModel)
+        with pytest.raises(ValueError):
+            make_model(NMOS, 1e-6, 0.13e-6, "bsim4")
+
+
+class TestMOSFETElement:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            MOSFETParams(polarity="x", vto=0.3, kp=1e-4)
+        with pytest.raises(ValueError):
+            MOSFETParams(polarity="n", vto=-0.3, kp=1e-4)
+        with pytest.raises(ValueError):
+            MOSFETParams(polarity="n", vto=0.3, kp=-1e-4)
+        with pytest.raises(ValueError):
+            MOSFET("M1", "d", "g", "s", NMOS, w=-1e-6)
+
+    def test_drain_source_symmetry(self):
+        fet = MOSFET("M1", "d", "g", "s", NMOS, w=1e-6)
+        forward = fet.drain_current(vd=0.1, vg=1.2, vs=0.0)
+        reverse = fet.drain_current(vd=0.0, vg=1.2, vs=0.1)
+        assert forward == pytest.approx(-reverse, rel=1e-9)
+
+    def test_pmos_mirror(self):
+        nmos_fet = MOSFET("MN", "d", "g", "s", NMOS, w=1e-6)
+        pmos_fet = MOSFET("MP", "d", "g", "s", PMOS.scaled(kp=NMOS.kp, vto=NMOS.vto, lambda_=NMOS.lambda_), w=1e-6)
+        i_n = nmos_fet.drain_current(vd=1.2, vg=1.2, vs=0.0)
+        i_p = pmos_fet.drain_current(vd=-1.2, vg=-1.2, vs=0.0)
+        assert i_p == pytest.approx(-i_n, rel=1e-9)
+
+    def test_capacitance_estimates_positive_and_scale_with_width(self):
+        small = MOSFET("M1", "d", "g", "s", NMOS, w=0.5e-6)
+        large = MOSFET("M2", "d", "g", "s", NMOS, w=1.0e-6)
+        assert 0 < small.gate_capacitance() < large.gate_capacitance()
+        assert 0 < small.diffusion_capacitance() < large.diffusion_capacitance()
+        assert 0 < small.overlap_capacitance() < large.overlap_capacitance()
+
+
+class TestInverter:
+    def build_inverter(self, vdd=1.2):
+        c = Circuit("inv")
+        c.add_voltage_source("VDD", "vdd", "0", vdd)
+        c.add_voltage_source("VIN", "in", "0", 0.0)
+        c.add_mosfet("MN", "out", "in", "0", NMOS, w=um(0.4))
+        c.add_mosfet("MP", "out", "in", "vdd", PMOS, w=um(0.8))
+        c.add_capacitor("CL", "out", "0", fF(10))
+        return c
+
+    def test_dc_rails(self):
+        c = self.build_inverter()
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(1.2, abs=0.01)
+
+        c2 = self.build_inverter()
+        c2["VIN"].waveform = type(c2["VIN"].waveform)(1.2)
+        sol2 = dc_operating_point(c2)
+        assert sol2["out"] == pytest.approx(0.0, abs=0.01)
+
+    def test_transfer_curve_is_monotonically_decreasing(self):
+        c = self.build_inverter()
+        vin_values = np.linspace(0.0, 1.2, 13)
+        vout = []
+        previous = None
+        for vin in vin_values:
+            from repro.circuit import DCValue
+
+            c["VIN"].waveform = DCValue(float(vin))
+            sol = dc_operating_point(c, x0=previous)
+            previous = sol.x
+            vout.append(sol["out"])
+        assert all(a >= b - 1e-6 for a, b in zip(vout, vout[1:]))
+        assert vout[0] > 1.1 and vout[-1] < 0.1
+
+    def test_switching_transient(self):
+        c = Circuit("invsw")
+        c.add_voltage_source("VDD", "vdd", "0", 1.2)
+        c.add_voltage_source(
+            "VIN", "in", "0", PulseWaveform(0.0, 1.2, delay=ps(50), rise=ps(20))
+        )
+        c.add_mosfet("MN", "out", "in", "0", NMOS, w=um(0.4))
+        c.add_mosfet("MP", "out", "in", "vdd", PMOS, w=um(0.8))
+        c.add_capacitor("CL", "out", "0", fF(20))
+        result = transient(c, t_stop=ps(500), dt=ps(1))
+        out = result["out"]
+        assert out.values[0] == pytest.approx(1.2, abs=0.02)
+        assert out.values[-1] == pytest.approx(0.0, abs=0.02)
+        # The output crosses half rail after the input does.
+        assert out.crossings(0.6)[0] > ps(55)
+
+
+@given(
+    vgs=st.floats(min_value=0.0, max_value=1.4),
+    vds=st.floats(min_value=0.0, max_value=1.4),
+    delta=st.floats(min_value=1e-5, max_value=1e-3),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_level1_gradients_match_finite_differences(vgs, vds, delta):
+    model = Level1Model(NMOS, w=1e-6, l=0.13e-6)
+    ids, gm, gds = model.ids(vgs, vds)
+    ids_dvgs, _, _ = model.ids(vgs + delta, vds)
+    ids_dvds, _, _ = model.ids(vgs, vds + delta)
+    assert (ids_dvgs - ids) / delta == pytest.approx(gm, rel=0.05, abs=1e-6)
+    assert (ids_dvds - ids) / delta == pytest.approx(gds, rel=0.05, abs=1e-6)
+
+
+@given(
+    vgs=st.floats(min_value=0.0, max_value=1.4),
+    vds=st.floats(min_value=0.0, max_value=1.4),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_drain_current_non_negative_for_positive_vds(vgs, vds):
+    model = Level1Model(NMOS, w=1e-6, l=0.13e-6)
+    ids, _, _ = model.ids(vgs, vds)
+    assert ids >= 0.0

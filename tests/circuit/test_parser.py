@@ -1,0 +1,213 @@
+"""SPICE-netlist parser tests."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    MOSFET,
+    NetlistError,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    parse_netlist,
+    parse_value,
+)
+from repro.circuit.sources import DCValue, PiecewiseLinear, PulseWaveform, SineWaveform
+from repro.units import ps
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("2.5k", 2500.0),
+            ("10f", 10e-15),
+            ("3p", 3e-12),
+            ("7n", 7e-9),
+            ("0.13u", 0.13e-6),
+            ("5m", 5e-3),
+            ("2meg", 2e6),
+            ("1g", 1e9),
+            ("1.5e-12", 1.5e-12),
+            ("10fF", 10e-15),
+            ("2.5kOhm", 2500.0),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_invalid_value(self):
+        with pytest.raises(NetlistError):
+            parse_value("abc")
+
+
+class TestElementCards:
+    def test_rc_divider(self):
+        netlist = """simple divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+C1 mid 0 10f
+.op
+.end
+"""
+        parsed = parse_netlist(netlist)
+        assert parsed.title == "simple divider"
+        assert isinstance(parsed.circuit["R1"], Resistor)
+        assert isinstance(parsed.circuit["C1"], Capacitor)
+        solution = parsed.run()
+        assert solution["mid"] == pytest.approx(7.5, rel=1e-6)
+
+    def test_source_specifications(self):
+        netlist = """sources
+V1 a 0 DC 1.2
+V2 b 0 PULSE(0 1.2 10p 20p 20p 100p)
+V3 c 0 PWL(0 0 100p 1.2)
+V4 d 0 SIN(0.6 0.1 1e9)
+I1 0 e 1m
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+R5 e 0 1k
+.op
+"""
+        parsed = parse_netlist(netlist)
+        assert isinstance(parsed.circuit["V1"].waveform, DCValue)
+        assert isinstance(parsed.circuit["V2"].waveform, PulseWaveform)
+        assert isinstance(parsed.circuit["V3"].waveform, PiecewiseLinear)
+        assert isinstance(parsed.circuit["V4"].waveform, SineWaveform)
+        assert parsed.circuit["V2"].waveform.delay == pytest.approx(ps(10))
+
+    def test_mosfet_and_model_cards(self):
+        netlist = """inverter
+.model nch nmos vto=0.35 kp=3e-4 lambda=0.06
+.model pch pmos vto=0.35 kp=1.2e-4
+VDD vdd 0 1.2
+VIN in 0 0
+MN out in 0 0 nch w=0.4u l=0.13u
+MP out in vdd vdd pch w=0.8u l=0.13u
+CL out 0 5f
+.op
+"""
+        parsed = parse_netlist(netlist)
+        mn = parsed.circuit["MN"]
+        assert isinstance(mn, MOSFET)
+        assert mn.params.polarity == "n"
+        assert mn.w == pytest.approx(0.4e-6)
+        solution = parsed.run()
+        assert solution["out"] == pytest.approx(1.2, abs=0.01)
+
+    def test_subcircuit_expansion(self):
+        netlist = """hierarchical
+.model nch nmos vto=0.35 kp=3e-4
+.model pch pmos vto=0.35 kp=1.2e-4
+.subckt inv in out vdd
+MN out in 0 0 nch w=0.4u
+MP out in vdd vdd pch w=0.8u
+.ends
+VDD vdd 0 1.2
+VIN a 0 0
+X1 a b vdd inv
+X2 b c vdd inv
+CL c 0 5f
+.op
+"""
+        parsed = parse_netlist(netlist)
+        assert "X1.MN" in parsed.circuit
+        assert "X2.MP" in parsed.circuit
+        solution = parsed.run()
+        assert solution["b"] == pytest.approx(1.2, abs=0.02)
+        assert solution["c"] == pytest.approx(0.0, abs=0.02)
+
+    def test_transient_card_and_ic(self):
+        netlist = """rc transient
+V1 in 0 PULSE(0 1 10p 1p 1p 1n)
+R1 in out 1k
+C1 out 0 100f
+.ic v(out)=0.0
+.tran 1p 400p
+"""
+        parsed = parse_netlist(netlist)
+        assert parsed.analyses[0].kind == "tran"
+        result = parsed.run()
+        assert result["out"].values[-1] > 0.9
+
+    def test_continuation_and_comments(self):
+        netlist = """with continuations
+* a comment line
+V1 in 0 1.0  $ trailing comment
+R1 in out
++ 1k
+R2 out 0 1k ; another comment
+.op
+"""
+        parsed = parse_netlist(netlist)
+        assert parsed.circuit["R1"].resistance == pytest.approx(1000.0)
+        assert parsed.run()["out"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_controlled_sources_and_diode(self):
+        netlist = """controlled
+VC ctl 0 2
+G1 0 out ctl 0 1m
+E1 buf 0 ctl 0 2
+D1 buf clamp
+RC clamp 0 1k
+RL out 0 1k
+.op
+"""
+        parsed = parse_netlist(netlist)
+        solution = parsed.run()
+        assert solution["out"] == pytest.approx(2.0, rel=1e-6)
+        assert solution["buf"] == pytest.approx(4.0, rel=1e-6)
+        assert 0.3 < solution["clamp"] < 4.0
+
+
+class TestErrors:
+    def test_empty_netlist(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("")
+
+    def test_unknown_model(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\nM1 d g 0 0 nosuchmodel w=1u\n.op\n")
+
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\nX1 a b nosub\n.op\n")
+
+    def test_missing_ends(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\n.subckt foo a b\nR1 a b 1k\n")
+
+    def test_port_count_mismatch(self):
+        netlist = """bad ports
+.subckt foo a b
+R1 a b 1k
+.ends
+X1 n1 foo
+"""
+        with pytest.raises(NetlistError):
+            parse_netlist(netlist)
+
+    def test_unsupported_cards(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\nQ1 c b e model\n.op\n")
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\nR1 a 0 1k\n.noise v(a) V1\n")
+
+    def test_no_analysis_requested(self):
+        parsed = parse_netlist("nothing\nR1 a 0 1k\n")
+        with pytest.raises(NetlistError):
+            parsed.run()
+
+    def test_model_card_errors(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\n.model onlyname\n.op\n")
+        with pytest.raises(NetlistError):
+            parse_netlist("bad\n.model m1 bjt\n.op\n")
+
+    def test_continuation_without_line(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ 1k\n")

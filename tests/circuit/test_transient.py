@@ -1,0 +1,176 @@
+"""Transient analysis tests against analytic RC/RL responses."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    PiecewiseLinear,
+    PulseWaveform,
+    SaturatedRamp,
+    SineWaveform,
+    TriangularGlitch,
+    ExponentialGlitch,
+    transient,
+)
+from repro.units import fF, ps
+
+
+def rc_step_circuit(r=1e3, c=100e-15, v=1.0, delay=ps(10)):
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("V1", "in", "0", PulseWaveform(0.0, v, delay=delay, rise=ps(0.5)))
+    circuit.add_resistor("R1", "in", "out", r)
+    circuit.add_capacitor("C1", "out", "0", c)
+    return circuit
+
+
+class TestRCStep:
+    def test_time_constant(self):
+        r, c, v = 1e3, 100e-15, 1.0
+        circuit = rc_step_circuit(r, c, v)
+        result = transient(circuit, t_stop=ps(800), dt=ps(1))
+        tau = r * c
+        t0 = ps(10.5)
+        out = result["out"]
+        assert out.value_at(t0 + tau) == pytest.approx(v * (1 - np.exp(-1)), rel=0.02)
+        assert out.value_at(t0 + 3 * tau) == pytest.approx(v * (1 - np.exp(-3)), rel=0.02)
+        assert out.values[-1] == pytest.approx(v, rel=0.01)
+
+    def test_backward_euler_also_converges(self):
+        circuit = rc_step_circuit()
+        result = transient(circuit, t_stop=ps(800), dt=ps(1), method="be")
+        assert result["out"].values[-1] == pytest.approx(1.0, rel=0.02)
+
+    def test_finer_steps_reduce_error(self):
+        r, c = 1e3, 100e-15
+        tau = r * c
+        errors = []
+        for dt in (ps(10), ps(2)):
+            result = transient(rc_step_circuit(r, c), t_stop=ps(600), dt=dt)
+            value = result["out"].value_at(ps(10.5) + tau)
+            errors.append(abs(value - (1 - np.exp(-1))))
+        assert errors[1] < errors[0]
+
+    def test_initial_conditions_uic(self):
+        circuit = Circuit("ic")
+        circuit.add_resistor("R1", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 100e-15)
+        result = transient(
+            circuit, t_stop=ps(500), dt=ps(1), uic=True, initial_conditions={"out": 1.0}
+        )
+        tau = 1e3 * 100e-15
+        assert result["out"].value_at(tau) == pytest.approx(np.exp(-1), rel=0.02)
+        assert result["out"].values[-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_branch_current_waveform(self):
+        circuit = rc_step_circuit()
+        result = transient(circuit, t_stop=ps(200), dt=ps(1))
+        current = result.branch_current("V1")
+        # Just after the step the full 1 V sits across 1 kohm: 1 mA out of
+        # the source (negative by the +-through-source convention).
+        assert current.min() == pytest.approx(-1e-3, rel=0.05)
+
+    def test_invalid_arguments(self):
+        circuit = rc_step_circuit()
+        with pytest.raises(ValueError):
+            transient(circuit, t_stop=0.0, dt=ps(1))
+        with pytest.raises(ValueError):
+            transient(circuit, t_stop=ps(10), dt=ps(20))
+        with pytest.raises(ValueError):
+            transient(circuit, t_stop=ps(10), dt=ps(1), method="rk4")
+
+    def test_result_accessors(self):
+        circuit = rc_step_circuit()
+        result = transient(circuit, t_stop=ps(100), dt=ps(1))
+        assert result.num_steps >= 100
+        assert "out" in result.final_voltages()
+        assert result.voltage_at("out", ps(50)) >= 0.0
+        assert result["0"].max() == 0.0
+        with pytest.raises(TypeError):
+            result.branch_current("R1")
+
+
+class TestCouplingAndConservation:
+    def test_capacitive_divider_coupling(self):
+        """A step coupled through Cc into a grounded Cg divides as Cc/(Cc+Cg)."""
+        circuit = Circuit("capdiv")
+        circuit.add_voltage_source(
+            "V1", "agg", "0", PulseWaveform(0.0, 1.0, delay=ps(10), rise=ps(1))
+        )
+        circuit.add_capacitor("CC", "agg", "vic", fF(40))
+        circuit.add_capacitor("CG", "vic", "0", fF(60))
+        # A large resistor slowly bleeds the victim back to ground.
+        circuit.add_resistor("RH", "vic", "0", 1e9)
+        result = transient(circuit, t_stop=ps(30), dt=ps(0.5))
+        assert result["vic"].max() == pytest.approx(0.4, rel=0.03)
+
+    def test_rc_charge_conservation(self):
+        """The charge delivered by the source equals C * V at the end."""
+        r, c = 1e3, 200e-15
+        circuit = rc_step_circuit(r, c, v=1.0)
+        result = transient(circuit, t_stop=ps(2000), dt=ps(1))
+        current = result.branch_current("V1")
+        delivered = -current.integral()  # + -> - source convention
+        assert delivered == pytest.approx(c * 1.0, rel=0.03)
+
+    def test_inductor_lr_rise(self):
+        circuit = Circuit("lr")
+        circuit.add_voltage_source("V1", "in", "0", PulseWaveform(0.0, 1.0, delay=ps(10), rise=ps(1)))
+        circuit.add_inductor("L1", "in", "mid", 1e-9)
+        circuit.add_resistor("R1", "mid", "0", 100.0)
+        result = transient(circuit, t_stop=ps(100), dt=ps(0.5))
+        tau = 1e-9 / 100.0  # 10 ps
+        assert result["mid"].value_at(ps(11) + tau) == pytest.approx(1 - np.exp(-1), rel=0.05)
+
+
+class TestSources:
+    def test_pwl_source(self):
+        circuit = Circuit("pwl")
+        circuit.add_voltage_source(
+            "V1", "a", "0", PiecewiseLinear(((ps(0), 0.0), (ps(100), 1.0), (ps(200), 0.5)))
+        )
+        circuit.add_resistor("R1", "a", "0", 1e3)
+        result = transient(circuit, t_stop=ps(300), dt=ps(1))
+        assert result["a"].value_at(ps(50)) == pytest.approx(0.5, rel=0.02)
+        assert result["a"].value_at(ps(250)) == pytest.approx(0.5, rel=0.02)
+
+    def test_saturated_ramp_source(self):
+        ramp = SaturatedRamp(0.0, 1.2, delay=ps(100), transition=ps(50))
+        assert ramp(ps(99)) == 0.0
+        assert ramp(ps(125)) == pytest.approx(0.6)
+        assert ramp(ps(200)) == pytest.approx(1.2)
+        assert ramp.reversed()(ps(200)) == pytest.approx(0.0)
+        assert ramp.slew == pytest.approx(ps(50))
+
+    def test_triangular_and_exponential_glitch_sources(self):
+        tri = TriangularGlitch(baseline=1.2, height=-0.5, delay=ps(100), rise=ps(50), fall=ps(50))
+        assert tri(ps(150)) == pytest.approx(0.7)
+        assert tri(ps(250)) == pytest.approx(1.2)
+        assert tri.width == pytest.approx(ps(100))
+        assert tri.area == pytest.approx(0.5 * -0.5 * ps(100))
+
+        exp = ExponentialGlitch(baseline=0.0, height=0.4, delay=ps(50), tau_rise=ps(20), tau_fall=ps(80))
+        peak_time = exp.t_interesting()[1]
+        assert exp(peak_time) == pytest.approx(0.4, rel=1e-6)
+        assert exp(ps(49)) == 0.0
+
+    def test_sine_source(self):
+        sine = SineWaveform(offset=0.5, amplitude=0.1, frequency=1e9)
+        assert sine(0.0) == pytest.approx(0.5)
+        assert sine(0.25e-9) == pytest.approx(0.6, rel=1e-6)
+
+    def test_pulse_periodicity(self):
+        pulse = PulseWaveform(0.0, 1.0, delay=0.0, rise=ps(1), fall=ps(1), width=ps(10), period=ps(50))
+        assert pulse(ps(5)) == pytest.approx(1.0)
+        assert pulse(ps(55)) == pytest.approx(1.0)
+        assert pulse(ps(30)) == pytest.approx(0.0)
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            SaturatedRamp(0.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            TriangularGlitch(0.0, 1.0, 0.0, 0.0, ps(10))
+        with pytest.raises(ValueError):
+            ExponentialGlitch(0.0, 1.0, 0.0, ps(50), ps(20))
+        with pytest.raises(ValueError):
+            PiecewiseLinear(((0.0, 1.0), (0.0, 2.0)))

@@ -1,0 +1,233 @@
+"""Interconnect tests: extraction, coupled RC networks, moments and reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    CoupledRCNetwork,
+    ParallelBusGeometry,
+    PiModel,
+    WireSpec,
+    admittance_moments,
+    build_coupled_rc_network,
+    elmore_delay,
+    prima_reduce,
+    reduce_to_coupled_pi,
+    total_port_capacitance,
+    transfer_moments,
+)
+from repro.technology import get_technology
+from repro.units import fF, to_fF
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return get_technology("cmos130")
+
+
+@pytest.fixture(scope="module")
+def two_wire_network(tech):
+    geometry = ParallelBusGeometry.two_parallel_wires(length_um=500.0, layer_index=4)
+    return build_coupled_rc_network(geometry, tech, num_segments=10)
+
+
+class TestGeometry:
+    def test_wire_spec_validation(self):
+        with pytest.raises(ValueError):
+            WireSpec("w", length_um=-1.0)
+        with pytest.raises(ValueError):
+            WireSpec("w", length_um=100.0, coupled_length_um=200.0)
+        with pytest.raises(ValueError):
+            WireSpec("w", length_um=100.0, width_factor=0.0)
+        spec = WireSpec("w", length_um=100.0)
+        assert spec.coupled_length_um == pytest.approx(100.0)
+
+    def test_bus_validation(self):
+        with pytest.raises(ValueError):
+            ParallelBusGeometry(wires=[])
+        with pytest.raises(ValueError):
+            ParallelBusGeometry(wires=[WireSpec("a", 10), WireSpec("a", 10)])
+        with pytest.raises(ValueError):
+            ParallelBusGeometry(wires=[WireSpec("a", 10)], spacing_factor=0.0)
+
+    def test_extraction_totals_match_layer_coefficients(self, tech):
+        geometry = ParallelBusGeometry.two_parallel_wires(length_um=500.0, layer_index=4)
+        layer = tech.layer(4)
+        parasitics = geometry.extract(tech, num_segments=10)
+        assert parasitics.total_resistance(0) == pytest.approx(layer.resistance(500.0))
+        assert parasitics.total_coupling_cap(0) == pytest.approx(layer.coupling_cap(500.0), rel=0.05)
+
+    def test_partial_coupling(self, tech):
+        geometry = ParallelBusGeometry(
+            wires=[WireSpec("a", 400.0, coupled_length_um=200.0), WireSpec("v", 400.0)],
+            layer_index=4,
+        )
+        parasitics = geometry.extract(tech, num_segments=8)
+        full = tech.layer(4).coupling_cap(200.0)
+        assert parasitics.total_coupling_cap(0) == pytest.approx(full, rel=0.05)
+        # Half the segments should carry no coupling.
+        assert sum(1 for c in parasitics.segment_coupling_cap[0] if c == 0.0) >= 3
+
+    def test_victim_between_aggressors_layout(self):
+        geometry = ParallelBusGeometry.victim_between_aggressors(length_um=300.0)
+        assert [w.name for w in geometry.wires] == ["aggr1", "victim", "aggr2"]
+        assert geometry.adjacent_pairs() == [(0, 1), (1, 2)]
+        assert geometry.wire_index("victim") == 1
+        with pytest.raises(KeyError):
+            geometry.wire_index("nope")
+        with pytest.raises(ValueError):
+            ParallelBusGeometry.victim_between_aggressors(aggressor_names=("a",))
+
+
+class TestCoupledRCNetwork:
+    def test_totals(self, two_wire_network, tech):
+        layer = tech.layer(4)
+        network = two_wire_network
+        assert network.total_resistance("victim") == pytest.approx(layer.resistance(500.0))
+        assert network.total_ground_cap("victim") == pytest.approx(layer.ground_cap(500.0), rel=0.05)
+        assert network.total_coupling_cap("victim", "aggressor") == pytest.approx(
+            layer.coupling_cap(500.0), rel=0.05
+        )
+
+    def test_matrices_are_symmetric_and_psd(self, two_wire_network):
+        G, C, nodes = two_wire_network.matrices()
+        assert np.allclose(G, G.T)
+        assert np.allclose(C, C.T)
+        eigenvalues_c = np.linalg.eigvalsh(C)
+        assert eigenvalues_c.min() > -1e-25
+        eigenvalues_g = np.linalg.eigvalsh(G)
+        assert eigenvalues_g.min() > -1e-12
+
+    def test_instantiation_matches_element_count(self, two_wire_network):
+        from repro.circuit import Circuit
+
+        circuit = Circuit("wires")
+        two_wire_network.instantiate(circuit)
+        assert len(circuit.elements) == len(two_wire_network.elements)
+
+    def test_validation(self):
+        network = CoupledRCNetwork("x")
+        with pytest.raises(ValueError):
+            network.add_resistor("a", "b", -1.0)
+        with pytest.raises(ValueError):
+            network.add_capacitor("a", "b", -1e-15)
+        network.add_capacitor("a", "b", 0.0)  # silently ignored
+        assert len(network.elements) == 0
+
+
+class TestMoments:
+    def test_first_moment_is_total_capacitance(self, two_wire_network, tech):
+        y1 = total_port_capacitance(two_wire_network)
+        layer = tech.layer(4)
+        total_ground = layer.ground_cap(500.0)
+        total_coupling = layer.coupling_cap(500.0)
+        # Diagonal: ground + coupling (other port shorted); off-diagonal: -coupling.
+        assert y1[0, 0] == pytest.approx(total_ground + total_coupling, rel=0.05)
+        assert y1[0, 1] == pytest.approx(-total_coupling, rel=0.05)
+        assert np.allclose(y1, y1.T)
+
+    def test_dc_admittance_is_zero(self, two_wire_network):
+        y0 = admittance_moments(two_wire_network, 1)[0]
+        assert np.max(np.abs(y0)) < 1e-12
+
+    def test_elmore_delay_of_uniform_ladder(self, tech):
+        """A single uniform RC line: Elmore delay to the far end = R*C/2 + ..."""
+        geometry = ParallelBusGeometry(wires=[WireSpec("net", 500.0)], layer_index=4)
+        network = build_coupled_rc_network(geometry, tech, num_segments=50)
+        r_total = network.total_resistance("net")
+        c_total = network.total_ground_cap("net")
+        expected = 0.5 * r_total * c_total  # distributed-line limit
+        assert elmore_delay(network, "net") == pytest.approx(expected, rel=0.05)
+
+    def test_transfer_moment_zeroth_is_unity_on_driven_net(self, two_wire_network):
+        moments = transfer_moments(two_wire_network, "victim", "victim:10", 2)
+        assert moments[0] == pytest.approx(1.0, abs=1e-9)
+        cross = transfer_moments(two_wire_network, "victim", "aggressor:10", 2)
+        assert cross[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_net_or_node(self, two_wire_network):
+        with pytest.raises(KeyError):
+            transfer_moments(two_wire_network, "nosuch", "victim:10")
+        with pytest.raises(KeyError):
+            transfer_moments(two_wire_network, "victim", "nosuch:1")
+        with pytest.raises(ValueError):
+            admittance_moments(two_wire_network, 0)
+
+
+class TestPiModel:
+    def test_pi_matches_known_rc_ladder(self):
+        """Hand-checked: R = 100 ohm, near/far caps of 10 fF each."""
+        network = CoupledRCNetwork("ladder")
+        network.add_capacitor("a", "0", fF(10), net="n")
+        network.add_resistor("a", "b", 100.0, net="n")
+        network.add_capacitor("b", "0", fF(10), net="n")
+        network.set_ports("n", "a", "b")
+        y = admittance_moments(network, 4)
+        pi = PiModel.from_moments(y[1][0, 0], y[2][0, 0], y[3][0, 0])
+        assert pi.c_near == pytest.approx(fF(10), rel=1e-6)
+        assert pi.c_far == pytest.approx(fF(10), rel=1e-6)
+        assert pi.resistance == pytest.approx(100.0, rel=1e-6)
+        y1, y2, y3 = pi.admittance_moments()
+        assert y1 == pytest.approx(y[1][0, 0], rel=1e-9)
+        assert y2 == pytest.approx(y[2][0, 0], rel=1e-9)
+        assert y3 == pytest.approx(y[3][0, 0], rel=1e-9)
+
+    def test_degenerate_purely_capacitive_load(self):
+        pi = PiModel.from_moments(fF(20), 0.0, 0.0)
+        assert pi.c_near == pytest.approx(fF(20))
+        assert pi.c_far == 0.0
+        assert PiModel.from_moments(0.0, 0.0, 0.0).total_capacitance == 0.0
+
+    def test_coupled_reduction_preserves_first_moments(self, two_wire_network):
+        reduced = reduce_to_coupled_pi(two_wire_network).realize()
+        y1_full = total_port_capacitance(two_wire_network)
+        y1_reduced = total_port_capacitance(reduced)
+        assert np.allclose(y1_full, y1_reduced, rtol=1e-6)
+        # The reduced network is much smaller than the distributed one.
+        assert reduced.num_nodes < two_wire_network.num_nodes / 2
+
+    def test_coupled_reduction_summary_and_access(self, two_wire_network):
+        model = reduce_to_coupled_pi(two_wire_network)
+        assert model.coupling_between("victim", "aggressor") > 0.0
+        assert model.coupling_between("aggressor", "victim") > 0.0
+        assert "victim" in model.summary()
+        assert model.pi("victim").resistance > 0.0
+        with pytest.raises(ValueError):
+            reduce_to_coupled_pi(CoupledRCNetwork("empty"))
+
+
+class TestPrima:
+    def test_prima_matches_low_order_moments(self, two_wire_network):
+        reduced = prima_reduce(two_wire_network, num_block_iterations=4)
+        full_moments = admittance_moments(two_wire_network, 3)
+        reduced_moments = reduced.admittance_moments(3)
+        assert np.allclose(full_moments[1], reduced_moments[1], rtol=1e-3)
+        assert np.allclose(full_moments[2], reduced_moments[2], rtol=5e-2)
+        assert reduced.order <= 4 * reduced.num_ports
+        assert reduced.order < two_wire_network.num_nodes
+
+    def test_prima_admittance_at_frequency(self, two_wire_network):
+        reduced = prima_reduce(two_wire_network, num_block_iterations=3)
+        y = reduced.admittance(1j * 2 * np.pi * 1e9)
+        assert y.shape == (2, 2)
+        # Passive RC: the real part of the driving-point admittance is positive.
+        assert y[0, 0].real > 0.0
+
+
+@given(
+    r=st.floats(min_value=10.0, max_value=5e3),
+    c_near=st.floats(min_value=1e-15, max_value=1e-13),
+    c_far=st.floats(min_value=1e-15, max_value=1e-13),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_pi_moment_round_trip(r, c_near, c_far):
+    """Building a pi from the moments of a pi recovers the original values."""
+    y1 = c_near + c_far
+    y2 = -r * c_far ** 2
+    y3 = r ** 2 * c_far ** 3
+    pi = PiModel.from_moments(y1, y2, y3)
+    assert pi.total_capacitance == pytest.approx(y1, rel=1e-9)
+    assert pi.c_far == pytest.approx(c_far, rel=1e-6)
+    assert pi.resistance == pytest.approx(r, rel=1e-6)

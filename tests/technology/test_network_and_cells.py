@@ -1,0 +1,281 @@
+"""Tests for the pull-network algebra and the standard-cell generators."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, dc_operating_point
+from repro.technology import (
+    CellLibrary,
+    Leaf,
+    Parallel,
+    Series,
+    StandardCell,
+    build_default_library,
+    cmos130,
+    cmos90,
+    default_cell_set,
+    get_technology,
+)
+
+
+# ---------------------------------------------------------------------------
+# Pull-network algebra
+# ---------------------------------------------------------------------------
+
+class TestPullNetwork:
+    def test_leaf_conduction(self):
+        leaf = Leaf("A")
+        assert leaf.conducts({"A": True})
+        assert not leaf.conducts({"A": False})
+        assert leaf.conducts_pmos({"A": False})
+        with pytest.raises(KeyError):
+            leaf.conducts({})
+
+    def test_series_parallel_semantics(self):
+        series = Series([Leaf("A"), Leaf("B")])
+        parallel = Parallel([Leaf("A"), Leaf("B")])
+        assert series.conducts({"A": True, "B": True})
+        assert not series.conducts({"A": True, "B": False})
+        assert parallel.conducts({"A": True, "B": False})
+        assert not parallel.conducts({"A": False, "B": False})
+
+    def test_operators_build_expressions(self):
+        expr = (Leaf("A") & Leaf("B")) | Leaf("C")
+        assert expr.conducts({"A": True, "B": True, "C": False})
+        assert expr.conducts({"A": False, "B": False, "C": True})
+        assert not expr.conducts({"A": True, "B": False, "C": False})
+
+    def test_dual_of_dual_is_equivalent(self):
+        expr = Series([Parallel([Leaf("A"), Leaf("B")]), Leaf("C")])
+        double_dual = expr.dual().dual()
+        for values in itertools.product([False, True], repeat=3):
+            state = dict(zip("ABC", values))
+            assert expr.conducts(state) == double_dual.conducts(state)
+
+    def test_dual_demorgan(self):
+        """The dual network conducts exactly when the original does not...
+
+        ...under complemented inputs (De Morgan): this is what guarantees the
+        pull-up/pull-down pair is complementary.
+        """
+        expr = Parallel([Series([Leaf("A"), Leaf("B")]), Leaf("C")])
+        dual = expr.dual()
+        for values in itertools.product([False, True], repeat=3):
+            state = dict(zip("ABC", values))
+            complemented = {k: not v for k, v in state.items()}
+            assert dual.conducts(complemented) == (not expr.conducts(state))
+
+    def test_depth_and_counts(self):
+        expr = Series([Leaf("A"), Parallel([Leaf("B"), Leaf("C")]), Leaf("A")])
+        assert expr.depth() == 3
+        assert expr.count_leaves() == {"A": 2, "B": 1, "C": 1}
+        assert expr.inputs() == ["A", "B", "C"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series([Leaf("A")])
+        with pytest.raises(ValueError):
+            Parallel([Leaf("A")])
+
+    def test_flattening(self):
+        nested = Series([Series([Leaf("A"), Leaf("B")]), Leaf("C")])
+        assert len(nested.children) == 3
+
+
+@st.composite
+def network_strategy(draw, depth=0):
+    if depth >= 2:
+        return Leaf(draw(st.sampled_from(["A", "B", "C", "D"])))
+    kind = draw(st.sampled_from(["leaf", "series", "parallel"]))
+    if kind == "leaf":
+        return Leaf(draw(st.sampled_from(["A", "B", "C", "D"])))
+    children = [draw(network_strategy(depth=depth + 1)) for _ in range(draw(st.integers(2, 3)))]
+    return Series(children) if kind == "series" else Parallel(children)
+
+
+@given(network_strategy())
+@settings(max_examples=50, deadline=None)
+def test_property_dual_is_demorgan_complement(network):
+    inputs = network.inputs()
+    dual = network.dual()
+    for values in itertools.product([False, True], repeat=len(inputs)):
+        state = dict(zip(inputs, values))
+        complemented = {k: not v for k, v in state.items()}
+        assert dual.conducts(complemented) == (not network.conducts(state))
+
+
+# ---------------------------------------------------------------------------
+# Standard cells
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+EXPECTED_FUNCTIONS = {
+    "INV_X1": lambda v: not v["A"],
+    "NAND2_X1": lambda v: not (v["A"] and v["B"]),
+    "NOR2_X1": lambda v: not (v["A"] or v["B"]),
+    "NAND3_X1": lambda v: not (v["A"] and v["B"] and v["C"]),
+    "NOR3_X1": lambda v: not (v["A"] or v["B"] or v["C"]),
+    "AOI21_X1": lambda v: not ((v["A"] and v["B"]) or v["C"]),
+    "OAI21_X1": lambda v: not ((v["A"] or v["B"]) and v["C"]),
+    "BUF_X2": lambda v: v["A"],
+    "AND2_X1": lambda v: v["A"] and v["B"],
+    "OR2_X1": lambda v: v["A"] or v["B"],
+}
+
+
+class TestCellLogic:
+    @pytest.mark.parametrize("cell_name", sorted(EXPECTED_FUNCTIONS))
+    def test_truth_tables(self, library, cell_name):
+        cell = library[cell_name]
+        expected = EXPECTED_FUNCTIONS[cell_name]
+        for state in cell.all_input_states():
+            assert cell.logic(state) == expected(state), f"{cell_name} {state}"
+
+    def test_quiet_states_and_worst_case(self, library):
+        nand = library["NAND2_X1"]
+        low_states = nand.quiet_input_states(False)
+        assert low_states == [{"A": True, "B": True}]
+        worst_high = nand.worst_case_quiet_state(True)
+        # Weakest pull-up: only one PMOS conducting.
+        assert sum(1 for v in worst_high.values() if not v) == 1
+
+    def test_noise_arcs_nand(self, library):
+        nand = library["NAND2_X1"]
+        arcs = nand.noise_arcs(output_high=False)
+        assert {arc.input_pin for arc in arcs} == {"A", "B"}
+        for arc in arcs:
+            assert not arc.glitch_rising  # inputs are quiet high, glitch falls
+            assert not arc.output_high
+            assert arc.input_state()[arc.input_pin] is True
+            assert "falling" in arc.describe()
+
+    def test_noise_arcs_nor_output_high(self, library):
+        nor = library["NOR2_X1"]
+        arcs = nor.noise_arcs(output_high=True)
+        assert arcs
+        for arc in arcs:
+            assert arc.glitch_rising
+
+    def test_inverter_worst_case_quiet_states(self, library):
+        cell = library["INV_X1"]
+        assert cell.worst_case_quiet_state(True) == {"A": False}
+        assert cell.worst_case_quiet_state(False) == {"A": True}
+
+
+class TestCellInstantiation:
+    def test_nand_transistor_count(self, library):
+        tech = library.technology
+        cell = library["NAND2_X1"]
+        circuit = Circuit("nand")
+        circuit.add_voltage_source("VDD", "vdd", "0", tech.vdd)
+        circuit.add_voltage_source("VA", "a", "0", tech.vdd)
+        circuit.add_voltage_source("VB", "b", "0", tech.vdd)
+        cell.instantiate(circuit, "U1", {"A": "a", "B": "b", "Z": "z"}, tech)
+        from repro.circuit import MOSFET
+
+        fets = circuit.elements_of_type(MOSFET)
+        assert len(fets) == 4
+        nmos = [f for f in fets if f.params.polarity == "n"]
+        pmos = [f for f in fets if f.params.polarity == "p"]
+        assert len(nmos) == 2 and len(pmos) == 2
+        # Series NMOS stack is upsized by the stack depth.
+        assert nmos[0].w == pytest.approx(2 * tech.wn_unit)
+        assert pmos[0].w == pytest.approx(tech.wp_unit)
+
+    def test_two_stage_cell_has_internal_node(self, library):
+        tech = library.technology
+        cell = library["AND2_X1"]
+        circuit = Circuit("and2")
+        circuit.add_voltage_source("VDD", "vdd", "0", tech.vdd)
+        circuit.add_voltage_source("VA", "a", "0", tech.vdd)
+        circuit.add_voltage_source("VB", "b", "0", tech.vdd)
+        cell.instantiate(circuit, "U1", {"A": "a", "B": "b", "Z": "z"}, tech)
+        assert circuit.has_node("u1.y")
+        solution = dc_operating_point(circuit)
+        assert solution["z"] == pytest.approx(tech.vdd, abs=0.02)
+
+    def test_dc_levels_match_logic_for_all_cells(self, library):
+        tech = library.technology
+        for cell in library:
+            state = cell.worst_case_quiet_state(False)
+            circuit = Circuit(f"dc_{cell.name}")
+            circuit.add_voltage_source("VDD", "vdd", "0", tech.vdd)
+            pins = {cell.output_pin: "z"}
+            for pin, value in state.items():
+                circuit.add_voltage_source(f"V_{pin}", f"in_{pin}", "0", tech.vdd if value else 0.0)
+                pins[pin] = f"in_{pin}"
+            cell.instantiate(circuit, "U1", pins, tech)
+            solution = dc_operating_point(circuit)
+            assert solution["z"] == pytest.approx(0.0, abs=0.05), cell.name
+
+    def test_missing_pin_mapping_raises(self, library):
+        tech = library.technology
+        cell = library["NAND2_X1"]
+        with pytest.raises(KeyError):
+            cell.instantiate(Circuit("x"), "U1", {"A": "a", "Z": "z"}, tech)
+
+    def test_input_capacitance_scales_with_strength(self, library):
+        tech = library.technology
+        assert library["INV_X2"].input_capacitance(tech) > library["INV_X1"].input_capacitance(tech)
+        assert library["INV_X4"].input_capacitance(tech) > library["INV_X2"].input_capacitance(tech)
+        with pytest.raises(KeyError):
+            library["INV_X1"].input_capacitance(tech, "Q")
+
+    def test_output_diffusion_capacitance_positive(self, library):
+        tech = library.technology
+        for cell in library:
+            assert cell.output_diffusion_capacitance(tech) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Technologies and library container
+# ---------------------------------------------------------------------------
+
+class TestTechnologyAndLibrary:
+    def test_presets(self):
+        t130 = cmos130()
+        t90 = cmos90()
+        assert t130.vdd == pytest.approx(1.2)
+        assert t90.vdd == pytest.approx(1.0)
+        assert t90.nmos.alpha < 2.0
+        assert t130.layer(4).name == "M4"
+        with pytest.raises(KeyError):
+            t130.layer(9)
+        low, high = t130.characterization_voltage_range()
+        assert low < 0.0 and high > t130.vdd
+
+    def test_get_technology(self):
+        assert get_technology("cmos90").name == "cmos90"
+        with pytest.raises(KeyError):
+            get_technology("cmos7")
+
+    def test_metal_layer_scaling(self):
+        layer = cmos130().layer(4)
+        assert layer.resistance(500.0) == pytest.approx(500.0 * layer.resistance_per_um)
+        assert layer.coupling_cap(500.0, spacing_factor=2.0) == pytest.approx(
+            0.5 * layer.coupling_cap(500.0), rel=1e-9
+        )
+        with pytest.raises(ValueError):
+            layer.coupling_cap(500.0, spacing_factor=0.0)
+
+    def test_library_container(self):
+        library = build_default_library("cmos90")
+        assert len(library) == len(default_cell_set())
+        assert "NAND2_X1" in library
+        assert library.cells_matching("INV")
+        assert "INV_X1" in library.summary()
+        with pytest.raises(KeyError):
+            library.cell("XOR9_X1")
+        with pytest.raises(ValueError):
+            library.add_cell(library["INV_X1"])
+
+    def test_library_from_technology_object(self):
+        library = build_default_library(cmos130(), name="custom")
+        assert library.name == "custom"

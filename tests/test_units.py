@@ -1,0 +1,42 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_round_trip():
+    assert units.to_ps(units.ps(123.0)) == pytest.approx(123.0)
+    assert units.to_ns(units.ns(4.5)) == pytest.approx(4.5)
+    assert units.ns(1.0) == pytest.approx(1000.0 * units.ps(1.0))
+    assert units.us(1.0) == pytest.approx(1e-6)
+
+
+def test_capacitance_conversions():
+    assert units.fF(1000.0) == pytest.approx(units.pF(1.0))
+    assert units.to_fF(units.fF(37.0)) == pytest.approx(37.0)
+
+
+def test_resistance_and_length():
+    assert units.kohm(2.0) == pytest.approx(2000.0)
+    assert units.ohm(5.0) == 5.0
+    assert units.um(1000.0) == pytest.approx(1e-3)
+    assert units.nm(130.0) == pytest.approx(0.13e-6)
+    assert units.to_um(units.um(42.0)) == pytest.approx(42.0)
+
+
+def test_voltage_current_helpers():
+    assert units.mV(250.0) == pytest.approx(0.25)
+    assert units.to_mV(0.345) == pytest.approx(345.0)
+    assert units.uA(3.0) == pytest.approx(3e-6)
+    assert units.mA(2.0) == pytest.approx(2e-3)
+
+
+def test_noise_area_unit():
+    assert units.to_v_ps(units.v_ps(174.3)) == pytest.approx(174.3)
+
+
+def test_thermal_voltage():
+    vt = units.thermal_voltage()
+    assert 0.024 < vt < 0.027
+    assert units.thermal_voltage(600.0) == pytest.approx(2.0 * vt, rel=1e-6)

@@ -1,0 +1,241 @@
+"""Unit and property tests for the Waveform container and glitch metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import ps
+from repro.waveform import GlitchMetrics, Waveform, align_waveforms
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        wf = Waveform([0.0, 1.0, 2.0], [0.0, 1.0, 0.5])
+        assert len(wf) == 3
+        assert wf.t_start == 0.0
+        assert wf.t_stop == 2.0
+        assert wf.duration == 2.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            Waveform([0.0, 1.0, 1.0], [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Waveform([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform([0.0], [1.0])
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError):
+            Waveform([[0.0, 1.0]], [[0.0, 1.0]])
+
+    def test_constant_constructor(self):
+        wf = Waveform.constant(0.7, 0.0, 1e-9)
+        assert wf.value_at(0.5e-9) == pytest.approx(0.7)
+
+    def test_from_function(self):
+        wf = Waveform.from_function(lambda t: 2.0 * t, 0.0, 1.0, n=11)
+        assert wf.value_at(0.5) == pytest.approx(1.0)
+
+    def test_triangular_glitch_shape(self):
+        wf = Waveform.triangular_glitch(
+            baseline=0.1, peak=0.5, t_start=ps(100), rise=ps(50), fall=ps(50), post=ps(100)
+        )
+        assert wf.value_at(ps(100)) == pytest.approx(0.1)
+        assert wf.value_at(ps(150)) == pytest.approx(0.6)
+        assert wf.value_at(ps(200)) == pytest.approx(0.1)
+
+    def test_values_are_read_only(self):
+        wf = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            wf.values[0] = 5.0
+
+
+class TestEvaluationAndArithmetic:
+    def test_interpolation_and_clamping(self):
+        wf = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert wf(0.5) == pytest.approx(1.0)
+        assert wf(-1.0) == pytest.approx(0.0)
+        assert wf(2.0) == pytest.approx(2.0)
+
+    def test_vector_evaluation(self):
+        wf = Waveform([0.0, 1.0], [0.0, 2.0])
+        values = wf(np.array([0.0, 0.25, 0.5]))
+        assert np.allclose(values, [0.0, 0.5, 1.0])
+
+    def test_addition_of_waveforms_merges_time_axes(self):
+        a = Waveform([0.0, 1.0], [1.0, 1.0])
+        b = Waveform([0.5, 2.0], [2.0, 2.0])
+        total = a + b
+        assert total.value_at(0.75) == pytest.approx(3.0)
+
+    def test_scalar_operations(self):
+        wf = Waveform([0.0, 1.0], [1.0, 3.0])
+        assert (wf * 2.0).value_at(1.0) == pytest.approx(6.0)
+        assert (wf + 1.0).value_at(0.0) == pytest.approx(2.0)
+        assert (-wf).value_at(1.0) == pytest.approx(-3.0)
+        assert (5.0 - wf).value_at(1.0) == pytest.approx(2.0)
+
+    def test_shift(self):
+        wf = Waveform([0.0, 1.0], [0.0, 1.0]).shift(2.0)
+        assert wf.t_start == pytest.approx(2.0)
+
+    def test_clip_time(self):
+        wf = Waveform([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+        clipped = wf.clip_time(0.5, 2.5)
+        assert clipped.t_start == pytest.approx(0.5)
+        assert clipped.t_stop == pytest.approx(2.5)
+        assert clipped.value_at(1.0) == pytest.approx(1.0)
+
+    def test_clip_time_invalid_range(self):
+        wf = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            wf.clip_time(1.0, 0.5)
+
+    def test_equality_and_hash(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.0, 1.0], [0.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Waveform([0.0, 1.0], [0.0, 2.0])
+
+
+class TestMetrics:
+    def test_crossings(self):
+        wf = Waveform([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        crossings = wf.crossings(0.5)
+        assert len(crossings) == 2
+        assert crossings[0] == pytest.approx(0.5)
+        assert crossings[1] == pytest.approx(1.5)
+
+    def test_glitch_metrics_triangle(self):
+        # A triangle of height 0.6 V and base 200 ps on a 0.1 V baseline.
+        wf = Waveform.triangular_glitch(
+            baseline=0.1, peak=0.6, t_start=ps(100), rise=ps(100), fall=ps(100), post=ps(200)
+        )
+        metrics = wf.glitch_metrics()
+        assert metrics.peak == pytest.approx(0.6, rel=1e-6)
+        assert metrics.area == pytest.approx(0.5 * 0.6 * ps(200), rel=1e-6)
+        assert metrics.width == pytest.approx(ps(100), rel=1e-6)  # FWHM of a triangle
+        assert metrics.baseline == pytest.approx(0.1)
+        assert metrics.area_v_ps == pytest.approx(metrics.area / 1e-12)
+        assert metrics.width_ps == pytest.approx(metrics.width / 1e-12)
+
+    def test_negative_glitch(self):
+        wf = Waveform.triangular_glitch(
+            baseline=1.2, peak=-0.5, t_start=ps(50), rise=ps(40), fall=ps(60), post=ps(100)
+        )
+        metrics = wf.glitch_metrics()
+        assert metrics.peak == pytest.approx(-0.5, rel=1e-6)
+        assert metrics.area > 0.0
+
+    def test_flat_waveform_has_zero_metrics(self):
+        wf = Waveform.constant(0.3, 0.0, 1e-9, n=10)
+        metrics = wf.glitch_metrics()
+        assert metrics.peak == 0.0
+        assert metrics.area == 0.0
+        assert metrics.width == 0.0
+
+    def test_explicit_baseline(self):
+        wf = Waveform([0.0, 1.0, 2.0], [0.5, 1.0, 0.5])
+        metrics = wf.glitch_metrics(baseline=0.0)
+        assert metrics.peak == pytest.approx(1.0)
+
+    def test_metrics_as_dict(self):
+        wf = Waveform.triangular_glitch(0.0, 1.0, ps(10), ps(10), ps(10))
+        data = wf.glitch_metrics().as_dict()
+        assert set(data) == {"peak_v", "area_v_ps", "width_ps", "peak_time_s", "baseline_v"}
+
+    def test_rms_and_max_difference(self):
+        a = Waveform([0.0, 1.0], [0.0, 0.0])
+        b = Waveform([0.0, 1.0], [1.0, 1.0])
+        assert a.rms_difference(b) == pytest.approx(1.0)
+        assert a.max_difference(b) == pytest.approx(1.0)
+
+    def test_difference_requires_overlap(self):
+        a = Waveform([0.0, 1.0], [0.0, 0.0])
+        b = Waveform([2.0, 3.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            a.rms_difference(b)
+
+    def test_align_waveforms(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.5, 2.0], [1.0, 2.0])
+        times, values = align_waveforms([a, b], n=16)
+        assert times[0] == pytest.approx(0.0)
+        assert times[-1] == pytest.approx(2.0)
+        assert len(values) == 2
+
+    def test_align_requires_waveforms(self):
+        with pytest.raises(ValueError):
+            align_waveforms([])
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def waveform_strategy(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    deltas = draw(
+        st.lists(st.floats(min_value=1e-12, max_value=1e-9), min_size=n - 1, max_size=n - 1)
+    )
+    times = np.concatenate([[0.0], np.cumsum(deltas)])
+    values = draw(
+        st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Waveform(times, values)
+
+
+@given(waveform_strategy())
+@settings(max_examples=50, deadline=None)
+def test_property_peak_bounded_by_range(wf):
+    metrics = wf.glitch_metrics()
+    span = wf.max() - wf.min()
+    assert abs(metrics.peak) <= span + 1e-12
+
+
+@given(waveform_strategy())
+@settings(max_examples=50, deadline=None)
+def test_property_area_and_width_non_negative(wf):
+    metrics = wf.glitch_metrics()
+    assert metrics.area >= 0.0
+    assert metrics.width >= 0.0
+    assert metrics.width <= wf.duration + 1e-15
+
+
+@given(waveform_strategy(), st.floats(min_value=-2.0, max_value=2.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_property_adding_constant_shifts_baseline_not_peak(wf, offset):
+    base = wf.glitch_metrics()
+    shifted = (wf + offset).glitch_metrics()
+    assert shifted.peak == pytest.approx(base.peak, rel=1e-9, abs=1e-12)
+    assert shifted.baseline == pytest.approx(base.baseline + offset, rel=1e-9, abs=1e-12)
+
+
+@given(waveform_strategy())
+@settings(max_examples=50, deadline=None)
+def test_property_resample_preserves_endpoint_values(wf):
+    resampled = wf.resample_uniform(64)
+    assert resampled.value_at(wf.t_start) == pytest.approx(wf.values[0], abs=1e-9)
+    assert resampled.value_at(wf.t_stop) == pytest.approx(wf.values[-1], abs=1e-9)
+
+
+@given(waveform_strategy(), waveform_strategy())
+@settings(max_examples=30, deadline=None)
+def test_property_addition_commutes(a, b):
+    left = a + b
+    right = b + a
+    probe = np.linspace(min(a.t_start, b.t_start), max(a.t_stop, b.t_stop), 17)
+    assert np.allclose(left(probe), right(probe), atol=1e-12)
