@@ -11,10 +11,9 @@ aggregate accuracy claim.
 
 import pytest
 
+from repro.api import AnalysisConfig, NoiseAnalysisSession
 from repro.experiments import accuracy_sweep_clusters
-from repro.characterization import LibraryCharacterizer
-from repro.golden import GoldenClusterAnalysis
-from repro.noise import MacromodelAnalysis, compare_results
+from repro.noise import compare_results
 from repro.technology import build_default_library
 from repro.units import ps
 
@@ -32,26 +31,28 @@ def sweep_cases():
 
 
 def test_accuracy_sweep(benchmark, sweep_cases):
-    libraries = {
-        "cmos130": build_default_library("cmos130"),
-        "cmos90": build_default_library("cmos90"),
-    }
-    characterizers = {name: LibraryCharacterizer(lib) for name, lib in libraries.items()}
-    golden_analyses = {name: GoldenClusterAnalysis(lib) for name, lib in libraries.items()}
-    macromodel_analyses = {
-        name: MacromodelAnalysis(lib, characterizer=characterizers[name])
-        for name, lib in libraries.items()
+    # One session per technology: shared characterisation cache, both methods
+    # resolved through the registry, batched execution.
+    config = AnalysisConfig(methods=("golden", "macromodel"), dt=ps(2), check_nrc=False)
+    sessions = {
+        name: NoiseAnalysisSession(build_default_library(name), config)
+        for name in ("cmos130", "cmos90")
     }
 
     rows = []
 
     def run_sweep():
         rows.clear()
-        for case in sweep_cases:
-            golden = golden_analyses[case.technology].analyze(case.spec, dt=ps(2))
-            macro = macromodel_analyses[case.technology].analyze(case.spec, dt=ps(2))
-            errors = compare_results(golden, macro)
-            rows.append((case.label, golden.peak, macro.peak, errors))
+        for technology, session in sessions.items():
+            cases = [case for case in sweep_cases if case.technology == technology]
+            reports = session.analyze_many(
+                [case.spec for case in cases], labels=[case.label for case in cases]
+            )
+            for case, report in zip(cases, reports):
+                golden = report.result("golden")
+                macro = report.result("macromodel")
+                errors = compare_results(golden, macro)
+                rows.append((case.label, golden.peak, macro.peak, errors))
         return rows
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)

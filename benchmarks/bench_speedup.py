@@ -11,9 +11,9 @@ import math
 
 import pytest
 
+from repro.api import AnalysisConfig, NoiseAnalysisSession
 from repro.experiments import speedup_clusters
 from repro.golden import GoldenClusterAnalysis
-from repro.noise import MacromodelAnalysis
 from repro.units import ps
 
 #: The reproduction target: clearly an order of magnitude, not necessarily 20.
@@ -27,19 +27,21 @@ def cases():
 
 def test_macromodel_speedup_over_golden(benchmark, library_cmos130, characterizer_cmos130, cases):
     golden_analysis = GoldenClusterAnalysis(library_cmos130)
-    macro_analysis = MacromodelAnalysis(library_cmos130, characterizer=characterizer_cmos130)
+    session = NoiseAnalysisSession(
+        library_cmos130,
+        AnalysisConfig(methods=("macromodel",), dt=ps(1), check_nrc=False),
+        characterizer=characterizer_cmos130,
+    )
 
     # Characterise everything up front (a one-off library cost, as in the paper).
-    for case in cases:
-        macro_analysis.analyze(case.spec, dt=ps(2))
+    session.warm_characterization([case.spec for case in cases])
 
     rows = []
 
     def run_all_macromodels():
         rows.clear()
-        for case in cases:
-            macro = macro_analysis.analyze(case.spec, dt=ps(1))
-            rows.append((case, macro))
+        reports = session.analyze_many([case.spec for case in cases])
+        rows.extend(zip(cases, (report.primary for report in reports)))
         return rows
 
     benchmark.pedantic(run_all_macromodels, rounds=1, iterations=1)

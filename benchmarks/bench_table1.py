@@ -13,9 +13,10 @@ stays within a few percent (+2.6 % peak, +0.8 % area).
 
 import pytest
 
+from repro.api import AnalysisConfig, NoiseAnalysisSession
 from repro.experiments import table1_cluster
 from repro.golden import GoldenClusterAnalysis
-from repro.noise import ClusterNoiseAnalyzer, LinearSuperpositionAnalysis, MacromodelAnalysis, compare_results
+from repro.noise import LinearSuperpositionAnalysis, MacromodelAnalysis, compare_results
 from repro.units import ps
 
 
@@ -70,13 +71,16 @@ def test_table1_linear_superposition(benchmark, library_cmos130, characterizer_c
 
 
 def test_table1_full_comparison_report(benchmark, library_cmos130, cluster):
-    """Timed end-to-end: all three methods on the Table-1 cluster."""
-    analyzer = ClusterNoiseAnalyzer(library_cmos130)
+    """Timed end-to-end: both approximate methods through the session API."""
+    session = NoiseAnalysisSession(
+        library_cmos130,
+        AnalysisConfig(methods=("macromodel", "superposition"), dt=ps(1), check_nrc=False),
+    )
 
     def run():
-        return analyzer.analyze(cluster, methods=("macromodel", "superposition"), dt=ps(1))
+        return session.analyze(cluster)
 
     run()  # warm caches
-    results = benchmark(run)
-    assert set(results) == {"macromodel", "superposition"}
-    assert results["macromodel"].peak > results["superposition"].peak
+    report = benchmark(run)
+    assert set(report.results) == {"macromodel", "superposition"}
+    assert report.result("macromodel").peak > report.result("superposition").peak

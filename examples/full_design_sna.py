@@ -12,6 +12,9 @@ a small gate-level design:
 4. check every glitch against the receiver's noise rejection curve and
    print the violation report.
 
+Steps 2-4 are one call on the unified session API:
+``NoiseAnalysisSession.run_design``.
+
 Run from the repository root::
 
     python examples/full_design_sna.py
@@ -22,8 +25,9 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import AnalysisConfig, NoiseAnalysisSession
 from repro.noise import InputGlitchSpec
-from repro.sna import Design, StaticNoiseAnalysisFlow, annotate_design
+from repro.sna import ClusterExtractor, Design, ExtractionConfig, annotate_design
 from repro.technology import build_default_library
 from repro.units import ps
 
@@ -70,27 +74,35 @@ def main() -> None:
 
     # bus0 is known (from an upstream propagation pass) to receive a glitch
     # at its driver input; the other nets see crosstalk only.
-    flow = StaticNoiseAnalysisFlow(
+    extractor = ClusterExtractor(
         design,
-        num_segments=8,
+        config=ExtractionConfig(num_segments=8),
         input_glitches={"bus0": InputGlitchSpec(height=0.9, width=ps(250), start_time=ps(150))},
     )
-
     print("Extracted noise clusters:")
-    for extraction in flow.extract_clusters():
+    for extraction in extractor.extract_clusters():
         aggressors = ", ".join(extraction.aggressor_nets) or "none"
         print(f"  victim {extraction.victim_net}: aggressors [{aggressors}]")
     print()
 
-    report = flow.run(method="macromodel", check_nrc=True, dt=ps(2))
+    session = NoiseAnalysisSession(
+        library, AnalysisConfig(methods=("macromodel",), dt=ps(2), check_nrc=True)
+    )
+    report = session.run_design(design, extractor=extractor)
     print(report.text())
 
     if report.violations:
         print("\nNets to fix (spacing, shielding, or upsizing the holding driver):")
         for violation in report.violations:
-            print(f"  - {violation.victim_net} (margin {violation.nrc_check.margin:+.3f} V)")
+            check = violation.nrc_check()
+            print(f"  - {violation.victim_net} (margin {check.margin:+.3f} V)")
     else:
         print("\nNo NRC violations: the design is noise-clean under the worst-case assumptions.")
+    engine = report.engine_statistics()
+    print(
+        f"\ndedicated-engine totals: {engine.num_time_points} time points, "
+        f"{engine.newton_iterations} Newton iterations, {engine.runtime_seconds * 1e3:.1f} ms"
+    )
 
 
 if __name__ == "__main__":

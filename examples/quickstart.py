@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: analyse one noise cluster with the non-linear macromodel.
+"""Quickstart: analyse one noise cluster through the unified session API.
 
 This example builds the paper's basic scenario -- a quiet victim net driven
 by a 2-input NAND, coupled to a switching aggressor over 500 um of metal 4 --
@@ -9,6 +9,12 @@ driving point:
 * the golden transistor-level simulation (the "ELDO" reference),
 * the paper's non-linear VCCS macromodel,
 * the conventional linear-superposition estimate.
+
+Everything goes through one front door: a ``NoiseAnalysisSession`` built
+from a frozen ``AnalysisConfig``.  The methods are resolved by name from the
+pluggable registry (``repro.api.list_methods()`` shows what is available),
+and the session's report bundles the per-method results with the NRC
+verdicts.
 
 Run it from the repository root::
 
@@ -20,14 +26,9 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import AnalysisConfig, NoiseAnalysisSession, list_methods
 from repro.interconnect import ParallelBusGeometry
-from repro.noise import (
-    AggressorSpec,
-    ClusterNoiseAnalyzer,
-    InputGlitchSpec,
-    NoiseClusterSpec,
-    VictimSpec,
-)
+from repro.noise import AggressorSpec, InputGlitchSpec, NoiseClusterSpec, VictimSpec
 from repro.technology import build_default_library
 from repro.units import ps
 
@@ -66,20 +67,29 @@ def main() -> None:
     print(cluster.describe())
     print()
 
-    # 3. Run the three analyses and compare them against the golden result.
-    analyzer = ClusterNoiseAnalyzer(library)
-    results = analyzer.analyze(
-        cluster, methods=("golden", "macromodel", "superposition"), dt=ps(1)
+    # 3. One session = one configuration + one shared characterisation cache.
+    #    Every registered analysis method is addressable by name.
+    print(f"registered analysis methods: {list_methods()}")
+    session = NoiseAnalysisSession(
+        library,
+        AnalysisConfig(
+            methods=("golden", "macromodel", "superposition"),
+            dt=ps(1),
+            check_nrc=True,
+            nrc_widths=(ps(100), ps(250), ps(500)),
+        ),
     )
-    print(analyzer.comparison_table(results))
+    report = session.analyze(cluster)
+    print(report.comparison_table())
     print()
 
-    # 4. Check the macromodel glitch against the receiver's noise rejection
-    #    curve (the SNA pass/fail criterion).
-    check = analyzer.nrc_check(cluster, results["macromodel"], widths=[ps(100), ps(250), ps(500)])
-    print(check.describe())
+    # 4. The report already carries the NRC verdict (the SNA pass/fail
+    #    criterion) for every method.
+    print(report.nrc_check("macromodel").describe())
 
-    speedup = results["golden"].runtime_seconds / results["macromodel"].runtime_seconds
+    golden = report.result("golden")
+    macromodel = report.result("macromodel")
+    speedup = golden.runtime_seconds / macromodel.runtime_seconds
     print(f"\nmacromodel speed-up over the transistor-level simulation: {speedup:.1f}x")
 
 

@@ -18,25 +18,27 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.experiments import default_library, table1_cluster
-from repro.noise import ClusterNoiseAnalyzer, compare_results
+from repro.experiments import paper_session, table1_cluster
+from repro.noise import compare_results
 from repro.units import ps
 
 
 def main() -> None:
-    library = default_library("cmos130")
     cluster = table1_cluster()
     print(cluster.describe())
     print()
 
-    analyzer = ClusterNoiseAnalyzer(library)
-    results = analyzer.analyze(
-        cluster, methods=("golden", "superposition", "macromodel"), dt=ps(1)
+    session = paper_session(
+        "cmos130",
+        methods=("golden", "superposition", "macromodel"),
+        dt=ps(1),
+        check_nrc=False,
     )
+    report = session.analyze(cluster)
 
-    golden = results["golden"]
-    superposition = results["superposition"]
-    macromodel = results["macromodel"]
+    golden = report.result("golden")
+    superposition = report.result("superposition")
+    macromodel = report.result("macromodel")
     sup_err = compare_results(golden, superposition)
     mac_err = compare_results(golden, macromodel)
 

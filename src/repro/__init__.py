@@ -5,6 +5,10 @@ Cells for an Accurate Static Noise Analysis", DATE 2005.
 
 Sub-packages
 ------------
+``repro.api``
+    The unified front door: ``NoiseAnalysisSession`` (single/batch/design
+    analysis), frozen ``AnalysisConfig`` and the pluggable analysis-method
+    registry.
 ``repro.circuit``
     SPICE-class non-linear circuit simulator (the golden reference).
 ``repro.technology``
@@ -17,18 +21,32 @@ Sub-packages
 ``repro.noise``
     The paper's noise-cluster macromodel and the baselines it is compared to.
 ``repro.sna``
-    A small full-design static noise analysis flow built on the above.
+    Design database, parasitics annotation and noise-cluster extraction.
 ``repro.golden``
     Transistor-level golden cluster simulations.
 
-Only the lightweight value types are re-exported at the top level; import the
-sub-packages directly for the analysis flows.
+The lightweight value types are re-exported eagerly; the session API
+(``NoiseAnalysisSession``, ``AnalysisConfig``, ``list_methods``,
+``register_method``, ...) is re-exported lazily so ``import repro`` stays
+cheap for scripts that only need units and waveforms.
 """
 
 from .units import fF, kohm, mV, ns, ps, to_fF, to_mV, to_ps, to_v_ps, um
 from .waveform import GlitchMetrics, Waveform
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+#: Session-API names resolved lazily from :mod:`repro.api` (PEP 562).
+_API_EXPORTS = (
+    "NoiseAnalysisSession",
+    "AnalysisConfig",
+    "ClusterReport",
+    "SessionReport",
+    "list_methods",
+    "method_descriptions",
+    "register_method",
+    "unregister_method",
+)
 
 __all__ = [
     "Waveform",
@@ -44,4 +62,17 @@ __all__ = [
     "to_mV",
     "to_v_ps",
     "__version__",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

@@ -1,0 +1,120 @@
+"""Frozen, validated configuration for an analysis session.
+
+:class:`AnalysisConfig` replaces the positional/keyword arguments that used
+to be threaded through three layers (``ClusterNoiseAnalyzer`` ->
+``StaticNoiseAnalysisFlow`` -> the per-method classes).  One immutable object
+carries the method list, the time discretisation, the NRC policy and the
+characterisation options; deriving a variant goes through :meth:`replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["AnalysisConfig", "DEFAULT_METHODS"]
+
+#: Methods run when the caller does not choose any.
+DEFAULT_METHODS: Tuple[str, ...] = ("macromodel",)
+
+#: Interconnect reductions understood by the model builder.
+_VALID_REDUCTIONS = ("coupled_pi", "full")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Immutable configuration of a :class:`~repro.api.session.NoiseAnalysisSession`.
+
+    Parameters
+    ----------
+    methods:
+        Registry names of the analysis methods to run per cluster (see
+        :func:`repro.api.list_methods`).  Name validity is checked when the
+        session resolves them, so methods registered after this config was
+        created are usable.
+    dt, t_stop:
+        Time step and stop time (seconds) for every analysis; ``None`` lets
+        each cluster derive its own window from the aggressor/glitch timing.
+    reduction:
+        Interconnect representation inside the macromodel: ``"coupled_pi"``
+        (the paper's driving-point reduction) or ``"full"``.
+    vccs_grid:
+        Grid resolution of the VCCS load-surface characterisation.
+    check_nrc:
+        Whether to evaluate each result against the victim receiver's noise
+        rejection curve.
+    nrc_widths:
+        Optional glitch widths (seconds) at which the NRC is characterised.
+    max_workers:
+        Default parallelism of ``analyze_many``/``run_design``; 1 runs
+        sequentially.
+    """
+
+    methods: Tuple[str, ...] = DEFAULT_METHODS
+    dt: Optional[float] = None
+    t_stop: Optional[float] = None
+    reduction: str = "coupled_pi"
+    vccs_grid: int = 17
+    check_nrc: bool = True
+    nrc_widths: Optional[Tuple[float, ...]] = None
+    max_workers: int = 1
+
+    def __post_init__(self):
+        # Accept any sequence of names but store canonical tuples so the
+        # config stays hashable and safely shareable between sessions.
+        object.__setattr__(self, "methods", self._as_name_tuple(self.methods))
+        if self.nrc_widths is not None:
+            object.__setattr__(
+                self, "nrc_widths", tuple(float(w) for w in self.nrc_widths)
+            )
+
+        if not self.methods:
+            raise ValueError("methods must name at least one analysis method")
+        if self.dt is not None and not self.dt > 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.t_stop is not None and not self.t_stop > 0:
+            raise ValueError(f"t_stop must be positive, got {self.t_stop}")
+        if self.dt is not None and self.t_stop is not None and self.dt > self.t_stop:
+            raise ValueError(f"dt ({self.dt}) must not exceed t_stop ({self.t_stop})")
+        if self.reduction not in _VALID_REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {self.reduction!r}; valid: {_VALID_REDUCTIONS}"
+            )
+        if self.vccs_grid < 3:
+            raise ValueError(f"vccs_grid must be at least 3, got {self.vccs_grid}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {self.max_workers}")
+        if self.nrc_widths is not None:
+            if not self.nrc_widths:
+                raise ValueError("nrc_widths must be None or non-empty")
+            if any(not w > 0 for w in self.nrc_widths):
+                raise ValueError("nrc_widths must all be positive")
+
+    @staticmethod
+    def _as_name_tuple(methods: Sequence[str]) -> Tuple[str, ...]:
+        if isinstance(methods, str):
+            # A bare string is almost always a bug ("macromodel" -> one
+            # method, not nine single-character ones); accept it as one name.
+            return (methods,)
+        names = tuple(methods)
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"method names must be non-empty strings, got {name!r}")
+        return names
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """A copy of this config with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the configuration."""
+        window = (
+            f"dt={self.dt}" if self.dt is not None else "dt=auto",
+            f"t_stop={self.t_stop}" if self.t_stop is not None else "t_stop=auto",
+        )
+        return (
+            f"AnalysisConfig(methods={list(self.methods)}, {window[0]}, {window[1]}, "
+            f"reduction={self.reduction!r}, vccs_grid={self.vccs_grid}, "
+            f"check_nrc={self.check_nrc}, max_workers={self.max_workers})"
+        )

@@ -1,0 +1,76 @@
+"""Built-in analysis-method registrations.
+
+The four analysis backends the paper compares are published in the method
+registry here, with the same names the old ``ClusterNoiseAnalyzer`` string
+dispatch understood (``golden``, ``macromodel``, ``superposition``,
+``iterative_thevenin``), so specs and scripts written against the old facade
+resolve to the same engines through the registry.
+
+Importing this module registers the builtins; :mod:`repro.api.registry`
+triggers that import lazily the first time the registry is queried.
+"""
+
+from __future__ import annotations
+
+from .registry import AnalysisMethod, MethodContext, register_method
+
+__all__ = []  # nothing to export: importing this module registers the builtins
+
+
+@register_method(
+    "golden",
+    description="Transistor-level transient simulation of the full cluster "
+    "(the role ELDO plays in the paper); the accuracy reference.",
+)
+def _golden(context: MethodContext) -> AnalysisMethod:
+    from ..golden.cluster_sim import GoldenClusterAnalysis
+
+    return GoldenClusterAnalysis(context.library)
+
+
+@register_method(
+    "macromodel",
+    description="The paper's non-linear victim-driver macromodel solved by "
+    "the dedicated noise engine.",
+)
+def _macromodel(context: MethodContext) -> AnalysisMethod:
+    from ..noise.macromodel import MacromodelAnalysis
+
+    return MacromodelAnalysis(
+        context.library,
+        characterizer=context.characterizer,
+        reduction=context.config.reduction,
+        vccs_grid=context.config.vccs_grid,
+    )
+
+
+@register_method(
+    "superposition",
+    description="Conventional linear superposition of separately-evaluated "
+    "injected and propagated noise (the baseline the paper argues against).",
+)
+def _superposition(context: MethodContext) -> AnalysisMethod:
+    from ..noise.superposition import LinearSuperpositionAnalysis
+
+    return LinearSuperpositionAnalysis(
+        context.library,
+        characterizer=context.characterizer,
+        reduction=context.config.reduction,
+        vccs_grid=context.config.vccs_grid,
+    )
+
+
+@register_method(
+    "iterative_thevenin",
+    description="Iteratively linearised Thevenin victim model of Zolotov "
+    "et al. (reference [4] of the paper).",
+)
+def _iterative_thevenin(context: MethodContext) -> AnalysisMethod:
+    from ..noise.zolotov import ZolotovIterativeAnalysis
+
+    return ZolotovIterativeAnalysis(
+        context.library,
+        characterizer=context.characterizer,
+        reduction=context.config.reduction,
+        vccs_grid=context.config.vccs_grid,
+    )

@@ -1,0 +1,176 @@
+"""Pluggable analysis-method registry.
+
+Every noise analysis backend (the golden transistor-level simulation, the
+paper's macromodel, the linear-superposition and iterative-Thevenin
+baselines, and any future engine) is published here under a short name.  A
+backend is registered by decorating a *factory* -- a callable that receives a
+:class:`MethodContext` (library, shared characterizer, session configuration)
+and returns an object satisfying the :class:`AnalysisMethod` protocol::
+
+    from repro.api import register_method, MethodContext
+
+    @register_method("my_engine", description="My experimental engine")
+    def _build(context: MethodContext):
+        return MyEngineAnalysis(context.library, characterizer=context.characterizer)
+
+Sessions resolve names through :func:`create_method`, so registered backends
+are immediately usable from :class:`~repro.api.session.NoiseAnalysisSession`,
+the deprecated facades and every example/benchmark driver without touching
+any dispatch code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # avoid import cycles: these are annotations only
+    from ..characterization.characterizer import LibraryCharacterizer
+    from ..noise.builder import ClusterModelBuilder
+    from ..noise.cluster import NoiseClusterSpec
+    from ..noise.results import NoiseAnalysisResult
+    from ..technology.library import CellLibrary
+    from .config import AnalysisConfig
+
+__all__ = [
+    "AnalysisMethod",
+    "MethodContext",
+    "UnknownMethodError",
+    "DuplicateMethodError",
+    "register_method",
+    "unregister_method",
+    "list_methods",
+    "method_descriptions",
+    "create_method",
+]
+
+
+class UnknownMethodError(ValueError):
+    """Raised when an analysis-method name is not in the registry."""
+
+    def __init__(self, name: str, available: List[str]):
+        self.name = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown analysis method {name!r}; registered methods: {self.available}"
+        )
+
+
+class DuplicateMethodError(ValueError):
+    """Raised when a method name is registered twice without ``replace=True``."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(
+            f"analysis method {name!r} is already registered; "
+            f"pass replace=True to override it"
+        )
+
+
+@runtime_checkable
+class AnalysisMethod(Protocol):
+    """What a registered analysis backend must provide."""
+
+    #: Name reported in results (may differ from the registry name).
+    method_name: str
+
+    def analyze(
+        self,
+        spec: "NoiseClusterSpec",
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+        builder: Optional["ClusterModelBuilder"] = None,
+    ) -> "NoiseAnalysisResult":
+        """Analyse one noise cluster and return its result."""
+        ...
+
+
+@dataclass(frozen=True)
+class MethodContext:
+    """Everything a method factory may need to build its backend."""
+
+    library: "CellLibrary"
+    characterizer: "LibraryCharacterizer"
+    config: "AnalysisConfig"
+
+
+#: Factory signature registered under each method name.
+MethodFactory = Callable[[MethodContext], AnalysisMethod]
+
+
+@dataclass(frozen=True)
+class _Registration:
+    name: str
+    factory: MethodFactory
+    description: str = ""
+
+
+_REGISTRY: Dict[str, _Registration] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in method registrations exactly once."""
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        from . import methods  # noqa: F401  (importing registers the builtins)
+
+
+def register_method(
+    name: str,
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[MethodFactory], MethodFactory]:
+    """Decorator registering a method factory under ``name``.
+
+    Raises :class:`DuplicateMethodError` if ``name`` is taken and ``replace``
+    is ``False``.  Returns the factory unchanged so it stays importable.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("method name must be a non-empty string")
+
+    def decorator(factory: MethodFactory) -> MethodFactory:
+        # Load the builtins first so an early user registration cannot
+        # silently take a builtin name (and blow up later when the builtin
+        # registers itself).  No-op while the builtin module itself loads.
+        _ensure_builtins()
+        if name in _REGISTRY and not replace:
+            raise DuplicateMethodError(name)
+        doc = description
+        if not doc and factory.__doc__:
+            doc = factory.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = _Registration(name=name, factory=factory, description=doc)
+        return factory
+
+    return decorator
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registered method (mainly for tests and plugin teardown)."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise UnknownMethodError(name, list(_REGISTRY))
+    del _REGISTRY[name]
+
+
+def list_methods() -> List[str]:
+    """Names of all registered analysis methods, in registration order."""
+    _ensure_builtins()
+    return list(_REGISTRY)
+
+
+def method_descriptions() -> Dict[str, str]:
+    """Mapping of registered method name to its one-line description."""
+    _ensure_builtins()
+    return {name: registration.description for name, registration in _REGISTRY.items()}
+
+
+def create_method(name: str, context: MethodContext) -> AnalysisMethod:
+    """Instantiate the backend registered under ``name``."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise UnknownMethodError(name, list(_REGISTRY))
+    return _REGISTRY[name].factory(context)

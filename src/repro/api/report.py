@@ -1,0 +1,141 @@
+"""Typed result aggregation for analysis sessions.
+
+A :class:`ClusterReport` collects everything one ``analyze`` call produced
+for one noise cluster: the per-method :class:`NoiseAnalysisResult` objects,
+the NRC verdicts and the wall-clock runtime.  A :class:`SessionReport`
+aggregates the cluster reports of a batch (``analyze_many``) or design run
+(``run_design``) together with engine statistics, replacing the old ad-hoc
+``SNAReport``/result-dict mixture with one structure every driver shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..noise.analysis import NRCCheck
+from ..noise.cluster import NoiseClusterSpec
+from ..noise.engine import EngineStatistics
+from ..noise.results import NoiseAnalysisResult, format_comparison_table
+
+__all__ = ["ClusterReport", "SessionReport"]
+
+
+@dataclass
+class ClusterReport:
+    """Everything the session computed for one noise cluster."""
+
+    label: str
+    spec: NoiseClusterSpec
+    #: Per-method results, in the order the methods were run.
+    results: Dict[str, NoiseAnalysisResult]
+    #: Per-method NRC verdicts (empty when NRC checking was off).
+    nrc_checks: Dict[str, NRCCheck] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    #: Victim net name when the cluster came out of a design run.
+    victim_net: str = ""
+
+    @property
+    def primary_method(self) -> str:
+        """Registry name of the first method run (the session's main answer)."""
+        return next(iter(self.results))
+
+    @property
+    def primary(self) -> NoiseAnalysisResult:
+        """Result of the first method run."""
+        return self.results[self.primary_method]
+
+    def result(self, method: Optional[str] = None) -> NoiseAnalysisResult:
+        """Result of ``method`` (default: the primary method)."""
+        if method is None:
+            return self.primary
+        return self.results[method]
+
+    def nrc_check(self, method: Optional[str] = None) -> Optional[NRCCheck]:
+        """NRC verdict of ``method`` (default: the primary method), if checked."""
+        return self.nrc_checks.get(method or self.primary_method)
+
+    @property
+    def fails(self) -> bool:
+        """Whether the primary method's glitch violates the receiver NRC."""
+        check = self.nrc_check()
+        return bool(check and check.fails)
+
+    def comparison_table(self, reference: str = "golden") -> str:
+        """The paper-style method-comparison table for this cluster."""
+        return format_comparison_table(self.results, reference)
+
+    def engine_statistics(self) -> EngineStatistics:
+        """Summed statistics of every dedicated-engine run in this cluster."""
+        total = EngineStatistics()
+        for result in self.results.values():
+            stats = result.details.get("engine_statistics")
+            if isinstance(stats, EngineStatistics):
+                total.merge(stats)
+        return total
+
+    def summary(self) -> str:
+        result = self.primary
+        status = "FAIL" if self.fails else ("pass" if self.nrc_checks else "n/a")
+        return (
+            f"{self.label:24s} {result.method:24s} peak={result.peak:+.4f} V  "
+            f"area={result.area_v_ps:8.2f} V*ps  [{status}]"
+        )
+
+
+@dataclass
+class SessionReport:
+    """Aggregated outcome of a batch or design-level session run."""
+
+    clusters: List[ClusterReport]
+    methods: Tuple[str, ...]
+    total_runtime_seconds: float
+    design_name: str = ""
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def cluster(self, label: str) -> ClusterReport:
+        """The report of the cluster labelled ``label`` (or its victim net)."""
+        for report in self.clusters:
+            if report.label == label or report.victim_net == label:
+                return report
+        raise KeyError(f"no cluster labelled {label!r} in this report")
+
+    @property
+    def violations(self) -> List[ClusterReport]:
+        """Clusters whose primary glitch violates the receiver NRC."""
+        return [report for report in self.clusters if report.fails]
+
+    def engine_statistics(self) -> EngineStatistics:
+        """Summed dedicated-engine statistics across all clusters."""
+        total = EngineStatistics()
+        for report in self.clusters:
+            total.merge(report.engine_statistics())
+        return total
+
+    def text(self) -> str:
+        """Multi-line report mirroring the industrial violation-report style."""
+        title = self.design_name or "batch"
+        lines = [
+            f"Noise analysis report for '{title}' "
+            f"({'/'.join(self.methods)}, {len(self.clusters)} clusters, "
+            f"{self.total_runtime_seconds:.2f} s)",
+            f"{'cluster':24s} {'peak(V)':>8s} {'area(Vps)':>10s} {'width(ps)':>9s} "
+            f"{'margin':>8s}  status",
+        ]
+        for report in self.clusters:
+            result = report.primary
+            check = report.nrc_check()
+            status = "FAIL" if report.fails else ("pass" if check else "n/a ")
+            margin = f"{check.margin:+.3f}" if check else "  -  "
+            name = report.victim_net or report.label
+            lines.append(
+                f"{name:24s} {result.peak:8.3f} {result.area_v_ps:10.1f} "
+                f"{result.width_ps:9.1f} {margin:>8s}  {status}"
+            )
+        lines.append(f"violations: {len(self.violations)} / {len(self.clusters)}")
+        return "\n".join(lines)

@@ -13,7 +13,7 @@ Implements the pre-characterisation steps the paper's macromodel relies on:
 * :class:`LibraryCharacterizer` -- a caching facade over all of the above.
 """
 
-from .characterizer import LibraryCharacterizer
+from .characterizer import CharacterizationStats, LibraryCharacterizer
 from .loadsurface import VCCSLoadSurface, characterize_load_surface
 from .nrc import NoiseRejectionCurve, characterize_nrc
 from .propagation import (
@@ -35,4 +35,5 @@ __all__ = [
     "NoiseRejectionCurve",
     "characterize_nrc",
     "LibraryCharacterizer",
+    "CharacterizationStats",
 ]

@@ -11,7 +11,9 @@ configuration (the normal case in a full-chip SNA run) pay the cost once.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..technology.cells import NoiseArc, StandardCell
 from ..technology.library import CellLibrary
@@ -20,11 +22,38 @@ from .nrc import NoiseRejectionCurve, characterize_nrc
 from .propagation import NoisePropagationTable, characterize_noise_propagation
 from .thevenin import TheveninDriverModel, characterize_thevenin_driver
 
-__all__ = ["LibraryCharacterizer"]
+__all__ = ["CharacterizationStats", "LibraryCharacterizer"]
 
 
 def _arc_key(arc: NoiseArc) -> Tuple:
     return (arc.input_pin, arc.side_inputs, arc.output_high, arc.glitch_rising)
+
+
+@dataclass
+class CharacterizationStats:
+    """Cache hit/miss bookkeeping per characterisation kind.
+
+    A *miss* is one actual characterisation run (the expensive part); batch
+    drivers use these counters to assert that shared cells are characterised
+    exactly once per session.
+    """
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, *, hit: bool) -> None:
+        counter = self.hits if hit else self.misses
+        counter[kind] = counter.get(kind, 0) + 1
+
+    def miss_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self.misses.values())
+        return self.misses.get(kind, 0)
+
+    def hit_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self.hits.values())
+        return self.hits.get(kind, 0)
 
 
 class LibraryCharacterizer:
@@ -34,10 +63,22 @@ class LibraryCharacterizer:
         self.library = library
         self.technology = library.technology
         self.vccs_grid = vccs_grid
+        self.stats = CharacterizationStats()
+        # Guards get-or-characterize so concurrent session workers never
+        # characterise the same key twice (the cache dict is shared).
+        self._lock = threading.RLock()
 
     @property
     def _cache(self) -> Dict:
         return self.library.characterization_cache
+
+    def _get_or_characterize(self, key: Tuple, characterize: Callable[[], object]):
+        with self._lock:
+            hit = key in self._cache
+            self.stats.record(key[0], hit=hit)
+            if not hit:
+                self._cache[key] = characterize()
+            return self._cache[key]
 
     # ------------------------------------------------------------- VCCS table
 
@@ -51,16 +92,16 @@ class LibraryCharacterizer:
         """The VCCS load surface ``I_DC = f(V_in, V_out)`` of a cell arc."""
         n = num_points or self.vccs_grid
         key = ("vccs", cell_name, _arc_key(arc), n)
-        if key not in self._cache:
-            cell = self.library.cell(cell_name)
-            self._cache[key] = characterize_load_surface(
-                cell,
+        return self._get_or_characterize(
+            key,
+            lambda: characterize_load_surface(
+                self.library.cell(cell_name),
                 self.technology,
                 arc=arc,
                 num_vin=n,
                 num_vout=n,
-            )
-        return self._cache[key]
+            ),
+        )
 
     # --------------------------------------------------------- Thevenin driver
 
@@ -76,17 +117,17 @@ class LibraryCharacterizer:
         """The saturated-ramp Thevenin model of a switching driver."""
         key = ("thevenin", cell_name, rising, input_pin, round(load_capacitance, 20),
                round(input_transition, 15))
-        if key not in self._cache:
-            cell = self.library.cell(cell_name)
-            self._cache[key] = characterize_thevenin_driver(
-                cell,
+        return self._get_or_characterize(
+            key,
+            lambda: characterize_thevenin_driver(
+                self.library.cell(cell_name),
                 self.technology,
                 rising=rising,
                 input_pin=input_pin,
                 load_capacitance=load_capacitance,
                 input_transition=input_transition,
-            )
-        return self._cache[key]
+            ),
+        )
 
     # --------------------------------------------------- propagated-noise table
 
@@ -103,17 +144,17 @@ class LibraryCharacterizer:
         key = ("prop", cell_name, _arc_key(arc), round(load_capacitance, 20),
                None if heights is None else tuple(float(h) for h in heights),
                None if widths is None else tuple(float(w) for w in widths))
-        if key not in self._cache:
-            cell = self.library.cell(cell_name)
-            self._cache[key] = characterize_noise_propagation(
-                cell,
+        return self._get_or_characterize(
+            key,
+            lambda: characterize_noise_propagation(
+                self.library.cell(cell_name),
                 self.technology,
                 arc,
                 load_capacitance=load_capacitance,
                 heights=heights,
                 widths=widths,
-            )
-        return self._cache[key]
+            ),
+        )
 
     # -------------------------------------------------------------------- NRC
 
@@ -129,16 +170,16 @@ class LibraryCharacterizer:
         arc_key = None if arc is None else _arc_key(arc)
         key = ("nrc", cell_name, arc_key, round(load_capacitance, 20),
                None if widths is None else tuple(float(w) for w in widths))
-        if key not in self._cache:
-            cell = self.library.cell(cell_name)
-            self._cache[key] = characterize_nrc(
-                cell,
+        return self._get_or_characterize(
+            key,
+            lambda: characterize_nrc(
+                self.library.cell(cell_name),
                 self.technology,
                 arc,
                 load_capacitance=load_capacitance,
                 widths=widths,
-            )
-        return self._cache[key]
+            ),
+        )
 
     # ---------------------------------------------------------------- summary
 

@@ -36,12 +36,29 @@ __all__ = [
     "accuracy_sweep_clusters",
     "speedup_clusters",
     "default_library",
+    "paper_session",
 ]
 
 
 def default_library(technology: str = "cmos130") -> CellLibrary:
     """The standard-cell library used by the paper-reproduction experiments."""
     return build_default_library(technology)
+
+
+def paper_session(technology: str = "cmos130", **config_overrides):
+    """A ready-made :class:`repro.api.NoiseAnalysisSession` for one technology.
+
+    The canonical way to run the paper's experiments::
+
+        session = paper_session("cmos130", methods=("golden", "macromodel"))
+        report = session.analyze(table1_cluster())
+
+    ``config_overrides`` are :class:`repro.api.AnalysisConfig` fields.
+    """
+    # Local import keeps ``import repro.experiments`` light for spec-only use.
+    from .api import AnalysisConfig, NoiseAnalysisSession
+
+    return NoiseAnalysisSession(default_library(technology), AnalysisConfig(**config_overrides))
 
 
 def table1_cluster(

@@ -1,27 +1,25 @@
-"""High-level noise analysis facade.
+"""Per-cluster NRC checking plus the deprecated analyzer facade.
 
-:class:`ClusterNoiseAnalyzer` runs any combination of analysis methods
-(golden, macromodel, linear superposition, iterative Thevenin) on one noise
-cluster, shares the characterisation work between them, compares the results
-against the golden reference and checks the total noise against the
-receiver's Noise Rejection Curve -- i.e. the complete per-cluster SNA step
-the paper describes.
+:class:`NRCCheck` / :func:`check_against_nrc` implement the pass/fail
+criterion of the SNA flow: the total noise glitch against the receiver's
+Noise Rejection Curve.
+
+:class:`ClusterNoiseAnalyzer` is kept as a deprecation shim over the unified
+session API (:class:`repro.api.NoiseAnalysisSession`); method dispatch goes
+through the pluggable registry in :mod:`repro.api.registry` instead of the
+old hard-coded string comparison.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from ..characterization.characterizer import LibraryCharacterizer
 from ..characterization.nrc import NoiseRejectionCurve
 from ..technology.library import CellLibrary
-from .builder import ClusterModelBuilder
 from .cluster import NoiseClusterSpec
-from .macromodel import MacromodelAnalysis
-from .results import NoiseAnalysisResult, compare_results
-from .superposition import LinearSuperpositionAnalysis
-from .zolotov import ZolotovIterativeAnalysis
+from .results import NoiseAnalysisResult, format_comparison_table
 
 __all__ = ["NRCCheck", "check_against_nrc", "ClusterNoiseAnalyzer"]
 
@@ -62,9 +60,17 @@ def check_against_nrc(result: NoiseAnalysisResult, nrc: NoiseRejectionCurve) -> 
 
 
 class ClusterNoiseAnalyzer:
-    """Run and compare several noise analysis methods on one cluster."""
+    """Deprecated facade: run and compare analysis methods on one cluster.
 
-    #: Methods understood by :meth:`analyze`.
+    .. deprecated::
+        Use :class:`repro.api.NoiseAnalysisSession` -- it adds batch
+        execution, NRC policy and a pluggable method registry.  This shim
+        delegates to a private session so old call sites keep returning
+        identical results.
+    """
+
+    #: Historic built-in method names (kept for back-compat; the authoritative
+    #: list is ``repro.api.list_methods()``, which includes plugins).
     AVAILABLE_METHODS = ("golden", "macromodel", "superposition", "iterative_thevenin")
 
     def __init__(
@@ -74,24 +80,18 @@ class ClusterNoiseAnalyzer:
         reduction: str = "coupled_pi",
         vccs_grid: int = 17,
     ):
-        # Imported here (not at module level) because repro.golden depends on
-        # this package's builder: a top-level import would be circular.
-        from ..golden.cluster_sim import GoldenClusterAnalysis
+        # Imported here (not at module level): repro.api imports this module
+        # for the NRC types, so a top-level import would be circular.
+        from ..api.config import AnalysisConfig
+        from ..api.session import NoiseAnalysisSession
 
         self.library = library
-        self.characterizer = LibraryCharacterizer(library, vccs_grid=vccs_grid)
         self.reduction = reduction
         self.vccs_grid = vccs_grid
-        self._golden = GoldenClusterAnalysis(library)
-        self._macromodel = MacromodelAnalysis(
-            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
+        self._session = NoiseAnalysisSession(
+            library, AnalysisConfig(reduction=reduction, vccs_grid=vccs_grid, check_nrc=False)
         )
-        self._superposition = LinearSuperpositionAnalysis(
-            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
-        )
-        self._zolotov = ZolotovIterativeAnalysis(
-            library, characterizer=self.characterizer, reduction=reduction, vccs_grid=vccs_grid
-        )
+        self.characterizer = self._session.characterizer
 
     def analyze(
         self,
@@ -101,54 +101,27 @@ class ClusterNoiseAnalyzer:
         dt: Optional[float] = None,
         t_stop: Optional[float] = None,
     ) -> Dict[str, NoiseAnalysisResult]:
-        """Run the requested methods on the cluster and return their results."""
-        unknown = set(methods) - set(self.AVAILABLE_METHODS)
-        if unknown:
-            raise ValueError(f"unknown methods {sorted(unknown)}; available: {self.AVAILABLE_METHODS}")
+        """Run the requested methods on the cluster and return their results.
 
-        builder = ClusterModelBuilder(
-            self.library, spec, characterizer=self.characterizer, vccs_grid=self.vccs_grid
+        .. deprecated:: use :meth:`repro.api.NoiseAnalysisSession.analyze`.
+        """
+        warnings.warn(
+            "ClusterNoiseAnalyzer.analyze() is deprecated; use "
+            "repro.api.NoiseAnalysisSession.analyze() instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        results: Dict[str, NoiseAnalysisResult] = {}
-        for method in methods:
-            if method == "golden":
-                results[method] = self._golden.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
-            elif method == "macromodel":
-                results[method] = self._macromodel.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
-            elif method == "superposition":
-                results[method] = self._superposition.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
-            elif method == "iterative_thevenin":
-                results[method] = self._zolotov.analyze(spec, dt=dt, t_stop=t_stop, builder=builder)
-        return results
+        report = self._session.analyze(
+            spec, methods=methods, dt=dt, t_stop=t_stop, check_nrc=False
+        )
+        return report.results
 
     # --------------------------------------------------------------- reporting
 
     @staticmethod
     def comparison_table(results: Dict[str, NoiseAnalysisResult], reference: str = "golden") -> str:
-        """Human-readable comparison of all results against a reference.
-
-        The rows mirror the paper's tables: peak (V), area (V*ps) and the
-        percentage errors of each method with respect to the reference.
-        """
-        if reference not in results:
-            raise KeyError(f"reference method '{reference}' not in results")
-        ref = results[reference]
-        lines = [
-            f"{'method':28s} {'peak (V)':>10s} {'area (V*ps)':>12s} {'peak err%':>10s} "
-            f"{'area err%':>10s} {'runtime (ms)':>13s}"
-        ]
-        for name, result in results.items():
-            if name == reference:
-                peak_err = area_err = 0.0
-            else:
-                comparison = compare_results(ref, result)
-                peak_err = comparison["peak_error_pct"]
-                area_err = comparison["area_error_pct"]
-            lines.append(
-                f"{result.method:28s} {result.peak:10.4f} {result.area_v_ps:12.2f} "
-                f"{peak_err:10.1f} {area_err:10.1f} {result.runtime_seconds * 1e3:13.2f}"
-            )
-        return "\n".join(lines)
+        """Human-readable comparison of all results against a reference."""
+        return format_comparison_table(results, reference)
 
     def nrc_check(
         self,

@@ -190,6 +190,13 @@ class EngineStatistics:
     newton_iterations: int = 0
     runtime_seconds: float = 0.0
 
+    def merge(self, other: "EngineStatistics") -> "EngineStatistics":
+        """Accumulate another run's counters into this one (returns self)."""
+        self.num_time_points += other.num_time_points
+        self.newton_iterations += other.newton_iterations
+        self.runtime_seconds += other.runtime_seconds
+        return self
+
 
 class DedicatedNoiseEngine:
     """Fixed-step trapezoidal integrator specialised for macromodel networks."""

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 from ..waveform import GlitchMetrics, Waveform
 
-__all__ = ["NoiseAnalysisResult", "compare_results"]
+__all__ = ["NoiseAnalysisResult", "compare_results", "format_comparison_table"]
 
 
 @dataclass
@@ -76,3 +76,32 @@ def compare_results(
         "area_error_pct": area_err,
         "speedup": speedup,
     }
+
+
+def format_comparison_table(
+    results: Dict[str, NoiseAnalysisResult], reference: str = "golden"
+) -> str:
+    """Human-readable comparison of all results against a reference method.
+
+    The rows mirror the paper's tables: peak (V), area (V*ps) and the
+    percentage errors of each method with respect to the reference.
+    """
+    if reference not in results:
+        raise KeyError(f"reference method '{reference}' not in results")
+    ref = results[reference]
+    lines = [
+        f"{'method':28s} {'peak (V)':>10s} {'area (V*ps)':>12s} {'peak err%':>10s} "
+        f"{'area err%':>10s} {'runtime (ms)':>13s}"
+    ]
+    for name, result in results.items():
+        if name == reference:
+            peak_err = area_err = 0.0
+        else:
+            comparison = compare_results(ref, result)
+            peak_err = comparison["peak_error_pct"]
+            area_err = comparison["area_error_pct"]
+        lines.append(
+            f"{result.method:28s} {result.peak:10.4f} {result.area_v_ps:12.2f} "
+            f"{peak_err:10.1f} {area_err:10.1f} {result.runtime_seconds * 1e3:13.2f}"
+        )
+    return "\n".join(lines)

@@ -1,12 +1,15 @@
-"""Full-design static noise analysis flow.
+"""Full-design static noise analysis: design DB, parasitics, extraction.
 
-A minimal but complete SNA tool built on the noise macromodel: design
-database, coupling-parasitics annotation, noise-cluster extraction,
-per-cluster analysis and NRC-based violation reporting.
+A minimal but complete SNA substrate built on the noise macromodel: design
+database, coupling-parasitics annotation and noise-cluster extraction
+(:class:`ClusterExtractor`).  Per-cluster analysis and NRC-based violation
+reporting are driven by :meth:`repro.api.NoiseAnalysisSession.run_design`;
+:class:`StaticNoiseAnalysisFlow` remains as a deprecated facade over it.
 """
 
 from .design import CouplingAnnotation, Design, Instance, Net
-from .flow import ClusterExtraction, NetNoiseReport, SNAReport, StaticNoiseAnalysisFlow
+from .extraction import ClusterExtraction, ClusterExtractor, ExtractionConfig
+from .flow import NetNoiseReport, SNAReport, StaticNoiseAnalysisFlow
 from .spef import SPEFError, annotate_design, read_coupling_file, write_coupling_file
 
 __all__ = [
@@ -14,8 +17,10 @@ __all__ = [
     "Instance",
     "Net",
     "CouplingAnnotation",
-    "StaticNoiseAnalysisFlow",
+    "ClusterExtractor",
+    "ExtractionConfig",
     "ClusterExtraction",
+    "StaticNoiseAnalysisFlow",
     "NetNoiseReport",
     "SNAReport",
     "read_coupling_file",

@@ -1,0 +1,180 @@
+"""Noise-cluster extraction from an annotated design.
+
+Extraction is the first stage of the industrial SNA pipeline (cluster
+extraction -> per-cluster noise evaluation -> NRC check -> violation
+report).  It used to live inside ``StaticNoiseAnalysisFlow``; it is a
+standalone :class:`ClusterExtractor` now so the unified
+:class:`~repro.api.session.NoiseAnalysisSession` -- and anything else, e.g. a
+future sharded dispatcher -- can extract clusters without dragging in the
+whole legacy flow object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from ..interconnect.geometry import ParallelBusGeometry, WireSpec
+from ..noise.cluster import AggressorSpec, InputGlitchSpec, NoiseClusterSpec, VictimSpec
+from ..units import ps
+from .design import Design
+
+__all__ = ["ClusterExtraction", "ExtractionConfig", "ClusterExtractor"]
+
+
+@dataclass
+class ClusterExtraction:
+    """One extracted noise cluster and its provenance in the design."""
+
+    victim_net: str
+    spec: NoiseClusterSpec
+    aggressor_nets: List[str]
+    skipped_aggressors: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Knobs of the cluster-extraction stage.
+
+    Parameters
+    ----------
+    max_aggressors:
+        Aggressors beyond this count (ordered by coupled length) are dropped
+        from the cluster -- the standard cluster-filtering simplification.
+    """
+
+    num_segments: int = 8
+    aggressor_switch_time: float = ps(200)
+    aggressor_input_transition: float = ps(40)
+    max_aggressors: int = 4
+
+    def __post_init__(self):
+        if self.num_segments < 1:
+            raise ValueError(f"num_segments must be at least 1, got {self.num_segments}")
+        if self.max_aggressors < 1:
+            raise ValueError(f"max_aggressors must be at least 1, got {self.max_aggressors}")
+        if not self.aggressor_switch_time > 0 or not self.aggressor_input_transition > 0:
+            raise ValueError("aggressor timing parameters must be positive")
+
+
+class ClusterExtractor:
+    """Builds noise-cluster specifications from design connectivity/coupling.
+
+    Parameters
+    ----------
+    input_glitches:
+        Optional per-victim-net propagated glitches at the victim driver
+        input (e.g. computed by an upstream propagation pass).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        config: Optional[ExtractionConfig] = None,
+        input_glitches: Optional[Mapping[str, InputGlitchSpec]] = None,
+    ):
+        self.design = design
+        self.config = config or ExtractionConfig()
+        self.input_glitches = dict(input_glitches or {})
+
+    def victim_candidates(self) -> List[str]:
+        """Nets that have a driver, at least one receiver and some coupling."""
+        candidates = []
+        for net in self.design.nets:
+            if net in self.design.primary_inputs:
+                continue
+            if not self.design.aggressors_of(net):
+                continue
+            if self.design.driver_of(net) is None:
+                continue
+            if not self.design.receivers_of(net):
+                continue
+            candidates.append(net)
+        return sorted(candidates)
+
+    def extract_cluster(self, victim_net: str) -> ClusterExtraction:
+        """Build the noise-cluster specification for one victim net."""
+        design = self.design
+        config = self.config
+        victim_driver = design.driver_of(victim_net)
+        if victim_driver is None:
+            raise ValueError(f"net '{victim_net}' has no driver")
+        receivers = design.receivers_of(victim_net)
+        receiver_instance, receiver_pin = receivers[0]
+        victim_info = design.nets[victim_net]
+        victim_quiet_high = design.net_quiet_level(victim_net)
+
+        couplings = sorted(
+            design.aggressors_of(victim_net), key=lambda item: item[1], reverse=True
+        )
+        aggressor_specs: List[AggressorSpec] = []
+        aggressor_nets: List[str] = []
+        skipped: List[str] = []
+        wires: List[WireSpec] = []
+        for index, (aggressor_net, coupled_length) in enumerate(couplings):
+            driver = design.driver_of(aggressor_net)
+            if driver is None or index >= config.max_aggressors:
+                skipped.append(aggressor_net)
+                continue
+            aggressor_info = design.nets[aggressor_net]
+            aggressor_specs.append(
+                AggressorSpec(
+                    net=aggressor_net,
+                    driver_cell=driver.cell,
+                    # Worst case: aggressors push the victim away from its
+                    # quiet rail, all in phase.
+                    rising=not victim_quiet_high,
+                    input_transition=config.aggressor_input_transition,
+                    switch_time=config.aggressor_switch_time,
+                )
+            )
+            aggressor_nets.append(aggressor_net)
+            wires.append(
+                WireSpec(
+                    aggressor_net,
+                    length_um=max(aggressor_info.length_um, coupled_length),
+                    coupled_length_um=coupled_length,
+                )
+            )
+
+        if not aggressor_specs:
+            raise ValueError(f"net '{victim_net}' has no usable aggressors")
+
+        # Place the strongest aggressors adjacent to the victim (one per side).
+        victim_wire = WireSpec(victim_net, length_um=victim_info.length_um)
+        ordered = [victim_wire]
+        for index, wire in enumerate(wires):
+            if index % 2 == 0:
+                ordered.insert(0, wire)
+            else:
+                ordered.append(wire)
+        geometry = ParallelBusGeometry(
+            wires=ordered,
+            layer_index=victim_info.layer_index,
+            name=f"cluster_{victim_net}",
+        )
+
+        spec = NoiseClusterSpec(
+            victim=VictimSpec(
+                net=victim_net,
+                driver_cell=victim_driver.cell,
+                output_high=victim_quiet_high,
+                input_glitch=self.input_glitches.get(victim_net),
+                receiver_cell=receiver_instance.cell,
+                receiver_pin=receiver_pin,
+            ),
+            aggressors=aggressor_specs,
+            geometry=geometry,
+            num_segments=config.num_segments,
+            name=f"cluster_{victim_net}",
+        )
+        return ClusterExtraction(
+            victim_net=victim_net,
+            spec=spec,
+            aggressor_nets=aggressor_nets,
+            skipped_aggressors=skipped,
+        )
+
+    def extract_clusters(self) -> List[ClusterExtraction]:
+        return [self.extract_cluster(net) for net in self.victim_candidates()]

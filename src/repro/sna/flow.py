@@ -1,41 +1,31 @@
-"""Full-design static noise analysis flow.
+"""Full-design static noise analysis flow (deprecated facade).
 
-This is the "complete methodology for static noise analysis" the paper's
-conclusions call for: iterate over the victim nets of a design, extract each
-noise cluster from the connectivity and coupling annotations, analyse it with
-the selected noise model (the macromodel by default) and check the resulting
-glitch against the receiver's noise rejection curve.
+.. deprecated::
+    :class:`StaticNoiseAnalysisFlow` is a thin compatibility shim over the
+    unified session API.  New code should use
+    :meth:`repro.api.NoiseAnalysisSession.run_design` with an
+    :class:`~repro.sna.extraction.ExtractionConfig`; the cluster-extraction
+    stage lives in :class:`~repro.sna.extraction.ClusterExtractor`.
 
-The flow purposely mirrors the structure of industrial tools (ClariNet,
-Harmony): cluster extraction -> per-cluster noise evaluation -> NRC check ->
-violation report.
+The report containers (:class:`NetNoiseReport`, :class:`SNAReport`) are kept
+because their text layout is the violation-report format the examples and
+tests expect; the shim converts the session's
+:class:`~repro.api.report.SessionReport` into them.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
 
-from ..characterization.characterizer import LibraryCharacterizer
-from ..interconnect.geometry import ParallelBusGeometry, WireSpec
-from ..noise.analysis import ClusterNoiseAnalyzer, NRCCheck, check_against_nrc
-from ..noise.cluster import AggressorSpec, InputGlitchSpec, NoiseClusterSpec, VictimSpec
-from ..noise.results import NoiseAnalysisResult
+from ..noise.analysis import NRCCheck
+from ..noise.cluster import InputGlitchSpec
 from ..units import ps
 from .design import Design
+from .extraction import ClusterExtraction, ClusterExtractor, ExtractionConfig
 
 __all__ = ["ClusterExtraction", "NetNoiseReport", "SNAReport", "StaticNoiseAnalysisFlow"]
-
-
-@dataclass
-class ClusterExtraction:
-    """One extracted noise cluster and its provenance in the design."""
-
-    victim_net: str
-    spec: NoiseClusterSpec
-    aggressor_nets: List[str]
-    skipped_aggressors: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -90,7 +80,12 @@ class SNAReport:
 
 
 class StaticNoiseAnalysisFlow:
-    """Cluster extraction + per-cluster noise analysis + NRC checking."""
+    """Deprecated facade: extraction + analysis + NRC checks in one object.
+
+    Kept so existing drivers keep working; internally it is a
+    :class:`ClusterExtractor` plus a
+    :class:`~repro.api.session.NoiseAnalysisSession`.
+    """
 
     def __init__(
         self,
@@ -103,130 +98,69 @@ class StaticNoiseAnalysisFlow:
         input_glitches: Optional[Mapping[str, InputGlitchSpec]] = None,
         max_aggressors: int = 4,
     ):
-        """
-        Parameters
-        ----------
-        design:
-            The annotated design (nets, instances, couplings).
-        input_glitches:
-            Optional per-victim-net propagated glitches at the victim driver
-            input (e.g. computed by an upstream propagation pass).
-        max_aggressors:
-            Aggressors beyond this count (ordered by coupled length) are
-            dropped from the cluster -- the standard cluster-filtering
-            simplification.
-        """
+        from ..api.config import AnalysisConfig
+        from ..api.session import NoiseAnalysisSession
+
         self.design = design
         self.library = design.library
-        self.analyzer = ClusterNoiseAnalyzer(self.library, reduction=reduction)
-        self.num_segments = num_segments
-        self.aggressor_switch_time = aggressor_switch_time
-        self.aggressor_input_transition = aggressor_input_transition
-        self.input_glitches = dict(input_glitches or {})
-        self.max_aggressors = max_aggressors
+        self.extractor = ClusterExtractor(
+            design,
+            config=ExtractionConfig(
+                num_segments=num_segments,
+                aggressor_switch_time=aggressor_switch_time,
+                aggressor_input_transition=aggressor_input_transition,
+                max_aggressors=max_aggressors,
+            ),
+            input_glitches=input_glitches,
+        )
+        self.session = NoiseAnalysisSession(
+            design.library, AnalysisConfig(reduction=reduction)
+        )
+        self._analyzer = None
+
+    # Back-compat passthroughs kept from the old flow's public surface.
+    @property
+    def num_segments(self) -> int:
+        return self.extractor.config.num_segments
+
+    @property
+    def max_aggressors(self) -> int:
+        return self.extractor.config.max_aggressors
+
+    @property
+    def aggressor_switch_time(self) -> float:
+        return self.extractor.config.aggressor_switch_time
+
+    @property
+    def aggressor_input_transition(self) -> float:
+        return self.extractor.config.aggressor_input_transition
+
+    @property
+    def input_glitches(self) -> Mapping[str, InputGlitchSpec]:
+        return self.extractor.input_glitches
+
+    @property
+    def analyzer(self):
+        """The old per-cluster analyzer facade (characterisation cache is
+        library-level, so it shares results with the session)."""
+        if self._analyzer is None:
+            from ..noise.analysis import ClusterNoiseAnalyzer
+
+            self._analyzer = ClusterNoiseAnalyzer(
+                self.library, reduction=self.session.config.reduction
+            )
+        return self._analyzer
 
     # ------------------------------------------------------------- extraction
 
     def victim_candidates(self) -> List[str]:
-        """Nets that have a driver, at least one receiver and some coupling."""
-        candidates = []
-        for net in self.design.nets:
-            if net in self.design.primary_inputs:
-                continue
-            if not self.design.aggressors_of(net):
-                continue
-            if self.design.driver_of(net) is None:
-                continue
-            if not self.design.receivers_of(net):
-                continue
-            candidates.append(net)
-        return sorted(candidates)
+        return self.extractor.victim_candidates()
 
     def extract_cluster(self, victim_net: str) -> ClusterExtraction:
-        """Build the noise-cluster specification for one victim net."""
-        design = self.design
-        library = self.library
-        victim_driver = design.driver_of(victim_net)
-        if victim_driver is None:
-            raise ValueError(f"net '{victim_net}' has no driver")
-        receivers = design.receivers_of(victim_net)
-        receiver_instance, receiver_pin = receivers[0]
-        victim_info = design.nets[victim_net]
-        victim_quiet_high = design.net_quiet_level(victim_net)
-
-        couplings = sorted(
-            design.aggressors_of(victim_net), key=lambda item: item[1], reverse=True
-        )
-        aggressor_specs: List[AggressorSpec] = []
-        aggressor_nets: List[str] = []
-        skipped: List[str] = []
-        wires: List[WireSpec] = []
-        for index, (aggressor_net, coupled_length) in enumerate(couplings):
-            driver = design.driver_of(aggressor_net)
-            if driver is None or index >= self.max_aggressors:
-                skipped.append(aggressor_net)
-                continue
-            aggressor_info = design.nets[aggressor_net]
-            aggressor_specs.append(
-                AggressorSpec(
-                    net=aggressor_net,
-                    driver_cell=driver.cell,
-                    # Worst case: aggressors push the victim away from its
-                    # quiet rail, all in phase.
-                    rising=not victim_quiet_high,
-                    input_transition=self.aggressor_input_transition,
-                    switch_time=self.aggressor_switch_time,
-                )
-            )
-            aggressor_nets.append(aggressor_net)
-            wires.append(
-                WireSpec(
-                    aggressor_net,
-                    length_um=max(aggressor_info.length_um, coupled_length),
-                    coupled_length_um=coupled_length,
-                )
-            )
-
-        if not aggressor_specs:
-            raise ValueError(f"net '{victim_net}' has no usable aggressors")
-
-        # Place the strongest aggressors adjacent to the victim (one per side).
-        victim_wire = WireSpec(victim_net, length_um=victim_info.length_um)
-        ordered = [victim_wire]
-        for index, wire in enumerate(wires):
-            if index % 2 == 0:
-                ordered.insert(0, wire)
-            else:
-                ordered.append(wire)
-        geometry = ParallelBusGeometry(
-            wires=ordered,
-            layer_index=victim_info.layer_index,
-            name=f"cluster_{victim_net}",
-        )
-
-        spec = NoiseClusterSpec(
-            victim=VictimSpec(
-                net=victim_net,
-                driver_cell=victim_driver.cell,
-                output_high=victim_quiet_high,
-                input_glitch=self.input_glitches.get(victim_net),
-                receiver_cell=receiver_instance.cell,
-                receiver_pin=receiver_pin,
-            ),
-            aggressors=aggressor_specs,
-            geometry=geometry,
-            num_segments=self.num_segments,
-            name=f"cluster_{victim_net}",
-        )
-        return ClusterExtraction(
-            victim_net=victim_net,
-            spec=spec,
-            aggressor_nets=aggressor_nets,
-            skipped_aggressors=skipped,
-        )
+        return self.extractor.extract_cluster(victim_net)
 
     def extract_clusters(self) -> List[ClusterExtraction]:
-        return [self.extract_cluster(net) for net in self.victim_candidates()]
+        return self.extractor.extract_clusters()
 
     # ------------------------------------------------------------------- run
 
@@ -237,30 +171,40 @@ class StaticNoiseAnalysisFlow:
         check_nrc: bool = True,
         dt: Optional[float] = None,
     ) -> SNAReport:
-        """Analyse every victim net of the design with the chosen method."""
-        start = time.perf_counter()
-        reports: List[NetNoiseReport] = []
-        for extraction in self.extract_clusters():
-            results = self.analyzer.analyze(extraction.spec, methods=(method,), dt=dt)
-            result: NoiseAnalysisResult = results[method]
-            nrc_check = None
-            if check_nrc:
-                nrc_check = self.analyzer.nrc_check(extraction.spec, result)
-            reports.append(
+        """Analyse every victim net of the design with the chosen method.
+
+        .. deprecated:: use :meth:`repro.api.NoiseAnalysisSession.run_design`.
+        """
+        warnings.warn(
+            "StaticNoiseAnalysisFlow.run() is deprecated; use "
+            "repro.api.NoiseAnalysisSession.run_design() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        session_report = self.session.run_design(
+            self.design,
+            extractor=self.extractor,
+            methods=(method,),
+            dt=dt,
+            check_nrc=check_nrc,
+        )
+        nets = []
+        for cluster in session_report.clusters:
+            result = cluster.primary
+            nets.append(
                 NetNoiseReport(
-                    victim_net=extraction.victim_net,
+                    victim_net=cluster.victim_net,
                     method=result.method,
                     peak=result.peak,
                     area_v_ps=result.area_v_ps,
                     width_ps=result.width_ps,
-                    nrc_check=nrc_check,
+                    nrc_check=cluster.nrc_check(),
                     runtime_seconds=result.runtime_seconds,
                 )
             )
-        total = time.perf_counter() - start
         return SNAReport(
             design_name=self.design.name,
             method=method,
-            nets=reports,
-            total_runtime_seconds=total,
+            nets=nets,
+            total_runtime_seconds=session_report.total_runtime_seconds,
         )

@@ -1,0 +1,173 @@
+"""Deprecation shims: old facades warn but return identical results."""
+
+import warnings
+
+import pytest
+
+from repro.api import AnalysisConfig, NoiseAnalysisSession
+from repro.interconnect import ParallelBusGeometry
+from repro.noise import (
+    AggressorSpec,
+    ClusterNoiseAnalyzer,
+    InputGlitchSpec,
+    NoiseClusterSpec,
+    VictimSpec,
+)
+from repro.sna import Design, ExtractionConfig, StaticNoiseAnalysisFlow
+from repro.technology import build_default_library
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture(scope="module")
+def small_cluster():
+    geometry = ParallelBusGeometry.two_parallel_wires(length_um=300.0, layer_index=4)
+    return NoiseClusterSpec(
+        victim=VictimSpec(
+            net="victim",
+            driver_cell="NAND2_X1",
+            output_high=False,
+            input_glitch=InputGlitchSpec(height=0.9, width=ps(200), start_time=ps(120)),
+            receiver_cell="INV_X1",
+        ),
+        aggressors=[
+            AggressorSpec(
+                net="aggressor",
+                driver_cell="INV_X2",
+                rising=True,
+                input_transition=ps(40),
+                switch_time=ps(150),
+            )
+        ],
+        geometry=geometry,
+        num_segments=6,
+        name="deprecation_cluster",
+    )
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    design = Design("depchip", library)
+    for pin in ("a", "b", "c"):
+        design.add_primary_input(pin)
+    design.add_net("n1", length_um=350, layer_index=4)
+    design.add_net("n2", length_um=350, layer_index=4)
+    design.add_instance("u1", "NAND2_X1", {"A": "a", "B": "b", "Z": "n1"})
+    design.add_instance("u2", "INV_X2", {"A": "c", "Z": "n2"})
+    design.add_instance("r1", "INV_X1", {"A": "n1", "Z": "o1"})
+    design.add_instance("r2", "INV_X1", {"A": "n2", "Z": "o2"})
+    design.add_coupling("n1", "n2", 300.0)
+    return design
+
+
+class TestClusterNoiseAnalyzerShim:
+    def test_old_signature_warns_and_matches_session(self, library, small_cluster):
+        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
+        with pytest.warns(DeprecationWarning, match="NoiseAnalysisSession.analyze"):
+            old = analyzer.analyze(
+                small_cluster, methods=("macromodel", "superposition"), dt=ps(2)
+            )
+
+        session = NoiseAnalysisSession(
+            library, AnalysisConfig(vccs_grid=13, check_nrc=False)
+        )
+        new = session.analyze(
+            small_cluster, methods=("macromodel", "superposition"), dt=ps(2)
+        )
+
+        # Same result-dict shape as the pre-API facade...
+        assert set(old) == {"macromodel", "superposition"}
+        # ... and numerically identical values through either entry point.
+        for name in old:
+            assert old[name].peak == pytest.approx(new.results[name].peak, rel=1e-12)
+            assert old[name].area_v_ps == pytest.approx(
+                new.results[name].area_v_ps, rel=1e-12
+            )
+
+    def test_positional_methods_argument_still_accepted(self, library, small_cluster):
+        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
+        with pytest.warns(DeprecationWarning):
+            results = analyzer.analyze(small_cluster, ("macromodel",), dt=ps(2))
+        assert list(results) == ["macromodel"]
+
+    def test_unknown_method_still_a_value_error(self, library, small_cluster):
+        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="spice"):
+                analyzer.analyze(small_cluster, methods=("spice",))
+
+    def test_registry_backs_the_shim(self, library):
+        """No if/elif dispatch: the shim resolves methods via the registry."""
+        from repro.api import register_method, unregister_method
+
+        calls = []
+
+        class _Probe:
+            method_name = "probe"
+
+            def analyze(self, spec, *, dt=None, t_stop=None, builder=None):
+                calls.append(spec.name)
+                from repro.noise import MacromodelAnalysis
+
+                return MacromodelAnalysis(library, vccs_grid=13).analyze(
+                    spec, dt=dt, t_stop=t_stop, builder=builder
+                )
+
+        register_method("probe")(lambda ctx: _Probe())
+        try:
+            analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
+            geometry = ParallelBusGeometry.two_parallel_wires(length_um=200.0)
+            spec = NoiseClusterSpec(
+                victim=VictimSpec(net="victim", driver_cell="INV_X1", output_high=False),
+                aggressors=[AggressorSpec(net="aggressor", driver_cell="INV_X1")],
+                geometry=geometry,
+                num_segments=4,
+                name="probe_cluster",
+            )
+            with pytest.warns(DeprecationWarning):
+                results = analyzer.analyze(spec, methods=("probe",), dt=ps(2))
+            assert calls == ["probe_cluster"]
+            assert "probe" in results
+        finally:
+            unregister_method("probe")
+
+
+class TestStaticNoiseAnalysisFlowShim:
+    def test_run_warns_and_matches_run_design(self, library, design):
+        glitches = {"n1": InputGlitchSpec(height=0.8, width=ps(200), start_time=ps(120))}
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4, input_glitches=glitches)
+        with pytest.warns(DeprecationWarning, match="run_design"):
+            old = flow.run(method="macromodel", check_nrc=False, dt=ps(2))
+
+        session = NoiseAnalysisSession(library, AnalysisConfig(check_nrc=False))
+        new = session.run_design(
+            design,
+            extraction=ExtractionConfig(num_segments=4),
+            input_glitches=glitches,
+            methods=("macromodel",),
+            dt=ps(2),
+        )
+
+        assert [net.victim_net for net in old.nets] == [
+            cluster.victim_net for cluster in new.clusters
+        ]
+        for net, cluster in zip(old.nets, new.clusters):
+            assert net.peak == pytest.approx(cluster.primary.peak, rel=1e-12)
+            assert net.area_v_ps == pytest.approx(cluster.primary.area_v_ps, rel=1e-12)
+        # The old report type and text layout are preserved.
+        assert "Static noise analysis report" in old.text()
+
+    def test_extraction_passthroughs_do_not_warn(self, design):
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4, max_aggressors=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            candidates = flow.victim_candidates()
+            extraction = flow.extract_cluster("n1")
+        assert candidates == ["n1", "n2"]
+        assert extraction.victim_net == "n1"
+        assert flow.num_segments == 4
+        assert flow.max_aggressors == 1

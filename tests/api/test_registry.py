@@ -1,0 +1,156 @@
+"""Tests for the pluggable analysis-method registry."""
+
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    DuplicateMethodError,
+    MethodContext,
+    UnknownMethodError,
+    create_method,
+    list_methods,
+    method_descriptions,
+    register_method,
+    unregister_method,
+)
+from repro.characterization import LibraryCharacterizer
+from repro.technology import build_default_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture()
+def context(library):
+    return MethodContext(
+        library=library,
+        characterizer=LibraryCharacterizer(library, vccs_grid=13),
+        config=AnalysisConfig(vccs_grid=13),
+    )
+
+
+class _StubMethod:
+    method_name = "stub"
+
+    def analyze(self, spec, *, dt=None, t_stop=None, builder=None):
+        raise NotImplementedError
+
+
+class TestBuiltins:
+    def test_all_four_paper_methods_registered(self):
+        names = list_methods()
+        assert {"golden", "macromodel", "superposition", "iterative_thevenin"} <= set(names)
+
+    def test_descriptions_are_non_empty(self):
+        descriptions = method_descriptions()
+        for name in ("golden", "macromodel", "superposition", "iterative_thevenin"):
+            assert descriptions[name]
+
+    def test_create_builds_the_right_backends(self, context):
+        from repro.golden import GoldenClusterAnalysis
+        from repro.noise import MacromodelAnalysis
+
+        assert isinstance(create_method("golden", context), GoldenClusterAnalysis)
+        macromodel = create_method("macromodel", context)
+        assert isinstance(macromodel, MacromodelAnalysis)
+        # The backend is built from the context: shared characterizer + config.
+        assert macromodel.characterizer is context.characterizer
+        assert macromodel.reduction == context.config.reduction
+        assert macromodel.vccs_grid == context.config.vccs_grid
+
+
+class TestRegistration:
+    def test_register_and_unregister(self, context):
+        @register_method("test_stub", description="a stub")
+        def _factory(ctx):
+            return _StubMethod()
+
+        try:
+            assert "test_stub" in list_methods()
+            assert method_descriptions()["test_stub"] == "a stub"
+            assert isinstance(create_method("test_stub", context), _StubMethod)
+        finally:
+            unregister_method("test_stub")
+        assert "test_stub" not in list_methods()
+
+    def test_duplicate_name_rejected(self):
+        @register_method("test_dup")
+        def _factory(ctx):
+            return _StubMethod()
+
+        try:
+            with pytest.raises(DuplicateMethodError, match="test_dup.*already registered"):
+                register_method("test_dup")(lambda ctx: _StubMethod())
+            # Explicit replace is allowed.
+            replacement = lambda ctx: _StubMethod()  # noqa: E731
+            assert register_method("test_dup", replace=True)(replacement) is replacement
+        finally:
+            unregister_method("test_dup")
+
+    def test_description_falls_back_to_factory_docstring(self):
+        @register_method("test_doc")
+        def _factory(ctx):
+            """First docstring line becomes the description.
+
+            Not this one.
+            """
+            return _StubMethod()
+
+        try:
+            assert (
+                method_descriptions()["test_doc"]
+                == "First docstring line becomes the description."
+            )
+        finally:
+            unregister_method("test_doc")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            register_method("")
+        with pytest.raises(ValueError):
+            register_method(None)
+
+    def test_builtin_name_protected_even_before_first_query(self):
+        """Registering triggers the builtin load, so a user registration can
+        never silently take a builtin name in a fresh process."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "from repro.api.registry import DuplicateMethodError, register_method\n"
+            "try:\n"
+            "    register_method('macromodel')(lambda ctx: None)\n"
+            "except DuplicateMethodError:\n"
+            "    print('rejected')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "rejected"
+
+
+class TestUnknownMethod:
+    def test_create_unknown_method(self, context):
+        with pytest.raises(UnknownMethodError) as excinfo:
+            create_method("spice", context)
+        message = str(excinfo.value)
+        assert "spice" in message
+        # The error names the registered alternatives.
+        assert "macromodel" in message and "golden" in message
+
+    def test_unknown_method_is_a_value_error(self, context):
+        with pytest.raises(ValueError):
+            create_method("nosuch", context)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(UnknownMethodError):
+            unregister_method("never_registered")

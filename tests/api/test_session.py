@@ -1,0 +1,203 @@
+"""Tests for AnalysisConfig and the unified NoiseAnalysisSession."""
+
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    ClusterReport,
+    NoiseAnalysisSession,
+    SessionReport,
+    UnknownMethodError,
+    list_methods,
+)
+from repro.experiments import accuracy_sweep_clusters, paper_session
+from repro.noise import InputGlitchSpec
+from repro.sna import Design, ExtractionConfig
+from repro.technology import build_default_library
+from repro.units import ps
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture(scope="module")
+def sweep_cases():
+    """The cmos130 quick accuracy-sweep set (three clusters, shared cells)."""
+    return accuracy_sweep_clusters(technologies=("cmos130",), quick=True)
+
+
+@pytest.fixture(scope="module")
+def session(library):
+    return NoiseAnalysisSession(
+        library, AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False)
+    )
+
+
+class TestAnalysisConfig:
+    def test_defaults_and_replace(self):
+        config = AnalysisConfig()
+        assert config.methods == ("macromodel",)
+        assert config.reduction == "coupled_pi"
+        derived = config.replace(methods=("golden", "macromodel"), dt=ps(2))
+        assert derived.methods == ("golden", "macromodel")
+        assert derived.dt == ps(2)
+        # The original is frozen and unchanged.
+        assert config.methods == ("macromodel",)
+        with pytest.raises(AttributeError):
+            config.dt = ps(1)
+
+    def test_sequences_normalised_to_tuples(self):
+        assert AnalysisConfig(methods=["golden"]).methods == ("golden",)
+        # A bare string is one method name, not an iterable of characters.
+        assert AnalysisConfig(methods="macromodel").methods == ("macromodel",)
+        assert AnalysisConfig(nrc_widths=[ps(100), ps(200)]).nrc_widths == (ps(100), ps(200))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"methods": ()},
+            {"dt": 0.0},
+            {"dt": -1e-12},
+            {"t_stop": 0.0},
+            {"dt": ps(10), "t_stop": ps(5)},
+            {"reduction": "nosuch"},
+            {"vccs_grid": 2},
+            {"max_workers": 0},
+            {"nrc_widths": ()},
+            {"nrc_widths": (ps(100), -ps(50))},
+            {"methods": ("ok", "")},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnalysisConfig(**kwargs)
+
+    def test_describe_mentions_key_fields(self):
+        text = AnalysisConfig(methods=("golden",), max_workers=4).describe()
+        assert "golden" in text and "max_workers=4" in text
+
+
+class TestAnalyze:
+    def test_unknown_method_rejected_before_any_work(self, session, sweep_cases):
+        with pytest.raises(UnknownMethodError, match="spice"):
+            session.analyze(sweep_cases[0].spec, methods=("macromodel", "spice"))
+
+    def test_report_structure(self, session, sweep_cases):
+        spec = sweep_cases[0].spec
+        report = session.analyze(spec, dt=ps(2))
+        assert isinstance(report, ClusterReport)
+        assert report.label == spec.name
+        assert report.primary_method == "macromodel"
+        assert report.primary is report.result("macromodel")
+        assert report.runtime_seconds > 0.0
+        assert report.engine_statistics().num_time_points > 0
+        # NRC checking is off in this session's config.
+        assert report.nrc_checks == {} and report.nrc_check() is None and not report.fails
+
+    def test_method_instances_are_cached_per_session(self, session):
+        assert session.method("macromodel") is session.method("macromodel")
+
+    def test_session_lists_registry_methods(self, session):
+        assert "macromodel" in list_methods()
+        assert "registered methods" in session.describe()
+
+
+class TestAnalyzeMany:
+    def test_results_keep_input_order_and_labels(self, session, sweep_cases):
+        specs = [case.spec for case in sweep_cases]
+        labels = [case.label for case in sweep_cases]
+        reports = session.analyze_many(specs, dt=ps(2), labels=labels)
+        assert [report.label for report in reports] == labels
+        assert [report.spec.name for report in reports] == [spec.name for spec in specs]
+
+    def test_label_count_mismatch_rejected(self, session, sweep_cases):
+        with pytest.raises(ValueError, match="labels"):
+            session.analyze_many([sweep_cases[0].spec], labels=["a", "b"])
+
+    def test_each_distinct_cell_characterized_exactly_once(self, sweep_cases):
+        """The acceptance criterion: one VCCS characterisation per distinct arc."""
+        # A fresh library: its characterisation cache must start empty.
+        session = NoiseAnalysisSession(
+            build_default_library("cmos130"),
+            AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False),
+        )
+        specs = [case.spec for case in sweep_cases]
+        # The quick cmos130 sweep uses two NAND2_X1(low) victims and one
+        # NOR2_X1(high) victim -> exactly two distinct VCCS load surfaces.
+        distinct_arcs = {
+            (spec.victim.driver_cell, spec.victim.output_high) for spec in specs
+        }
+        assert len(distinct_arcs) == 2 < len(specs)
+
+        session.analyze_many(specs, dt=ps(2))
+        stats = session.characterizer.stats
+        assert stats.miss_count("vccs") == len(distinct_arcs)
+        # The shared NAND2 surface was a cache hit for the second cluster.
+        assert stats.hit_count("vccs") > 0
+
+        # A second batch over the same specs recomputes nothing at all.
+        misses_before = dict(stats.misses)
+        session.analyze_many(specs, dt=ps(2))
+        assert stats.misses == misses_before
+
+    def test_parallel_matches_sequential(self, library, sweep_cases):
+        specs = [case.spec for case in sweep_cases]
+        sequential = NoiseAnalysisSession(
+            library, AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False)
+        ).analyze_many(specs, dt=ps(2))
+        parallel = NoiseAnalysisSession(
+            library, AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False)
+        ).analyze_many(specs, dt=ps(2), max_workers=3)
+        assert [report.label for report in parallel] == [report.label for report in sequential]
+        for left, right in zip(sequential, parallel):
+            assert left.primary.peak == pytest.approx(right.primary.peak, rel=1e-9)
+            assert left.primary.area_v_ps == pytest.approx(right.primary.area_v_ps, rel=1e-9)
+
+    def test_invalid_worker_count_rejected(self, session, sweep_cases):
+        with pytest.raises(ValueError, match="max_workers"):
+            session.analyze_many([sweep_cases[0].spec], max_workers=0)
+
+
+class TestRunDesign:
+    @pytest.fixture()
+    def design(self, library):
+        design = Design("apichip", library)
+        for pin in ("a", "b", "c"):
+            design.add_primary_input(pin)
+        design.add_net("n1", length_um=350, layer_index=4)
+        design.add_net("n2", length_um=350, layer_index=4)
+        design.add_instance("u1", "NAND2_X1", {"A": "a", "B": "b", "Z": "n1"})
+        design.add_instance("u2", "INV_X2", {"A": "c", "Z": "n2"})
+        design.add_instance("r1", "INV_X1", {"A": "n1", "Z": "o1"})
+        design.add_instance("r2", "INV_X1", {"A": "n2", "Z": "o2"})
+        design.add_coupling("n1", "n2", 300.0)
+        return design
+
+    def test_design_report(self, library, design):
+        session = NoiseAnalysisSession(
+            library, AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False)
+        )
+        report = session.run_design(
+            design,
+            extraction=ExtractionConfig(num_segments=4),
+            input_glitches={"n1": InputGlitchSpec(height=0.8, width=ps(200), start_time=ps(120))},
+            dt=ps(2),
+        )
+        assert isinstance(report, SessionReport)
+        assert report.design_name == "apichip"
+        assert [cluster.victim_net for cluster in report] == ["n1", "n2"]
+        assert report.cluster("n1").primary.peak > report.cluster("n2").primary.peak
+        text = report.text()
+        assert "apichip" in text and "violations" in text
+        with pytest.raises(KeyError):
+            report.cluster("ghost")
+
+
+class TestPaperSessionHelper:
+    def test_builds_configured_session(self):
+        session = paper_session("cmos90", methods=("macromodel",), vccs_grid=13)
+        assert session.library.technology.name == "cmos90"
+        assert session.config.methods == ("macromodel",)
+        assert session.config.vccs_grid == 13
