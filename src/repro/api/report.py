@@ -66,7 +66,12 @@ class ClusterReport:
         return format_comparison_table(self.results, reference)
 
     def engine_statistics(self) -> EngineStatistics:
-        """Summed statistics of every dedicated-engine run in this cluster."""
+        """Summed solver statistics of every method run on this cluster.
+
+        Both the dedicated macromodel engine and the golden transistor-level
+        simulation publish an ``EngineStatistics`` (time points, Newton
+        iterations, assemblies avoided, LU reuses) in their result details.
+        """
         total = EngineStatistics()
         for result in self.results.values():
             stats = result.details.get("engine_statistics")
@@ -138,4 +143,13 @@ class SessionReport:
                 f"{result.width_ps:9.1f} {margin:>8s}  {status}"
             )
         lines.append(f"violations: {len(self.violations)} / {len(self.clusters)}")
+        stats = self.engine_statistics()
+        if stats.num_time_points:
+            lines.append(
+                f"engine: {stats.num_time_points} time points, "
+                f"{stats.newton_iterations} Newton iters, "
+                f"{stats.assemblies_avoided} assemblies avoided, "
+                f"{stats.lu_reuse_hits} LU reuses "
+                f"({stats.matrix_factorizations} factorizations)"
+            )
         return "\n".join(lines)

@@ -28,6 +28,10 @@ from ..waveform import GlitchMetrics, Waveform
 
 __all__ = ["NoisePropagationTable", "characterize_noise_propagation", "simulate_propagated_glitch"]
 
+#: Quiet settling time before the input glitch is applied (shared by the
+#: single-point simulation and the table sweep).
+DEFAULT_GLITCH_DELAY = 50e-12
+
 
 @dataclass(frozen=True)
 class NoisePropagationTable:
@@ -122,22 +126,19 @@ class NoisePropagationTable:
         )
 
 
-def simulate_propagated_glitch(
+def _build_propagation_bench(
     cell: StandardCell,
     technology: Technology,
     arc: NoiseArc,
-    glitch_height: float,
-    glitch_width: float,
-    *,
-    load_capacitance: float = 20e-15,
-    dt: float = 1e-12,
-    glitch_delay: float = 50e-12,
-    t_stop: Optional[float] = None,
-) -> Tuple[Waveform, GlitchMetrics]:
-    """Transient simulation of one input glitch propagating through a cell.
+    load_capacitance: float,
+) -> Tuple[Circuit, str, float, float]:
+    """Build the cell + load test bench for one noise arc.
 
-    Returns the output waveform and its glitch metrics (relative to the
-    quiescent output level).
+    Returns ``(circuit, glitch_source_name, input_quiet_level, direction)``.
+    The glitch source is installed with a zero-excursion placeholder; callers
+    swap its ``waveform`` per grid point, which keeps the circuit topology --
+    and therefore the compiled stamping kernel -- valid across an entire
+    characterisation sweep.
     """
     vdd = technology.vdd
     quiet_inputs = arc.input_state()
@@ -147,36 +148,87 @@ def simulate_propagated_glitch(
     circuit = Circuit(f"prop_{cell.name}_{arc.input_pin}")
     circuit.add_voltage_source("VDD", "vdd", "0", vdd)
     pin_nodes = {cell.output_pin: "out"}
+    glitch_source_name = ""
     for pin in cell.inputs:
         node = f"in_{pin}"
         pin_nodes[pin] = node
         if pin == arc.input_pin:
-            circuit.add_voltage_source(
-                f"V_{pin}",
-                node,
-                "0",
-                TriangularGlitch(
-                    baseline=input_quiet_level,
-                    height=glitch_direction * glitch_height,
-                    delay=glitch_delay,
-                    rise=0.5 * glitch_width,
-                    fall=0.5 * glitch_width,
-                ),
-            )
+            glitch_source_name = f"V_{pin}"
+            circuit.add_voltage_source(glitch_source_name, node, "0", input_quiet_level)
         else:
             circuit.add_voltage_source(
                 f"V_{pin}", node, "0", vdd if quiet_inputs[pin] else 0.0
             )
     cell.instantiate(circuit, "DUT", pin_nodes, technology)
     circuit.add_capacitor("CLOAD", "out", "0", load_capacitance)
+    return circuit, glitch_source_name, input_quiet_level, glitch_direction
 
+
+def _run_propagation_point(
+    circuit: Circuit,
+    glitch_source_name: str,
+    arc: NoiseArc,
+    vdd: float,
+    input_quiet_level: float,
+    glitch_direction: float,
+    glitch_height: float,
+    glitch_width: float,
+    *,
+    dt: float,
+    glitch_delay: float,
+    t_stop: Optional[float],
+    x0=None,
+) -> Tuple[Waveform, GlitchMetrics]:
+    """Simulate one (height, width) glitch on a prebuilt bench."""
+    circuit[glitch_source_name].waveform = TriangularGlitch(
+        baseline=input_quiet_level,
+        height=glitch_direction * glitch_height,
+        delay=glitch_delay,
+        rise=0.5 * glitch_width,
+        fall=0.5 * glitch_width,
+    )
     if t_stop is None:
         t_stop = glitch_delay + 4.0 * glitch_width + 300e-12
-    result = transient(circuit, t_stop=t_stop, dt=dt)
+    result = transient(circuit, t_stop=t_stop, dt=dt, x0=x0)
     out = result["out"]
     quiescent_output = vdd if arc.output_high else 0.0
     metrics = out.glitch_metrics(baseline=quiescent_output)
     return out, metrics
+
+
+def simulate_propagated_glitch(
+    cell: StandardCell,
+    technology: Technology,
+    arc: NoiseArc,
+    glitch_height: float,
+    glitch_width: float,
+    *,
+    load_capacitance: float = 20e-15,
+    dt: float = 1e-12,
+    glitch_delay: float = DEFAULT_GLITCH_DELAY,
+    t_stop: Optional[float] = None,
+) -> Tuple[Waveform, GlitchMetrics]:
+    """Transient simulation of one input glitch propagating through a cell.
+
+    Returns the output waveform and its glitch metrics (relative to the
+    quiescent output level).
+    """
+    circuit, source_name, quiet_level, direction = _build_propagation_bench(
+        cell, technology, arc, load_capacitance
+    )
+    return _run_propagation_point(
+        circuit,
+        source_name,
+        arc,
+        technology.vdd,
+        quiet_level,
+        direction,
+        glitch_height,
+        glitch_width,
+        dt=dt,
+        glitch_delay=glitch_delay,
+        t_stop=t_stop,
+    )
 
 
 def characterize_noise_propagation(
@@ -202,19 +254,36 @@ def characterize_noise_propagation(
     heights = np.asarray(heights, dtype=float)
     widths = np.asarray(widths, dtype=float)
 
+    # One test bench for the whole sweep: only the glitch source waveform
+    # changes between grid points, so the compiled stamping kernel (and its
+    # cached base matrices) are reused across every simulation.  The glitch
+    # starts after t = 0 at the quiescent input level, so the DC operating
+    # point is identical for all points and is computed exactly once.
+    from ..circuit.dc import dc_operating_point
+
+    circuit, source_name, quiet_level, direction = _build_propagation_bench(
+        cell, technology, arc, load_capacitance
+    )
+    x0 = np.array(dc_operating_point(circuit).x, copy=True)
+
     peak = np.zeros((heights.size, widths.size))
     area = np.zeros_like(peak)
     out_width = np.zeros_like(peak)
     for i, height in enumerate(heights):
         for j, width in enumerate(widths):
-            _, metrics = simulate_propagated_glitch(
-                cell,
-                technology,
+            _, metrics = _run_propagation_point(
+                circuit,
+                source_name,
                 arc,
-                glitch_height=float(height),
-                glitch_width=float(width),
-                load_capacitance=load_capacitance,
+                vdd,
+                quiet_level,
+                direction,
+                float(height),
+                float(width),
                 dt=dt,
+                glitch_delay=DEFAULT_GLITCH_DELAY,
+                t_stop=None,
+                x0=x0,
             )
             peak[i, j] = metrics.peak
             area[i, j] = metrics.area * (1.0 if metrics.peak >= 0 else -1.0)

@@ -22,9 +22,10 @@ from .elements import (
     VCVS,
     VoltageSource,
 )
-from .mna import SingularMatrixError, assemble, solve_linear_system
+from .mna import SingularMatrixError, assemble, assemble_legacy, solve_linear_system
 from .mosfet import AlphaPowerModel, Level1Model, MOSFET, MOSFETParams
 from .netlist import Circuit
+from .stamping import CompiledKernel, KernelStats, LinearSolver
 from .parser import NetlistError, ParsedNetlist, parse_netlist, parse_value
 from .sources import (
     DCValue,
@@ -36,7 +37,7 @@ from .sources import (
     SourceWaveform,
     TriangularGlitch,
 )
-from .transient import TransientResult, transient
+from .transient import TransientResult, TransientStats, transient
 
 __all__ = [
     "GROUND",
@@ -69,9 +70,14 @@ __all__ = [
     "ConvergenceError",
     "transient",
     "TransientResult",
+    "TransientStats",
     "assemble",
+    "assemble_legacy",
     "solve_linear_system",
     "SingularMatrixError",
+    "CompiledKernel",
+    "KernelStats",
+    "LinearSolver",
     "parse_netlist",
     "ParsedNetlist",
     "NetlistError",

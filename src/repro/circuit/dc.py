@@ -22,7 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from .elements import GROUND, StampContext, VoltageSource
-from .mna import SingularMatrixError, assemble, solve_linear_system
+from .mna import SingularMatrixError, solve_linear_system
 from .netlist import Circuit
 
 __all__ = ["DCSolution", "ConvergenceError", "dc_operating_point", "newton_solve"]
@@ -78,14 +78,23 @@ def newton_solve(
     method: str = "trap",
     prev_x: Optional[np.ndarray] = None,
     prev_state: Optional[dict] = None,
+    assembler=None,
 ) -> tuple:
     """Damped Newton iteration; returns ``(x, iterations)``.
 
     ``damping_limit`` caps the per-iteration change of any unknown, which is
     a cheap but effective globalisation for MOSFET circuits.
+
+    The circuit must already be prepared; the default assembly path starts
+    every iteration from the kernel's cached base matrix and the linear
+    right-hand side computed once per call (it is constant over the Newton
+    iterations -- only nonlinear companion stamps depend on the iterate).
+    ``assembler`` overrides assembly with a ``(circuit, ctx) -> (A, z)``
+    callable (used by benchmarks to time the legacy full rebuild).
     """
+    kernel = circuit.kernel  # asserts the circuit is prepared
     x = np.array(x0, dtype=float, copy=True)
-    n_unknowns = circuit.num_unknowns
+    n_unknowns = kernel.n
     if x.shape != (n_unknowns,):
         raise ValueError(f"initial guess has wrong size {x.shape}, expected {n_unknowns}")
 
@@ -93,6 +102,7 @@ def newton_solve(
     # circuit converges in a single full Newton step, which damping would
     # needlessly truncate (e.g. high-voltage linear nodes).
     apply_damping = circuit.is_nonlinear()
+    point = None
 
     for iteration in range(1, max_iterations + 1):
         ctx = StampContext(
@@ -105,7 +115,14 @@ def newton_solve(
             source_scale=source_scale,
             prev_state=prev_state or {},
         )
-        A, z = assemble(circuit, ctx)
+        if assembler is not None:
+            A, z = assembler(circuit, ctx)
+        else:
+            # Base matrix, cache key and linear RHS are constant over the
+            # Newton iterations of this point -- compute them once.
+            if point is None:
+                point = kernel.point(ctx)
+            A, z = point.assemble(ctx)
         residual = A @ x - z
         x_new = solve_linear_system(A, z)
         dx = x_new - x

@@ -212,6 +212,14 @@ class Element:
         self.name = name
         #: Indices of the element's branch unknowns, assigned by the circuit.
         self.branch_indices: List[int] = []
+        #: The circuit this element was added to (set by ``Circuit.add``);
+        #: used to invalidate the compiled kernel when a linear value is
+        #: mutated after preparation.
+        self._owner = None
+
+    def _invalidate_owner(self) -> None:
+        if self._owner is not None:
+            self._owner.invalidate()
 
     # The circuit assigns node indices by calling ``bind``.
     def node_names(self) -> List[str]:
@@ -236,6 +244,23 @@ class Element:
     def is_nonlinear(self) -> bool:
         return False
 
+    def partition(self) -> str:
+        """Assembly partition the compiled kernel places this element in.
+
+        * ``"static"`` -- matrix stamps are constant, no right-hand side
+          (resistors, linear controlled sources);
+        * ``"source"`` -- matrix stamps are constant, right-hand side varies
+          with time / source scaling (independent sources);
+        * ``"dynamic"`` -- matrix stamps depend on ``(dt, method, state)``
+          through an integration companion model (capacitors, inductors);
+        * ``"nonlinear"`` -- must be re-stamped on every Newton iteration.
+
+        The base class defaults to ``"nonlinear"``, which is always correct:
+        a subclass may only declare a cheaper partition when its stamps
+        genuinely satisfy the invariants above.
+        """
+        return "nonlinear"
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
 
@@ -255,8 +280,22 @@ class Resistor(Element):
         self.b = b
         self.resistance = float(resistance)
 
+    @property
+    def resistance(self) -> float:
+        return self._resistance
+
+    @resistance.setter
+    def resistance(self, value: float) -> None:
+        # Linear values are compiled into the stamping kernel, so mutating
+        # one after preparation must drop the owning circuit's kernel.
+        self._resistance = float(value)
+        self._invalidate_owner()
+
     def node_names(self) -> List[str]:
         return [self.a, self.b]
+
+    def partition(self) -> str:
+        return "static"
 
     def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
         na, nb = self.nodes
@@ -276,8 +315,20 @@ class Capacitor(Element):
         #: Optional initial voltage across the capacitor (a -> b).
         self.ic = ic
 
+    @property
+    def capacitance(self) -> float:
+        return self._capacitance
+
+    @capacitance.setter
+    def capacitance(self, value: float) -> None:
+        self._capacitance = float(value)
+        self._invalidate_owner()
+
     def node_names(self) -> List[str]:
         return [self.a, self.b]
+
+    def partition(self) -> str:
+        return "dynamic"
 
     def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
         na, nb = self.nodes
@@ -345,8 +396,20 @@ class Inductor(Element):
         self.b = b
         self.inductance = float(inductance)
 
+    @property
+    def inductance(self) -> float:
+        return self._inductance
+
+    @inductance.setter
+    def inductance(self, value: float) -> None:
+        self._inductance = float(value)
+        self._invalidate_owner()
+
     def node_names(self) -> List[str]:
         return [self.a, self.b]
+
+    def partition(self) -> str:
+        return "dynamic"
 
     def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
         na, nb = self.nodes
@@ -402,6 +465,9 @@ class CurrentSource(Element):
     def node_names(self) -> List[str]:
         return [self.a, self.b]
 
+    def partition(self) -> str:
+        return "source"
+
     def value(self, ctx: StampContext) -> float:
         if ctx.is_dc:
             return self.waveform.dc_value() * ctx.source_scale
@@ -429,6 +495,9 @@ class VoltageSource(Element):
 
     def node_names(self) -> List[str]:
         return [self.plus, self.minus]
+
+    def partition(self) -> str:
+        return "source"
 
     def value(self, ctx: StampContext) -> float:
         if ctx.is_dc:
@@ -467,8 +536,20 @@ class VCCS(Element):
         self.ctl_n = ctl_n
         self.gm = float(gm)
 
+    @property
+    def gm(self) -> float:
+        return self._gm
+
+    @gm.setter
+    def gm(self, value: float) -> None:
+        self._gm = float(value)
+        self._invalidate_owner()
+
     def node_names(self) -> List[str]:
         return [self.out_p, self.out_n, self.ctl_p, self.ctl_n]
+
+    def partition(self) -> str:
+        return "static"
 
     def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
         op, on, cp, cn = self.nodes
@@ -488,8 +569,20 @@ class VCVS(Element):
         self.ctl_n = ctl_n
         self.gain = float(gain)
 
+    @property
+    def gain(self) -> float:
+        return self._gain
+
+    @gain.setter
+    def gain(self, value: float) -> None:
+        self._gain = float(value)
+        self._invalidate_owner()
+
     def node_names(self) -> List[str]:
         return [self.out_p, self.out_n, self.ctl_p, self.ctl_n]
+
+    def partition(self) -> str:
+        return "static"
 
     def stamp(self, A: np.ndarray, z: np.ndarray, ctx: StampContext) -> None:
         op, on, cp, cn = self.nodes

@@ -1,30 +1,55 @@
 """Modified Nodal Analysis system assembly.
 
-The assembly is deliberately simple: for every solver iteration the full
-dense matrix is rebuilt from the element stamps.  The circuits handled by the
-noise flow are small (tens to a few hundreds of unknowns) so dense linear
-algebra with NumPy/LAPACK is both fast and robust; sparse assembly would add
-complexity without a measurable benefit at this scale.
+Assembly is delegated to the circuit's compiled stamping kernel
+(:mod:`repro.circuit.stamping`): constant (static-linear) stamps and
+``(dt, method)``-dependent companion stamps are precompiled into flat COO
+arrays and cached as dense *base matrices*, so a Newton iteration only
+copies the cached base and stamps the nonlinear elements.  The circuits
+handled by the noise flow are small (tens to a few hundreds of unknowns) so
+dense linear algebra with NumPy/LAPACK remains the right substrate; the win
+is not sparsity but *not re-doing* the Python-loop assembly on every
+iteration of every time point.
+
+:func:`assemble_legacy` keeps the original element-by-element rebuild both
+as the reference oracle for the kernel's correctness tests and as the
+pre-optimization baseline for the transient benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from .elements import StampContext
 from .netlist import Circuit
+from .stamping import SingularMatrixError
 
-__all__ = ["assemble", "solve_linear_system", "SingularMatrixError"]
-
-
-class SingularMatrixError(RuntimeError):
-    """Raised when the MNA matrix cannot be factorised."""
+__all__ = [
+    "assemble",
+    "assemble_legacy",
+    "solve_linear_system",
+    "SingularMatrixError",
+]
 
 
 def assemble(circuit: Circuit, ctx: StampContext) -> Tuple[np.ndarray, np.ndarray]:
-    """Assemble the MNA matrix ``A`` and right-hand side ``z`` for ``ctx``."""
+    """Assemble the MNA matrix ``A`` and right-hand side ``z`` for ``ctx``.
+
+    The circuit must already be prepared (``Circuit.prepare()``); solver
+    entry points prepare once and the per-iteration hot path only asserts.
+    """
+    return circuit.kernel.assemble(ctx)
+
+
+def assemble_legacy(circuit: Circuit, ctx: StampContext) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference assembly: rebuild the full dense system element by element.
+
+    This is the pre-kernel behaviour (including the per-call ``prepare()``
+    guard).  It is kept as the correctness oracle the compiled kernel is
+    tested against and as the ``solver="legacy"`` baseline of
+    ``benchmarks/bench_transient_scaling.py``.
+    """
     circuit.prepare()
     n = circuit.num_unknowns
     A = np.zeros((n, n))

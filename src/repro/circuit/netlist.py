@@ -26,6 +26,7 @@ from .elements import (
 )
 from .mosfet import MOSFET, MOSFETParams
 from .sources import SourceWaveform
+from .stamping import CompiledKernel
 
 __all__ = ["Circuit", "GROUND_NAMES"]
 
@@ -45,6 +46,7 @@ class Circuit:
         self._element_by_name: Dict[str, Element] = {}
         self._prepared = False
         self._num_branches = 0
+        self._kernel: Optional[CompiledKernel] = None
 
     # ------------------------------------------------------------------ nodes
 
@@ -64,7 +66,7 @@ class Circuit:
         if norm not in self._node_index:
             self._node_index[norm] = len(self._node_names)
             self._node_names.append(norm)
-            self._prepared = False
+            self.invalidate()
         return self._node_index[norm]
 
     def has_node(self, name: str) -> bool:
@@ -96,9 +98,10 @@ class Circuit:
             raise ValueError(f"duplicate element name '{element.name}'")
         node_indices = [self.node(n) for n in element.node_names()]
         element.bind(node_indices, [])
+        element._owner = self
         self._elements.append(element)
         self._element_by_name[element.name] = element
-        self._prepared = False
+        self.invalidate()
         return element
 
     def __contains__(self, name: str) -> bool:
@@ -124,8 +127,14 @@ class Circuit:
     # ------------------------------------------------------------ preparation
 
     def prepare(self) -> None:
-        """Assign branch-current indices; must run before any analysis."""
-        if self._prepared:
+        """Assign branch indices and compile the stamping kernel.
+
+        Runs once per topology: adding elements or nodes invalidates the
+        preparation (see :meth:`invalidate`) and the next analysis entry
+        point re-prepares.  The solver loops themselves never re-prepare --
+        they assert the circuit is prepared and use the compiled kernel.
+        """
+        if self.is_prepared:
             return
         next_branch = self.num_nodes
         for element in self._elements:
@@ -133,7 +142,28 @@ class Circuit:
             element.bind(element.nodes, branches)
             next_branch += element.num_branches
         self._num_branches = next_branch - self.num_nodes
+        self._kernel = CompiledKernel(self)
         self._prepared = True
+
+    def invalidate(self) -> None:
+        """Drop the compiled kernel (topology changed); re-run ``prepare``."""
+        self._prepared = False
+        self._kernel = None
+
+    @property
+    def is_prepared(self) -> bool:
+        return self._prepared and self._kernel is not None
+
+    @property
+    def kernel(self) -> CompiledKernel:
+        """The compiled stamping kernel (asserts the circuit is prepared)."""
+        if not self.is_prepared:
+            raise RuntimeError(
+                f"circuit '{self.name}' is not prepared: call Circuit.prepare() "
+                "before assembling or solving (elements were added since the "
+                "last preparation)"
+            )
+        return self._kernel
 
     @property
     def num_branches(self) -> int:

@@ -1,0 +1,653 @@
+"""Compiled, vectorized MNA stamping kernel.
+
+The historical assembly path rebuilt the full dense MNA matrix
+element-by-element (pure Python) on every Newton iteration of every time
+point.  For the circuits this library simulates -- RC wiring, Thevenin
+drivers and a handful of transistors -- almost all of those stamps are
+identical from one iteration to the next: resistors, controlled sources and
+source topologies never change, and capacitor/inductor companion models only
+change when the time step or integration method changes.
+
+This module compiles a :class:`Circuit` once (at ``Circuit.prepare()``) into
+a :class:`CompiledKernel` that exploits exactly that structure:
+
+* **static** stamps (``Resistor``, ``VCCS``, ``VCVS`` and the topology rows
+  of ``VoltageSource``) are captured once into flat COO index/value arrays
+  and scattered into a dense matrix in one ``np.add.at`` shot;
+* **dynamic** stamps (``Capacitor`` / ``Inductor`` companion models) are
+  captured per ``(dt, method, gmin, state-signature)`` key and the resulting
+  *base matrix* is cached, so a fixed-step transient builds it once and every
+  further Newton iteration starts from a cheap ``ndarray.copy()``;
+* **nonlinear** elements (``MOSFET``, ``Diode``, ``BehavioralCurrentSource``
+  and any future :class:`~repro.circuit.elements.Element` subclass that does
+  not declare a linear partition) are the only ones stamped per iteration;
+* the right-hand side is rebuilt once per *time point* (not per iteration):
+  independent sources are evaluated directly and capacitor companion
+  currents are gathered and scattered with vectorized NumPy operations.
+
+For circuits with no nonlinear element at all, :class:`LinearTransientStepper`
+skips Newton entirely: one LU factorization per unique ``(dt, method)`` is
+reused across all time steps with only right-hand-side updates, so a
+uniform-``dt`` grid pays for a single factorization over the whole run.
+
+The capture mechanism runs each element's *existing* ``stamp()`` method
+against duck-typed accumulators, so there is exactly one authoritative
+implementation of every stamp and the compiled kernel cannot drift from the
+reference Python assembly (``repro.circuit.mna.assemble_legacy``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    GROUND,
+    Inductor,
+    StampContext,
+    VoltageSource,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (netlist builds the kernel)
+    from .netlist import Circuit
+
+__all__ = [
+    "SingularMatrixError",
+    "KernelStats",
+    "CompiledKernel",
+    "AssembledPoint",
+    "LinearSolver",
+    "LinearTransientStepper",
+]
+
+#: Maximum number of cached base matrices per kernel (gmin stepping can visit
+#: a dozen keys; anything beyond that is evicted least-recently-used).
+_BASE_CACHE_SIZE = 32
+
+try:  # SciPy is optional: fall back to a cached inverse when missing.
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+
+    _HAVE_SCIPY_LU = True
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _lu_factor = _lu_solve = None
+    _HAVE_SCIPY_LU = False
+
+
+class SingularMatrixError(RuntimeError):
+    """Raised when the MNA matrix cannot be factorised."""
+
+
+# ---------------------------------------------------------------------------
+# Stamp-capture accumulators
+# ---------------------------------------------------------------------------
+
+class _COOMatrix:
+    """Duck-typed matrix that records ``A[r, c] += v`` as COO triples."""
+
+    __slots__ = ("rows", "cols", "vals")
+
+    def __init__(self):
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+
+    def __getitem__(self, key) -> float:
+        return 0.0
+
+    def __setitem__(self, key, value) -> None:
+        row, col = key
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(value)
+
+
+class _NullSink:
+    """Duck-typed array that silently discards all reads and writes."""
+
+    __slots__ = ()
+
+    def __getitem__(self, key) -> float:
+        return 0.0
+
+    def __setitem__(self, key, value) -> None:
+        pass
+
+
+_NULL_SINK = _NullSink()
+
+
+# ---------------------------------------------------------------------------
+# Factor-once / solve-many linear solver
+# ---------------------------------------------------------------------------
+
+class LinearSolver:
+    """An ``A x = z`` solver that factorises once and solves many times.
+
+    Uses ``scipy.linalg.lu_factor`` when SciPy is available; otherwise caches
+    ``numpy.linalg.inv(A)`` so repeated solves stay :math:`O(n^2)`.
+    """
+
+    __slots__ = ("_lu", "_inv")
+
+    def __init__(self, A: np.ndarray):
+        self._lu = None
+        self._inv = None
+        try:
+            if _HAVE_SCIPY_LU:
+                self._lu = _lu_factor(A)
+            else:
+                self._inv = np.linalg.inv(A)
+        except (np.linalg.LinAlgError, ValueError) as exc:
+            raise SingularMatrixError(str(exc)) from exc
+
+    def solve(self, z: np.ndarray) -> np.ndarray:
+        if self._lu is not None:
+            x = _lu_solve(self._lu, z)
+        else:
+            x = self._inv @ z
+        if not np.all(np.isfinite(x)):
+            raise SingularMatrixError("solution contains non-finite values")
+        return x
+
+
+# ---------------------------------------------------------------------------
+# Kernel statistics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelStats:
+    """Counters of what the compiled kernel did (and did not) recompute."""
+
+    #: Base matrices built from scratch (compile + np.add.at scatter).
+    base_builds: int = 0
+    #: Assemblies answered from the base-matrix cache -- each one is a full
+    #: element-by-element reassembly the legacy path would have performed.
+    base_hits: int = 0
+    #: Right-hand-side rebuilds (one per time point, not per iteration).
+    rhs_builds: int = 0
+    #: Individual nonlinear-element stamp calls.
+    nonlinear_stamps: int = 0
+
+    def snapshot(self) -> "KernelStats":
+        return KernelStats(
+            self.base_builds, self.base_hits, self.rhs_builds, self.nonlinear_stamps
+        )
+
+    def delta_since(self, earlier: "KernelStats") -> "KernelStats":
+        return KernelStats(
+            self.base_builds - earlier.base_builds,
+            self.base_hits - earlier.base_hits,
+            self.rhs_builds - earlier.rhs_builds,
+            self.nonlinear_stamps - earlier.nonlinear_stamps,
+        )
+
+
+def _defining_class(cls: type, name: str) -> Optional[type]:
+    """The most-derived class in ``cls``'s MRO that defines ``name``."""
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    return None
+
+
+def _effective_partition(element: Element) -> str:
+    """The partition the kernel may safely compile ``element`` under.
+
+    A subclass that overrides ``stamp`` (or ``update_state``) without also
+    overriding ``partition`` inherits a partition claim that describes the
+    *parent's* stamps, not its own -- compiling it would silently freeze or
+    bypass the override.  Such elements are demoted to ``"nonlinear"``, the
+    always-correct per-iteration treatment (and they keep the Newton path,
+    because the fast-path dispatch checks ``kernel.has_nonlinear``).
+    """
+    partition = element.partition()
+    if partition == "nonlinear":
+        return partition
+    part_cls = _defining_class(type(element), "partition")
+    # Any behaviour-defining method overridden *below* the class that made
+    # the partition claim invalidates that claim: stamp/update_state change
+    # the stamps themselves, value() changes how sources are evaluated, and
+    # an is_nonlinear() override signals iterate-dependent behaviour.
+    for method in ("stamp", "update_state", "value", "is_nonlinear"):
+        method_cls = _defining_class(type(element), method)
+        if (
+            method_cls is not None
+            and part_cls is not None
+            and method_cls is not part_cls
+            and issubclass(method_cls, part_cls)
+        ):
+            return "nonlinear"
+    return partition
+
+
+# ---------------------------------------------------------------------------
+# The compiled kernel
+# ---------------------------------------------------------------------------
+
+class CompiledKernel:
+    """Precompiled vectorized assembly for one prepared :class:`Circuit`.
+
+    The kernel is built by ``Circuit.prepare()`` and invalidated whenever an
+    element or node is added, or a compiled linear value (``resistance``,
+    ``capacitance``, ``inductance``, ``gm``, ``gain``) is mutated -- the
+    value setters notify the owning circuit.  Mutating a source's
+    ``waveform`` does not invalidate (and need not): source values are read
+    live on every right-hand-side rebuild.
+    """
+
+    def __init__(self, circuit: "Circuit"):
+        # Built from inside ``Circuit.prepare()`` (after branch assignment),
+        # so sizes are read directly rather than through the auto-preparing
+        # ``num_unknowns`` property.
+        self.circuit = circuit
+        self.num_nodes = circuit.num_nodes
+        self.n = circuit.num_nodes + circuit._num_branches
+
+        self.static_elements: List[Element] = []
+        self.source_elements: List[Element] = []
+        self.dynamic_elements: List[Element] = []
+        self.nonlinear_elements: List[Element] = []
+        for element in circuit.elements:
+            partition = _effective_partition(element)
+            if partition == "static":
+                self.static_elements.append(element)
+            elif partition == "source":
+                self.source_elements.append(element)
+            elif partition == "dynamic":
+                self.dynamic_elements.append(element)
+            elif partition == "nonlinear":
+                self.nonlinear_elements.append(element)
+            else:  # pragma: no cover - partition() contract violation
+                raise ValueError(
+                    f"element {element!r} declares unknown partition '{partition}'"
+                )
+
+        # Dynamic capacitors with a companion model (C > 0); their right-hand
+        # side is rebuilt vectorized every time point.
+        self._caps: List[Capacitor] = [
+            e for e in self.dynamic_elements
+            if isinstance(e, Capacitor) and e.capacitance > 0.0
+        ]
+        n = self.n
+        # Node indices with GROUND mapped onto a scratch slot ``n`` so gathers
+        # and scatters work on (n+1)-vectors without branching.
+        self._cap_a = np.array(
+            [e.nodes[0] if e.nodes[0] != GROUND else n for e in self._caps], dtype=int
+        )
+        self._cap_b = np.array(
+            [e.nodes[1] if e.nodes[1] != GROUND else n for e in self._caps], dtype=int
+        )
+        self._cap_c = np.array([e.capacitance for e in self._caps], dtype=float)
+
+        self._inductors: List[Inductor] = [
+            e for e in self.dynamic_elements if isinstance(e, Inductor)
+        ]
+        # Any dynamic element that is neither a compiled capacitor nor an
+        # inductor (zero-value caps have no RHS; future types fall back to
+        # their own stamp against a null matrix).
+        compiled = set(id(e) for e in self._caps) | set(id(e) for e in self._inductors)
+        self._other_dynamic = [
+            e for e in self.dynamic_elements
+            if id(e) not in compiled and not isinstance(e, Capacitor)
+        ]
+
+        # --- static COO compile (one shot, reused by every base matrix) -----
+        coo = _COOMatrix()
+        probe = StampContext(x=np.zeros(n), dt=None, gmin=0.0)
+        for element in self.static_elements:
+            element.stamp(coo, _NULL_SINK, probe)
+        for element in self.source_elements:
+            element.stamp(coo, _NULL_SINK, probe)
+        self._static_flat = (
+            np.array(coo.rows, dtype=int) * n + np.array(coo.cols, dtype=int)
+        )
+        self._static_vals = np.array(coo.vals, dtype=float)
+
+        self._base_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.stats = KernelStats()
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def has_nonlinear(self) -> bool:
+        return bool(self.nonlinear_elements)
+
+    @property
+    def capacitors(self) -> List[Capacitor]:
+        return list(self._caps)
+
+    @property
+    def inductors(self) -> List[Inductor]:
+        return list(self._inductors)
+
+    # ----------------------------------------------------------- base matrix
+
+    def signature(self, ctx: StampContext) -> Tuple[bool, ...]:
+        """Per-dynamic-element effective integration coefficient.
+
+        ``True`` means the element stamps its trapezoidal companion (method
+        is ``"trap"`` *and* its previous-step state is available), ``False``
+        means backward Euler.  Mirrors the fallback logic inside
+        ``Capacitor.stamp`` / ``Inductor.stamp`` exactly.
+        """
+        if ctx.dt is None:
+            return ()
+        trap = ctx.method == "trap"
+        prev_state = ctx.prev_state
+        bits = []
+        for element in self.dynamic_elements:
+            if isinstance(element, Capacitor):
+                state = prev_state.get(element.name)
+                bits.append(trap and state is not None and state.get("i") is not None)
+            else:
+                bits.append(trap and element.name in prev_state)
+        return tuple(bits)
+
+    def base_key(self, ctx: StampContext) -> tuple:
+        return (ctx.dt, ctx.method, ctx.gmin, self.signature(ctx))
+
+    def base_matrix(self, ctx: StampContext) -> np.ndarray:
+        """The cached linear-part matrix for ``ctx`` (gmin diagonal included).
+
+        The returned array is shared -- callers must ``copy()`` before
+        stamping into it.
+        """
+        return self.base_matrix_for_key(self.base_key(ctx))
+
+    def base_matrix_for_key(self, key: tuple) -> np.ndarray:
+        cached = self._base_cache.get(key)
+        if cached is not None:
+            self._base_cache.move_to_end(key)
+            self.stats.base_hits += 1
+            return cached
+
+        dt, method, gmin, sig = key
+        n = self.n
+        A = np.zeros(n * n)
+        if self._static_flat.size:
+            np.add.at(A, self._static_flat, self._static_vals)
+
+        if self.dynamic_elements:
+            # Re-run the dynamic stamps against a COO accumulator with a
+            # synthetic context that reproduces the key: the companion
+            # conductances depend only on (dt, method, gmin, state presence),
+            # never on the state *values*.
+            prev_state: Dict = {}
+            for element, has_state in zip(self.dynamic_elements, sig or ()):
+                if has_state:
+                    prev_state[element.name] = {"i": 0.0, "v": 0.0}
+            probe = StampContext(
+                x=np.zeros(n),
+                prev_x=np.zeros(n),
+                dt=dt,
+                method=method,
+                gmin=gmin,
+                prev_state=prev_state,
+            )
+            coo = _COOMatrix()
+            for element in self.dynamic_elements:
+                element.stamp(coo, _NULL_SINK, probe)
+            if coo.rows:
+                flat = np.array(coo.rows, dtype=int) * n + np.array(coo.cols, dtype=int)
+                np.add.at(A, flat, np.array(coo.vals, dtype=float))
+
+        A = A.reshape(n, n)
+        if gmin > 0.0 and self.num_nodes:
+            idx = np.arange(self.num_nodes)
+            A[idx, idx] += gmin
+
+        self._base_cache[key] = A
+        if len(self._base_cache) > _BASE_CACHE_SIZE:
+            self._base_cache.popitem(last=False)
+        self.stats.base_builds += 1
+        return A
+
+    # -------------------------------------------------------- right-hand side
+
+    def rhs(
+        self,
+        ctx: StampContext,
+        *,
+        cap_i_prev: Optional[np.ndarray] = None,
+        cap_trap: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Linear-part right-hand side at ``ctx`` (constant over Newton).
+
+        ``cap_i_prev`` / ``cap_trap`` let the linear fast path supply the
+        capacitor companion state as arrays; otherwise the per-element state
+        dictionaries of ``ctx.prev_state`` are gathered.
+        """
+        n = self.n
+        z = np.zeros(n)
+        self.stats.rhs_builds += 1
+
+        for element in self.source_elements:
+            if isinstance(element, VoltageSource):
+                z[element.branch_indices[0]] += element.value(ctx)
+            elif isinstance(element, CurrentSource):
+                a, b = element.nodes
+                value = element.value(ctx)
+                if a != GROUND:
+                    z[a] -= value
+                if b != GROUND:
+                    z[b] += value
+            else:
+                element.stamp(_NULL_SINK, z, ctx)
+
+        if ctx.dt is None:
+            return z
+        dt = ctx.dt
+
+        if self._caps:
+            if cap_i_prev is None:
+                trap = ctx.method == "trap"
+                i_prev = np.zeros(len(self._caps))
+                trap_mask = np.zeros(len(self._caps), dtype=bool)
+                for index, element in enumerate(self._caps):
+                    state = ctx.prev_state.get(element.name)
+                    value = None if state is None else state.get("i")
+                    if trap and value is not None:
+                        trap_mask[index] = True
+                        i_prev[index] = value
+            else:
+                i_prev = cap_i_prev
+                trap_mask = cap_trap
+
+            prev_ext = np.zeros(n + 1)
+            if ctx.prev_x is not None:
+                prev_ext[:n] = ctx.prev_x
+            v_prev = prev_ext[self._cap_a] - prev_ext[self._cap_b]
+            geq = np.where(trap_mask, 2.0, 1.0) * self._cap_c / dt
+            ieq = geq * v_prev + np.where(trap_mask, i_prev, 0.0)
+            z_ext = np.zeros(n + 1)
+            np.add.at(z_ext, self._cap_a, ieq)
+            np.add.at(z_ext, self._cap_b, -ieq)
+            z += z_ext[:n]
+
+        for element in self._inductors:
+            element.stamp(_NULL_SINK, z, ctx)
+        for element in self._other_dynamic:
+            element.stamp(_NULL_SINK, z, ctx)
+        return z
+
+    # --------------------------------------------------------------- assembly
+
+    def point(self, ctx: StampContext) -> "AssembledPoint":
+        """Precompute the iteration-invariant parts of one solve point.
+
+        The base matrix, its cache key/signature and the linear right-hand
+        side are all constant over the Newton iterations of a time point;
+        Newton loops build one :class:`AssembledPoint` per point and call its
+        :meth:`~AssembledPoint.assemble` per iteration.
+        """
+        return AssembledPoint(self, ctx)
+
+    def assemble(
+        self,
+        ctx: StampContext,
+        *,
+        z_base: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full ``(A, z)`` at ``ctx``: cached base + nonlinear stamps.
+
+        ``z_base`` (from :meth:`rhs`) can be passed to avoid rebuilding the
+        linear right-hand side; iterating callers should prefer
+        :meth:`point`, which also hoists the base-key computation.
+        """
+        A = self.base_matrix(ctx).copy()
+        z = self.rhs(ctx) if z_base is None else z_base.copy()
+        return self.stamp_nonlinear(A, z, ctx)
+
+    def stamp_nonlinear(
+        self, A: np.ndarray, z: np.ndarray, ctx: StampContext
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stamp the per-iteration (nonlinear) elements into ``(A, z)``."""
+        for element in self.nonlinear_elements:
+            element.stamp(A, z, ctx)
+            self.stats.nonlinear_stamps += 1
+        return A, z
+
+
+class AssembledPoint:
+    """Iteration-invariant assembly state of one time/DC point."""
+
+    __slots__ = ("_kernel", "_base", "_z_base", "_first")
+
+    def __init__(self, kernel: CompiledKernel, ctx: StampContext):
+        self._kernel = kernel
+        self._base = kernel.base_matrix(ctx)
+        self._z_base = kernel.rhs(ctx)
+        self._first = True
+
+    def assemble(self, ctx: StampContext) -> Tuple[np.ndarray, np.ndarray]:
+        """``(A, z)`` at the current iterate, from the precomputed bases."""
+        if self._first:
+            self._first = False
+        else:
+            # Every further iteration reuses the precomputed base without
+            # even a cache lookup; keep the avoided-assembly accounting
+            # identical to per-iteration base_matrix() calls.
+            self._kernel.stats.base_hits += 1
+        A = self._base.copy()
+        z = self._z_base.copy()
+        return self._kernel.stamp_nonlinear(A, z, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Linear transient fast path
+# ---------------------------------------------------------------------------
+
+class LinearTransientStepper:
+    """Newton-free time stepper for circuits with no nonlinear element.
+
+    Each step solves ``A(dt) x = z`` directly with an LU factorization that
+    is cached per ``(dt, method)`` -- a uniform time grid factorises exactly
+    once for the whole run.  Companion-model state (capacitor currents,
+    inductor current/voltage) is kept in flat arrays and updated vectorized,
+    mirroring ``Capacitor.update_state`` / ``Inductor.update_state``.
+    """
+
+    def __init__(self, kernel: CompiledKernel, *, method: str, gmin: float):
+        if kernel.has_nonlinear:
+            raise ValueError(
+                "the linear fast path cannot simulate nonlinear circuits"
+            )
+        self.kernel = kernel
+        self.method = method
+        self.gmin = gmin
+        self._solvers: Dict[tuple, LinearSolver] = {}
+        self.lu_factorizations = 0
+        self.lu_reuse_hits = 0
+
+        n = kernel.n
+        self._ncaps = len(kernel._caps)
+        self._cap_i = np.zeros(self._ncaps)
+        self._trap_mask = np.full(self._ncaps, method == "trap", dtype=bool)
+        self._ind_branch = np.array(
+            [e.branch_indices[0] for e in kernel._inductors], dtype=int
+        )
+        self._ind_a = np.array(
+            [e.nodes[0] if e.nodes[0] != GROUND else n for e in kernel._inductors],
+            dtype=int,
+        )
+        self._ind_b = np.array(
+            [e.nodes[1] if e.nodes[1] != GROUND else n for e in kernel._inductors],
+            dtype=int,
+        )
+        self._ind_L = np.array([e.inductance for e in kernel._inductors], dtype=float)
+        self._ind_i = np.zeros(len(kernel._inductors))
+        self._ind_v = np.zeros(len(kernel._inductors))
+
+    def initialize(self, x0: np.ndarray) -> None:
+        """Mirror the t = 0 ``update_state`` pass of the generic integrator."""
+        x_ext = np.append(np.asarray(x0, dtype=float), 0.0)
+        self._cap_i[:] = 0.0
+        if self._ind_branch.size:
+            self._ind_i = x_ext[self._ind_branch].copy()
+            self._ind_v = x_ext[self._ind_a] - x_ext[self._ind_b]
+
+    def _solver(self, dt: float) -> LinearSolver:
+        key = (dt, self.method)
+        solver = self._solvers.get(key)
+        if solver is None:
+            base = self.kernel.base_matrix_for_key(
+                (dt, self.method, self.gmin, self._signature())
+            )
+            solver = LinearSolver(base)
+            self._solvers[key] = solver
+            self.lu_factorizations += 1
+        else:
+            self.lu_reuse_hits += 1
+        return solver
+
+    def _signature(self) -> Tuple[bool, ...]:
+        # After ``initialize`` every dynamic element has state, so the
+        # signature is uniform: trapezoidal iff the method is "trap".
+        trap = self.method == "trap"
+        return tuple(trap for _ in self.kernel.dynamic_elements)
+
+    def step(self, t: float, dt: float, prev_x: np.ndarray) -> np.ndarray:
+        """Advance one time point and update the companion state."""
+        kernel = self.kernel
+        solver = self._solver(dt)
+        ctx = StampContext(
+            x=prev_x,
+            prev_x=prev_x,
+            time=t,
+            dt=dt,
+            method=self.method,
+            gmin=self.gmin,
+            prev_state=self._inductor_state_view(),
+        )
+        z = kernel.rhs(ctx, cap_i_prev=self._cap_i, cap_trap=self._trap_mask)
+        x_new = solver.solve(z)
+
+        # Vectorized state update (the accept phase of the generic path).
+        x_ext = np.append(x_new, 0.0)
+        prev_ext = np.append(prev_x, 0.0)
+        if self._ncaps:
+            dv = (x_ext[kernel._cap_a] - x_ext[kernel._cap_b]) - (
+                prev_ext[kernel._cap_a] - prev_ext[kernel._cap_b]
+            )
+            coeff = np.where(self._trap_mask, 2.0, 1.0) * kernel._cap_c / dt
+            i_new = coeff * dv - np.where(self._trap_mask, self._cap_i, 0.0)
+            self._cap_i = i_new
+        if self._ind_branch.size:
+            self._ind_i = x_ext[self._ind_branch].copy()
+            self._ind_v = x_ext[self._ind_a] - x_ext[self._ind_b]
+        return x_new
+
+    def _inductor_state_view(self) -> Dict:
+        """Per-element state dicts for the (rare, loop-stamped) inductors."""
+        if not self.kernel._inductors:
+            return {}
+        return {
+            element.name: {"i": float(self._ind_i[index]), "v": float(self._ind_v[index])}
+            for index, element in enumerate(self.kernel._inductors)
+        }

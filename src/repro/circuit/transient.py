@@ -2,28 +2,76 @@
 
 The integrator uses the companion-model formulation implemented by the
 elements themselves: backward Euler for the first step (and optionally
-throughout) and trapezoidal integration afterwards.  Every time point is
-solved with the damped Newton iteration from :mod:`repro.circuit.dc`.
+throughout) and trapezoidal integration afterwards.
+
+Two execution paths share the same time axis and companion models:
+
+* **linear fast path** -- circuits with no nonlinear element skip Newton
+  entirely: each unique time step size is LU-factorised once
+  (:class:`~repro.circuit.stamping.LinearTransientStepper`) and every time
+  point is a single right-hand-side rebuild plus a back-substitution.  A
+  uniform-``dt`` grid therefore pays for exactly one factorization over the
+  whole run.  This is the hot path of the characterisation and cluster
+  workloads, which are dominated by RC / Thevenin circuits.
+* **Newton path** -- nonlinear circuits run the damped Newton iteration from
+  :mod:`repro.circuit.dc`; each iteration starts from the kernel's cached
+  base matrix and only the nonlinear elements are re-stamped.
 
 The default time step is fixed, which keeps results deterministic and easy to
 compare across the golden simulation, the macromodel engine and the linear
-baselines.  An optional simple step-doubling error control is available for
-users who want adaptivity.
+baselines.  Both paths agree to solver precision (well below 1e-9) on linear
+circuits; ``solver="legacy"`` reproduces the original per-iteration full
+Python assembly for benchmarking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..waveform import Waveform
 from .dc import ConvergenceError, dc_operating_point, newton_solve
 from .elements import GROUND, StampContext, VoltageSource
+from .mna import assemble_legacy
 from .netlist import Circuit
+from .stamping import LinearTransientStepper
 
-__all__ = ["TransientResult", "transient"]
+__all__ = ["TransientResult", "TransientStats", "transient"]
+
+_SOLVERS = ("auto", "fast", "newton", "legacy")
+
+
+@dataclass
+class TransientStats:
+    """Execution counters of one transient run (perf observability).
+
+    ``assemblies_avoided`` counts Newton iterations served from the cached
+    base matrix instead of a full element-by-element rebuild;
+    ``lu_reuse_hits`` counts fast-path time steps solved with an already
+    computed LU factorization.
+    """
+
+    solver: str = "newton"
+    fast_path: bool = False
+    num_time_points: int = 0
+    newton_iterations: int = 0
+    assemblies_avoided: int = 0
+    lu_reuse_hits: int = 0
+    matrix_factorizations: int = 0
+    rhs_builds: int = 0
+
+
+def _quantize_dt(dt: float) -> float:
+    """Round a step size to 12 significant digits.
+
+    ``np.linspace`` grids produce step sizes that differ in the last ulp;
+    quantizing makes every uniform-grid step hit the same base-matrix / LU
+    cache key while perturbing companion conductances by a relative 1e-12 at
+    most (far below integration error).
+    """
+    return float(f"{dt:.12e}")
 
 
 @dataclass
@@ -38,9 +86,19 @@ class TransientResult:
     times: np.ndarray
     solutions: np.ndarray  # shape (n_times, n_unknowns)
     newton_iterations: int = 0
+    stats: TransientStats = field(default_factory=TransientStats)
 
     def node_voltage(self, node_name: str) -> Waveform:
-        """Voltage waveform of the named node."""
+        """Voltage waveform of the named node.
+
+        Ground aliases (``0``, ``gnd``, ``vss``...) return an exactly-zero
+        waveform; an unknown node name raises :class:`KeyError`.
+        """
+        if not self.circuit.has_node(node_name):
+            raise KeyError(
+                f"unknown node '{node_name}' in circuit '{self.circuit.name}' "
+                f"(known nodes: {', '.join(sorted(self.circuit.node_names)) or 'none'})"
+            )
         idx = self.circuit.node_index(node_name)
         if idx == GROUND:
             values = np.zeros_like(self.times)
@@ -100,6 +158,7 @@ def transient(
     max_newton: int = 50,
     vtol: float = 1e-6,
     include_breakpoints: bool = True,
+    solver: str = "auto",
 ) -> TransientResult:
     """Run a transient analysis from ``t = 0`` to ``t_stop``.
 
@@ -129,6 +188,13 @@ def transient(
         Newton convergence tolerance (volts).
     include_breakpoints:
         Insert source breakpoints into the time axis.
+    solver:
+        ``"auto"`` (default) takes the Newton-free LU-reuse fast path when
+        the circuit is linear and the Newton path otherwise; ``"fast"``
+        forces the fast path (raises :class:`ValueError` on nonlinear
+        circuits); ``"newton"`` forces the Newton path; ``"legacy"`` forces
+        the Newton path with the original per-iteration full Python assembly
+        (benchmark baseline).
     """
     if t_stop <= 0:
         raise ValueError("t_stop must be positive")
@@ -136,9 +202,24 @@ def transient(
         raise ValueError("dt must be positive and smaller than t_stop")
     if method not in ("trap", "be"):
         raise ValueError("method must be 'trap' or 'be'")
+    if solver not in _SOLVERS:
+        raise ValueError(f"solver must be one of {_SOLVERS}, got '{solver}'")
 
     circuit.prepare()
-    n = circuit.num_unknowns
+    kernel = circuit.kernel
+    n = kernel.n
+
+    # Dispatch on the kernel's partitioning, not ``circuit.is_nonlinear()``:
+    # a custom Element subclass may keep the conservative default partition
+    # ("nonlinear", re-stamped per iteration) while reporting
+    # ``is_nonlinear() == False`` -- such circuits must take the Newton path.
+    nonlinear = kernel.has_nonlinear
+    if solver == "fast" and nonlinear:
+        raise ValueError(
+            f"circuit '{circuit.name}' contains nonlinear (per-iteration) "
+            "elements; the LU-reuse fast path only applies to linear circuits"
+        )
+    use_fast = solver == "fast" or (solver == "auto" and not nonlinear)
 
     # --- time axis ----------------------------------------------------------
     num_steps = int(round(t_stop / dt))
@@ -177,6 +258,75 @@ def transient(
     solutions = np.zeros((len(times), n))
     solutions[0] = x
 
+    if use_fast:
+        stats = _run_fast_path(circuit, times, x, solutions, method=method)
+    else:
+        stats = _run_newton_path(
+            circuit,
+            times,
+            x,
+            solutions,
+            method=method,
+            max_newton=max_newton,
+            vtol=vtol,
+            legacy=solver == "legacy",
+        )
+    stats.solver = solver
+    stats.num_time_points = len(times) - 1
+    return TransientResult(
+        circuit, times, solutions, newton_iterations=stats.newton_iterations, stats=stats
+    )
+
+
+def _run_fast_path(
+    circuit: Circuit,
+    times: np.ndarray,
+    x: np.ndarray,
+    solutions: np.ndarray,
+    *,
+    method: str,
+) -> TransientStats:
+    """Newton-free stepping for linear circuits (one LU per unique dt)."""
+    kernel = circuit.kernel
+    rhs_before = kernel.stats.rhs_builds
+    stepper = LinearTransientStepper(kernel, method=method, gmin=circuit.gmin)
+    stepper.initialize(x)
+    prev_x = x
+    for step_index in range(1, len(times)):
+        t = float(times[step_index])
+        step_dt = _quantize_dt(float(times[step_index] - times[step_index - 1]))
+        x_new = stepper.step(t, step_dt, prev_x)
+        solutions[step_index] = x_new
+        prev_x = x_new
+    return TransientStats(
+        fast_path=True,
+        newton_iterations=0,
+        lu_reuse_hits=stepper.lu_reuse_hits,
+        matrix_factorizations=stepper.lu_factorizations,
+        # No Newton iterations run at all on this path, so there are no
+        # cache-served assemblies to count; ``lu_reuse_hits`` carries the
+        # reuse story here.  Only measured counters are reported.
+        assemblies_avoided=0,
+        rhs_builds=kernel.stats.rhs_builds - rhs_before,
+    )
+
+
+def _run_newton_path(
+    circuit: Circuit,
+    times: np.ndarray,
+    x: np.ndarray,
+    solutions: np.ndarray,
+    *,
+    method: str,
+    max_newton: int,
+    vtol: float,
+    legacy: bool,
+) -> TransientStats:
+    """Damped-Newton stepping (nonlinear circuits, and forced baselines)."""
+    kernel = circuit.kernel
+    kernel_before = kernel.stats.snapshot()
+    assembler = assemble_legacy if legacy else None
+
     # Initialise the per-element dynamic state at t = 0.
     state0: Dict = {}
     ctx0 = StampContext(
@@ -188,10 +338,9 @@ def transient(
     prev_x = x
     total_newton = 0
 
-    # --- time stepping ---------------------------------------------------------
     for step_index in range(1, len(times)):
         t = float(times[step_index])
-        step_dt = float(times[step_index] - times[step_index - 1])
+        step_dt = _quantize_dt(float(times[step_index] - times[step_index - 1]))
         # Trapezoidal integration needs the previous element currents; the
         # elements fall back to backward Euler automatically when that state
         # is missing (i.e. for the first step).
@@ -209,6 +358,7 @@ def transient(
                 method=step_method,
                 prev_x=prev_x,
                 prev_state=prev_state,
+                assembler=assembler,
             )
         except ConvergenceError:
             # Retry the point with backward Euler, which is more forgiving.
@@ -223,6 +373,7 @@ def transient(
                 method="be",
                 prev_x=prev_x,
                 prev_state=prev_state,
+                assembler=assembler,
             )
             step_method = "be"
         total_newton += iters
@@ -246,4 +397,11 @@ def transient(
         prev_x = x_new
         prev_state = new_state
 
-    return TransientResult(circuit, times, solutions, newton_iterations=total_newton)
+    delta = kernel.stats.delta_since(kernel_before)
+    return TransientStats(
+        fast_path=False,
+        newton_iterations=total_newton,
+        assemblies_avoided=delta.base_hits,
+        matrix_factorizations=total_newton,  # one dense solve per iteration
+        rhs_builds=delta.rhs_builds,
+    )

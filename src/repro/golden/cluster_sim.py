@@ -18,6 +18,7 @@ from ..circuit.netlist import Circuit
 from ..circuit.sources import SaturatedRamp
 from ..circuit.transient import transient
 from ..noise.builder import ClusterModelBuilder
+from ..noise.engine import EngineStatistics
 from ..noise.cluster import NoiseClusterSpec
 from ..noise.results import NoiseAnalysisResult
 from ..noise.vccs import victim_input_waveform
@@ -165,6 +166,16 @@ class GoldenClusterAnalysis:
         for aggressor in spec.aggressors:
             waveforms[f"aggressor:{aggressor.net}"] = result[f"{aggressor.net}:0"]
 
+        stats = result.stats
+        engine_statistics = EngineStatistics(
+            num_time_points=stats.num_time_points,
+            newton_iterations=stats.newton_iterations,
+            runtime_seconds=runtime,
+            assemblies_avoided=stats.assemblies_avoided,
+            lu_reuse_hits=stats.lu_reuse_hits,
+            matrix_factorizations=stats.matrix_factorizations,
+            fast_path_runs=1 if stats.fast_path else 0,
+        )
         return NoiseAnalysisResult(
             method=self.method_name,
             victim_waveform=victim_waveform,
@@ -176,5 +187,7 @@ class GoldenClusterAnalysis:
                 "newton_iterations": result.newton_iterations,
                 "dt": dt,
                 "t_stop": t_stop,
+                "transient_stats": stats,
+                "engine_statistics": engine_statistics,
             },
         )

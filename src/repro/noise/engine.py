@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuit.netlist import Circuit
+from ..circuit.stamping import LinearSolver
 from ..characterization.thevenin import TheveninDriverModel
 from ..interconnect.rcnetwork import CoupledRCNetwork
 from ..waveform import Waveform
@@ -184,17 +185,32 @@ class MacromodelNetwork:
 
 @dataclass
 class EngineStatistics:
-    """Bookkeeping of one engine run (used by the speed-up benchmark)."""
+    """Bookkeeping of one engine run (used by the speed-up benchmark).
+
+    Besides the classical time-point / Newton counters this carries the
+    kernel-level perf counters introduced with the vectorized MNA assembly:
+    how many full matrix assemblies were *avoided* (served from a cached
+    base matrix or a constant Jacobian), how often an existing LU
+    factorization was reused, and how many factorizations were computed.
+    """
 
     num_time_points: int = 0
     newton_iterations: int = 0
     runtime_seconds: float = 0.0
+    assemblies_avoided: int = 0
+    lu_reuse_hits: int = 0
+    matrix_factorizations: int = 0
+    fast_path_runs: int = 0
 
     def merge(self, other: "EngineStatistics") -> "EngineStatistics":
         """Accumulate another run's counters into this one (returns self)."""
         self.num_time_points += other.num_time_points
         self.newton_iterations += other.newton_iterations
         self.runtime_seconds += other.runtime_seconds
+        self.assemblies_avoided += other.assemblies_avoided
+        self.lu_reuse_hits += other.lu_reuse_hits
+        self.matrix_factorizations += other.matrix_factorizations
+        self.fast_path_runs += other.fast_path_runs
         return self
 
 
@@ -283,27 +299,47 @@ class DedicatedNoiseEngine:
         nonlinear = self.network.nonlinear_sources
 
         total_newton = 0
+        # Linear macromodel (no table VCCS attached): the trapezoidal system
+        # matrix is constant for the whole run, so factorise it once and
+        # reduce every time point to a back-substitution -- no Newton at all.
+        linear_solver = None
+        if not nonlinear:
+            linear_solver = LinearSolver(a_const)
+            self.statistics.matrix_factorizations += 1
+            self.statistics.fast_path_runs += 1
+
         for step in range(1, len(times)):
             t = float(times[step])
             rhs_const = two_c_over_dt @ v + cap_current + self.network.source_vector(t)
-            v_new = v.copy()
-            for _ in range(self.max_newton_iterations):
-                residual = a_const @ v_new - rhs_const
-                jacobian = a_const.copy()
-                for node, func in nonlinear:
-                    if node < 0:
-                        continue
-                    current, didv = func(t, float(v_new[node]))
-                    residual[node] -= current
-                    jacobian[node, node] -= didv
-                dv = np.linalg.solve(jacobian, -residual)
-                max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
-                if max_dv > self.damping_limit:
-                    dv *= self.damping_limit / max_dv
-                v_new += dv
-                total_newton += 1
-                if max_dv < self.newton_tolerance:
-                    break
+            if linear_solver is not None:
+                v_new = linear_solver.solve(rhs_const)
+                if step > 1:
+                    # The first solve pays for the factorization; every later
+                    # step reuses it (same convention as the circuit-level
+                    # LinearTransientStepper).
+                    self.statistics.lu_reuse_hits += 1
+            else:
+                v_new = v.copy()
+                for _ in range(self.max_newton_iterations):
+                    residual = a_const @ v_new - rhs_const
+                    # Reusing the preassembled constant Jacobian avoids a full
+                    # per-iteration reassembly of the linear network.
+                    jacobian = a_const.copy()
+                    self.statistics.assemblies_avoided += 1
+                    for node, func in nonlinear:
+                        if node < 0:
+                            continue
+                        current, didv = func(t, float(v_new[node]))
+                        residual[node] -= current
+                        jacobian[node, node] -= didv
+                    dv = np.linalg.solve(jacobian, -residual)
+                    max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
+                    if max_dv > self.damping_limit:
+                        dv *= self.damping_limit / max_dv
+                    v_new += dv
+                    total_newton += 1
+                    if max_dv < self.newton_tolerance:
+                        break
             cap_current = two_c_over_dt @ (v_new - v) - cap_current
             v = v_new
             results[step] = v

@@ -220,7 +220,14 @@ def test_property_area_and_width_non_negative(wf):
 def test_property_adding_constant_shifts_baseline_not_peak(wf, offset):
     base = wf.glitch_metrics()
     shifted = (wf + offset).glitch_metrics()
-    assert shifted.peak == pytest.approx(base.peak, rel=1e-9, abs=1e-12)
+    assert abs(shifted.peak) == pytest.approx(abs(base.peak), rel=1e-9, abs=1e-12)
+    # The peak's *sign* is only well-defined when the positive and negative
+    # excursions are not tied: adding a float offset perturbs an exact tie
+    # by an ulp and may legitimately flip which extreme wins the argmax.
+    deviation = wf.values - wf.values[0]
+    tie_margin = abs(float(deviation.max()) + float(deviation.min()))
+    if tie_margin > 1e-9:
+        assert np.sign(shifted.peak) == np.sign(base.peak)
     assert shifted.baseline == pytest.approx(base.baseline + offset, rel=1e-9, abs=1e-12)
 
 
