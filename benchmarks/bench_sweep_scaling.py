@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Scenario-sweep scaling benchmark: workers x persistent cache.
+
+Runs one corner + Monte-Carlo scenario space through the
+:class:`repro.scenarios.SweepRunner` in four configurations --
+
+* ``serial_cold``  -- 1 worker, empty persistent cache (every scenario pays
+  its characterisation);
+* ``serial_warm``  -- 1 worker, cache warmed by the cold run;
+* ``workersN_warm`` -- N worker processes against the warm cache, for each
+  requested worker count;
+* ``workersN_cold`` -- the top worker count against a second empty cache
+  directory (process parallelism without cache reuse);
+
+-- and records scenarios/second for each, plus the cache hit/store counters
+and the sweep's worst-case result.  Two gates protect the subsystem:
+
+* determinism: the parallel-warm sweep must produce *identical* per-scenario
+  peaks to the serial-cold sweep (same seed, any worker count);
+* performance: the top-worker-count warm sweep must beat the serial cold
+  sweep by ``MIN_PARALLEL_WARM_SPEEDUP``.
+
+Results are written to ``BENCH_sweep.json``; run with ``--quick`` for the CI
+smoke configuration.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scaling.py [--quick]
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import AnalysisConfig
+from repro.experiments import figure1_cluster
+from repro.scenarios import (
+    MonteCarloModel,
+    ScenarioSpace,
+    SweepRunner,
+    reset_worker_sessions,
+)
+
+#: The warm parallel sweep must beat the cold serial sweep by this factor
+#: (the acceptance criterion of the sweep subsystem).
+MIN_PARALLEL_WARM_SPEEDUP = 2.0
+
+
+def build_space(quick):
+    """A corner x Monte-Carlo space over the paper's Figure-1 cluster."""
+    if quick:
+        corners, samples = ("tt", "ss"), 2
+    else:
+        corners, samples = ("tt", "ff", "ss"), 8
+    return ScenarioSpace(
+        base=figure1_cluster(length_um=300.0, num_segments=5),
+        technology="cmos130",
+        corners=corners,
+        monte_carlo=MonteCarloModel(num_samples=samples, seed=2005),
+    )
+
+
+def run_phase(label, scenarios, config, num_workers):
+    reset_worker_sessions()
+    start = time.perf_counter()
+    report = SweepRunner(config, num_workers=num_workers).run(scenarios)
+    elapsed = time.perf_counter() - start
+    row = {
+        "phase": label,
+        "num_workers": num_workers,
+        "num_scenarios": len(report),
+        "seconds": elapsed,
+        "scenarios_per_second": len(report) / elapsed,
+        "errors": len(report.errors),
+        "cache": dict(report.cache_stats),
+    }
+    print(
+        f"{label:16s} workers={num_workers}  {elapsed:7.2f} s  "
+        f"{row['scenarios_per_second']:6.2f} scenarios/s  "
+        f"(characterized {report.cache_stats.get('characterizations', 0)}, "
+        f"disk hits {report.cache_stats.get('disk_hits', 0)})"
+    )
+    return row, report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts to benchmark warm (default: 2 4, quick: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_sweep.json"),
+        help="path of the JSON report (default: repo-root BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+    worker_counts = args.workers or ([2] if args.quick else [2, 4])
+
+    space = build_space(args.quick)
+    scenarios = space.expand()
+    print(space.describe())
+
+    warm_dir = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    cold_dir = tempfile.mkdtemp(prefix="repro-bench-sweep-cold-")
+    try:
+        config = AnalysisConfig(
+            methods=("macromodel",), vccs_grid=9, check_nrc=True, cache_dir=warm_dir
+        )
+        rows = []
+        row, baseline = run_phase("serial_cold", scenarios, config, 1)
+        rows.append(row)
+        row, _ = run_phase("serial_warm", scenarios, config, 1)
+        rows.append(row)
+        parallel_reports = {}
+        for count in worker_counts:
+            row, report = run_phase(f"workers{count}_warm", scenarios, config, count)
+            rows.append(row)
+            parallel_reports[count] = report
+        top = max(worker_counts)
+        cold_config = config.replace(cache_dir=cold_dir)
+        row, _ = run_phase(f"workers{top}_cold", scenarios, cold_config, top)
+        rows.append(row)
+    finally:
+        shutil.rmtree(warm_dir, ignore_errors=True)
+        shutil.rmtree(cold_dir, ignore_errors=True)
+
+    by_phase = {row["phase"]: row for row in rows}
+    top_warm = by_phase[f"workers{max(worker_counts)}_warm"]
+    warm_speedup = by_phase["serial_cold"]["seconds"] / top_warm["seconds"]
+
+    failures = []
+    top_report = parallel_reports[max(worker_counts)]
+    for left, right in zip(baseline, top_report):
+        if left.scenario_id != right.scenario_id or left.peaks != right.peaks:
+            failures.append(
+                f"non-deterministic sweep: {left.scenario_id} peaks differ "
+                f"between serial and parallel runs"
+            )
+            break
+    if warm_speedup < MIN_PARALLEL_WARM_SPEEDUP:
+        failures.append(
+            f"parallel warm sweep is only {warm_speedup:.2f}x faster than serial "
+            f"cold (floor: {MIN_PARALLEL_WARM_SPEEDUP}x)"
+        )
+
+    worst = baseline.worst_case()
+    summary = {
+        "num_scenarios": len(scenarios),
+        "parallel_warm_speedup_vs_serial_cold": warm_speedup,
+        "serial_warm_speedup_vs_serial_cold": (
+            by_phase["serial_cold"]["seconds"] / by_phase["serial_warm"]["seconds"]
+        ),
+        "deterministic": not any("non-deterministic" in f for f in failures),
+        "worst_case": {
+            "scenario_id": worst.scenario_id,
+            "peak": worst.peaks["macromodel"],
+        },
+    }
+    report = {
+        "benchmark": "bench_sweep_scaling",
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "quick": args.quick,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "space": space.describe(),
+        "results": rows,
+        "summary": summary,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"\nparallel warm vs serial cold: {warm_speedup:.1f}x "
+        f"(floor: {MIN_PARALLEL_WARM_SPEEDUP}x); "
+        f"worst case {worst.scenario_id} peak={worst.peaks['macromodel']:+.4f} V"
+    )
+    print(f"wrote {output}")
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

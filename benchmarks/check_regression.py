@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh benchmark record to the baseline.
+
+Reads a metric (dotted path, higher-is-better) from a freshly produced
+benchmark JSON record and from the committed baseline record, and fails --
+exit status 1 -- when the current value has regressed by more than the
+allowed fraction:
+
+    current < baseline * (1 - max_regression)  ->  FAIL
+
+CI runs this after the quick transient benchmark::
+
+    python benchmarks/bench_transient_scaling.py --quick --output BENCH_current.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_transient.json --current BENCH_current.json \
+        --metric summary.linear_speedup_geomean --max-regression 0.30
+
+The gate is deliberately one-sided: faster-than-baseline runs always pass
+(refresh the committed baseline to ratchet expectations upward).
+"""
+
+import argparse
+import json
+import sys
+
+
+def read_metric(path, dotted):
+    """Read ``a.b.c`` from the JSON document at ``path``."""
+    with open(path) as handle:
+        document = json.load(handle)
+    value = document
+    for part in dotted.split("."):
+        try:
+            value = value[part]
+        except (KeyError, TypeError):
+            raise KeyError(f"{path}: no metric {dotted!r} (failed at {part!r})")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{path}: metric {dotted!r} is not a number: {value!r}")
+    return float(value)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly recorded JSON")
+    parser.add_argument(
+        "--metric",
+        default="summary.linear_speedup_geomean",
+        help="dotted path of the higher-is-better metric to compare",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.max_regression < 1:
+        parser.error("--max-regression must be in [0, 1)")
+
+    try:
+        baseline = read_metric(args.baseline, args.metric)
+        current = read_metric(args.current, args.metric)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+
+    floor = baseline * (1.0 - args.max_regression)
+    change = 100.0 * (current - baseline) / baseline if baseline else float("nan")
+    print(
+        f"{args.metric}: baseline {baseline:.3f} -> current {current:.3f} "
+        f"({change:+.1f}%); floor {floor:.3f} "
+        f"(-{args.max_regression * 100:.0f}%)"
+    )
+    if current < floor:
+        print(
+            f"FAILED: {args.metric} regressed more than "
+            f"{args.max_regression * 100:.0f}% below the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

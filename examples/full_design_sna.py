@@ -96,7 +96,11 @@ def main() -> None:
         for violation in report.violations:
             check = violation.nrc_check()
             print(f"  - {violation.victim_net} (margin {check.margin:+.3f} V)")
-    else:
+    if report.errors:
+        print("\nClusters that failed to analyse (no verdict -- NOT clean):")
+        for failed in report.errors:
+            print(f"  - {failed.victim_net or failed.label}: {failed.error.summary()}")
+    if report.ok:
         print("\nNo NRC violations: the design is noise-clean under the worst-case assumptions.")
     engine = report.engine_statistics()
     print(

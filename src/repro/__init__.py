@@ -40,6 +40,7 @@ __version__ = "0.2.0"
 _API_EXPORTS = (
     "NoiseAnalysisSession",
     "AnalysisConfig",
+    "ClusterError",
     "ClusterReport",
     "SessionReport",
     "list_methods",

@@ -32,7 +32,7 @@ from .registry import (
     register_method,
     unregister_method,
 )
-from .report import ClusterReport, SessionReport
+from .report import ClusterError, ClusterReport, SessionReport
 from .session import NoiseAnalysisSession
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "list_methods",
     "method_descriptions",
     "create_method",
+    "ClusterError",
     "ClusterReport",
     "SessionReport",
     "NoiseAnalysisSession",

@@ -49,6 +49,13 @@ class AnalysisConfig:
     max_workers:
         Default parallelism of ``analyze_many``/``run_design``; 1 runs
         sequentially.
+    cache_dir:
+        Persistent characterisation-cache location.  ``None`` disables the
+        on-disk cache (in-memory only); ``"auto"`` resolves to
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; any other string is used
+        as the cache directory itself.  Sessions built from this config share
+        characterised models across processes and runs through that
+        directory.
     """
 
     methods: Tuple[str, ...] = DEFAULT_METHODS
@@ -59,6 +66,7 @@ class AnalysisConfig:
     check_nrc: bool = True
     nrc_widths: Optional[Tuple[float, ...]] = None
     max_workers: int = 1
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         # Accept any sequence of names but store canonical tuples so the
@@ -90,6 +98,20 @@ class AnalysisConfig:
                 raise ValueError("nrc_widths must be None or non-empty")
             if any(not w > 0 for w in self.nrc_widths):
                 raise ValueError("nrc_widths must all be positive")
+        if self.cache_dir is not None and (
+            not isinstance(self.cache_dir, str) or not self.cache_dir
+        ):
+            raise ValueError("cache_dir must be None, 'auto' or a directory path")
+
+    def resolve_cache_dir(self) -> Optional[str]:
+        """The effective cache directory (``"auto"`` resolved), or ``None``."""
+        if self.cache_dir is None:
+            return None
+        if self.cache_dir == "auto":
+            from ..characterization.diskcache import default_cache_dir
+
+            return str(default_cache_dir())
+        return self.cache_dir
 
     @staticmethod
     def _as_name_tuple(methods: Sequence[str]) -> Tuple[str, ...]:
@@ -116,5 +138,6 @@ class AnalysisConfig:
         return (
             f"AnalysisConfig(methods={list(self.methods)}, {window[0]}, {window[1]}, "
             f"reduction={self.reduction!r}, vccs_grid={self.vccs_grid}, "
-            f"check_nrc={self.check_nrc}, max_workers={self.max_workers})"
+            f"check_nrc={self.check_nrc}, max_workers={self.max_workers}, "
+            f"cache_dir={self.cache_dir!r})"
         )

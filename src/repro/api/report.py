@@ -18,7 +18,31 @@ from ..noise.cluster import NoiseClusterSpec
 from ..noise.engine import EngineStatistics
 from ..noise.results import NoiseAnalysisResult, format_comparison_table
 
-__all__ = ["ClusterReport", "SessionReport"]
+__all__ = ["ClusterError", "ClusterReport", "SessionReport"]
+
+
+@dataclass(frozen=True)
+class ClusterError:
+    """Structured record of one cluster analysis that raised.
+
+    Batch entry points (``analyze_many`` with ``on_error="collect"``, the
+    scenario sweep runner) attach this to the failed cluster's report instead
+    of aborting the whole batch, so a failing scenario stays visible -- with
+    enough context to reproduce it -- while its siblings complete.
+    """
+
+    exception_type: str
+    message: str
+    #: Formatted traceback (``traceback.format_exc`` of the failure).
+    traceback_text: str = ""
+    #: Registry name of the analysis method that was running when the
+    #: failure happened; empty when the failure preceded method dispatch
+    #: (characterisation, model building, NRC lookup).
+    method: str = ""
+
+    def summary(self) -> str:
+        where = f" in method '{self.method}'" if self.method else ""
+        return f"{self.exception_type}{where}: {self.message}"
 
 
 @dataclass
@@ -34,10 +58,24 @@ class ClusterReport:
     runtime_seconds: float = 0.0
     #: Victim net name when the cluster came out of a design run.
     victim_net: str = ""
+    #: Set when the analysis of this cluster failed (batch error collection);
+    #: ``results`` is then empty -- a cluster either completes every
+    #: requested method or reports the failure, never a partial answer.
+    error: Optional[ClusterError] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this cluster's analysis completed without error."""
+        return self.error is None
 
     @property
     def primary_method(self) -> str:
         """Registry name of the first method run (the session's main answer)."""
+        if not self.results:
+            raise ValueError(
+                f"cluster {self.label!r} has no results"
+                + (f" (failed: {self.error.summary()})" if self.error else "")
+            )
         return next(iter(self.results))
 
     @property
@@ -49,10 +87,19 @@ class ClusterReport:
         """Result of ``method`` (default: the primary method)."""
         if method is None:
             return self.primary
+        if method not in self.results and self.error is not None:
+            # Point the consumer at the real failure instead of leaving them
+            # with a bare KeyError on an error-collected report.
+            raise KeyError(
+                f"cluster {self.label!r} has no {method!r} result; its analysis "
+                f"failed: {self.error.summary()}"
+            )
         return self.results[method]
 
     def nrc_check(self, method: Optional[str] = None) -> Optional[NRCCheck]:
         """NRC verdict of ``method`` (default: the primary method), if checked."""
+        if method is None and not self.results:
+            return None
         return self.nrc_checks.get(method or self.primary_method)
 
     @property
@@ -80,6 +127,8 @@ class ClusterReport:
         return total
 
     def summary(self) -> str:
+        if self.error is not None:
+            return f"{self.label:24s} ERROR  {self.error.summary()}"
         result = self.primary
         status = "FAIL" if self.fails else ("pass" if self.nrc_checks else "n/a")
         return (
@@ -112,8 +161,28 @@ class SessionReport:
 
     @property
     def violations(self) -> List[ClusterReport]:
-        """Clusters whose primary glitch violates the receiver NRC."""
+        """Clusters whose primary glitch violates the receiver NRC.
+
+        An *errored* cluster is not a violation -- it has no verdict at all.
+        Gates must check :attr:`ok` (or :attr:`errors`), not just this list:
+        a crashed analysis proves nothing about the cluster being clean.
+        """
         return [report for report in self.clusters if report.fails]
+
+    @property
+    def errors(self) -> List[ClusterReport]:
+        """Clusters whose analysis raised (error-collecting batch runs)."""
+        return [report for report in self.clusters if not report.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Every cluster analysed without error and without an NRC violation.
+
+        The one-line sign-off gate: ``False`` when anything failed --
+        violation *or* crash -- so error-collected failures can never read
+        as a clean design.
+        """
+        return not self.violations and not self.errors
 
     def engine_statistics(self) -> EngineStatistics:
         """Summed dedicated-engine statistics across all clusters."""
@@ -133,16 +202,21 @@ class SessionReport:
             f"{'margin':>8s}  status",
         ]
         for report in self.clusters:
+            name = report.victim_net or report.label
+            if report.error is not None:
+                lines.append(f"{name:24s} ERROR  {report.error.summary()}")
+                continue
             result = report.primary
             check = report.nrc_check()
             status = "FAIL" if report.fails else ("pass" if check else "n/a ")
             margin = f"{check.margin:+.3f}" if check else "  -  "
-            name = report.victim_net or report.label
             lines.append(
                 f"{name:24s} {result.peak:8.3f} {result.area_v_ps:10.1f} "
                 f"{result.width_ps:9.1f} {margin:>8s}  {status}"
             )
         lines.append(f"violations: {len(self.violations)} / {len(self.clusters)}")
+        if self.errors:
+            lines.append(f"errors: {len(self.errors)} / {len(self.clusters)}")
         stats = self.engine_statistics()
         if stats.num_time_points:
             lines.append(

@@ -21,10 +21,12 @@ and every example/benchmark driver -- by registering a factory.
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..characterization.characterizer import LibraryCharacterizer
+from ..characterization.diskcache import PersistentCharacterizationCache
 from ..noise.analysis import check_against_nrc
 from ..noise.builder import ClusterModelBuilder
 from ..noise.cluster import NoiseClusterSpec
@@ -32,7 +34,7 @@ from ..noise.results import NoiseAnalysisResult
 from ..technology.library import CellLibrary
 from .config import AnalysisConfig
 from .registry import AnalysisMethod, MethodContext, UnknownMethodError, create_method, list_methods
-from .report import ClusterReport, SessionReport
+from .report import ClusterError, ClusterReport, SessionReport
 
 if TYPE_CHECKING:
     from ..sna.design import Design
@@ -53,9 +55,15 @@ class NoiseAnalysisSession:
     ):
         self.library = library
         self.config = config or AnalysisConfig()
-        self.characterizer = characterizer or LibraryCharacterizer(
-            library, vccs_grid=self.config.vccs_grid
-        )
+        if characterizer is None:
+            cache_dir = self.config.resolve_cache_dir()
+            disk_cache = (
+                PersistentCharacterizationCache(cache_dir) if cache_dir else None
+            )
+            characterizer = LibraryCharacterizer(
+                library, vccs_grid=self.config.vccs_grid, disk_cache=disk_cache
+            )
+        self.characterizer = characterizer
         self._instances: Dict[str, AnalysisMethod] = {}
 
     # ------------------------------------------------------------- resolution
@@ -115,9 +123,15 @@ class NoiseAnalysisSession:
         start = time.perf_counter()
         results: Dict[str, NoiseAnalysisResult] = {}
         for name in names:
-            results[name] = self.method(name).analyze(
-                spec, dt=dt, t_stop=t_stop, builder=builder
-            )
+            try:
+                results[name] = self.method(name).analyze(
+                    spec, dt=dt, t_stop=t_stop, builder=builder
+                )
+            except Exception as exc:
+                # Tag the failure with the active method so batch error
+                # collection can report *where* the cluster died.
+                exc._repro_active_method = name  # type: ignore[attr-defined]
+                raise
 
         nrc_checks = {}
         if do_nrc and spec.victim.receiver_cell:
@@ -180,15 +194,29 @@ class NoiseAnalysisSession:
         check_nrc: Optional[bool] = None,
         labels: Optional[Sequence[str]] = None,
         max_workers: Optional[int] = None,
+        on_error: str = "collect",
     ) -> List[ClusterReport]:
         """Analyse a batch of clusters; results keep the input order.
 
         With ``max_workers`` (or ``config.max_workers``) greater than one the
         clusters are analysed in a thread pool; the characterisation is
         warmed sequentially first, so workers only read the shared cache.
+
+        ``on_error`` controls what a failing cluster does to the batch:
+        ``"collect"`` (the default) turns the failure into a structured
+        :class:`~repro.api.report.ClusterError` on that cluster's report --
+        every other cluster still completes and keeps its position --
+        while ``"raise"`` propagates the first exception and aborts the
+        batch.  Request-validation errors (unknown method names, a label
+        count mismatch, a bad worker count) always raise: they mean the
+        *batch* is malformed, not one cluster.
         """
         specs = list(specs)
         names = self._resolve_methods(methods)
+        if on_error not in ("collect", "raise"):
+            raise ValueError(
+                f"on_error must be 'collect' or 'raise', got {on_error!r}"
+            )
         if labels is not None:
             labels = list(labels)
             if len(labels) != len(specs):
@@ -203,20 +231,45 @@ class NoiseAnalysisSession:
         if parallel:
             # Resolve the backend instances before fanning out (method() has
             # no lock) and characterise everything sequentially so workers
-            # only take cache hits.
+            # only take cache hits.  A cluster whose *characterisation*
+            # already fails is skipped here and re-raises inside run_one,
+            # where the per-item error handling picks it up.
             for name in names:
                 self.method(name)
-            self.warm_characterization(specs, methods=names, check_nrc=check_nrc)
+            for spec in specs:
+                try:
+                    self.warm_characterization([spec], methods=names, check_nrc=check_nrc)
+                except Exception:
+                    if on_error == "raise":
+                        raise
 
         def run_one(index: int) -> ClusterReport:
-            return self.analyze(
-                specs[index],
-                methods=names,
-                dt=dt,
-                t_stop=t_stop,
-                check_nrc=check_nrc,
-                label=labels[index] if labels is not None else None,
-            )
+            label = labels[index] if labels is not None else specs[index].name
+            start = time.perf_counter()
+            try:
+                return self.analyze(
+                    specs[index],
+                    methods=names,
+                    dt=dt,
+                    t_stop=t_stop,
+                    check_nrc=check_nrc,
+                    label=labels[index] if labels is not None else None,
+                )
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                return ClusterReport(
+                    label=label,
+                    spec=specs[index],
+                    results={},
+                    runtime_seconds=time.perf_counter() - start,
+                    error=ClusterError(
+                        exception_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback_text=traceback.format_exc(),
+                        method=getattr(exc, "_repro_active_method", ""),
+                    ),
+                )
 
         if parallel:
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -239,12 +292,15 @@ class NoiseAnalysisSession:
         t_stop: Optional[float] = None,
         check_nrc: Optional[bool] = None,
         max_workers: Optional[int] = None,
+        on_error: str = "collect",
     ) -> SessionReport:
         """Full-design SNA: extract every noise cluster, analyse, NRC-check.
 
         Pass an :class:`~repro.sna.extraction.ExtractionConfig` (and optional
         per-net ``input_glitches``) to control extraction, or a prebuilt
-        ``extractor`` for full control.
+        ``extractor`` for full control.  ``on_error`` is forwarded to
+        :meth:`analyze_many`: by default a failing cluster is reported as a
+        structured per-cluster error instead of aborting the design run.
         """
         from ..sna.extraction import ClusterExtractor
 
@@ -266,6 +322,7 @@ class NoiseAnalysisSession:
             t_stop=t_stop,
             check_nrc=check_nrc,
             max_workers=max_workers,
+            on_error=on_error,
         )
         for extraction, report in zip(extractions, reports):
             report.victim_net = extraction.victim_net

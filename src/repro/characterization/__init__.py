@@ -10,10 +10,19 @@ Implements the pre-characterisation steps the paper's macromodel relies on:
   model used by conventional SNA (and by the linear-superposition baseline);
 * :func:`characterize_nrc` -- noise rejection curves (dynamic noise margins)
   of receiving cells;
-* :class:`LibraryCharacterizer` -- a caching facade over all of the above.
+* :class:`LibraryCharacterizer` -- a caching facade over all of the above;
+* :class:`PersistentCharacterizationCache` -- an optional content-hash keyed
+  on-disk second level shared across processes and CI runs.
 """
 
 from .characterizer import CharacterizationStats, LibraryCharacterizer
+from .diskcache import (
+    DiskCacheStats,
+    PersistentCharacterizationCache,
+    default_cache_dir,
+    library_fingerprint,
+    technology_fingerprint,
+)
 from .loadsurface import VCCSLoadSurface, characterize_load_surface
 from .nrc import NoiseRejectionCurve, characterize_nrc
 from .propagation import (
@@ -36,4 +45,9 @@ __all__ = [
     "characterize_nrc",
     "LibraryCharacterizer",
     "CharacterizationStats",
+    "PersistentCharacterizationCache",
+    "DiskCacheStats",
+    "default_cache_dir",
+    "library_fingerprint",
+    "technology_fingerprint",
 ]

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..technology.cells import NoiseArc, StandardCell
 from ..technology.library import CellLibrary
+from .diskcache import MISSING, PersistentCharacterizationCache, library_fingerprint
 from .loadsurface import VCCSLoadSurface, characterize_load_surface
 from .nrc import NoiseRejectionCurve, characterize_nrc
 from .propagation import NoisePropagationTable, characterize_noise_propagation
@@ -40,10 +41,17 @@ class CharacterizationStats:
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    #: Keys served from the persistent disk cache: no characterisation ran,
+    #: but the result was not in memory either (counted as neither hit nor
+    #: miss so ``miss_count`` keeps meaning "expensive runs").
+    disk_hits: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, *, hit: bool) -> None:
         counter = self.hits if hit else self.misses
         counter[kind] = counter.get(kind, 0) + 1
+
+    def record_disk_hit(self, kind: str) -> None:
+        self.disk_hits[kind] = self.disk_hits.get(kind, 0) + 1
 
     def miss_count(self, kind: Optional[str] = None) -> int:
         if kind is None:
@@ -55,15 +63,29 @@ class CharacterizationStats:
             return sum(self.hits.values())
         return self.hits.get(kind, 0)
 
+    def disk_hit_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self.disk_hits.values())
+        return self.disk_hits.get(kind, 0)
+
 
 class LibraryCharacterizer:
     """Cached access to all characterised views of a cell library."""
 
-    def __init__(self, library: CellLibrary, *, vccs_grid: int = 17):
+    def __init__(
+        self,
+        library: CellLibrary,
+        *,
+        vccs_grid: int = 17,
+        disk_cache: Optional[PersistentCharacterizationCache] = None,
+    ):
         self.library = library
         self.technology = library.technology
         self.vccs_grid = vccs_grid
         self.stats = CharacterizationStats()
+        #: Optional persistent second-level cache shared across processes.
+        self.disk_cache = disk_cache
+        self._fingerprint: Optional[str] = None
         # Guards get-or-characterize so concurrent session workers never
         # characterise the same key twice (the cache dict is shared).
         self._lock = threading.RLock()
@@ -72,13 +94,35 @@ class LibraryCharacterizer:
     def _cache(self) -> Dict:
         return self.library.characterization_cache
 
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the library (technology + cell definitions).
+
+        Keys the persistent cache: every device/metal parameter *and* every
+        cell's structural definition participates, so corner scaling,
+        Monte-Carlo variation and custom cell sets can never collide.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = library_fingerprint(self.library)
+        return self._fingerprint
+
     def _get_or_characterize(self, key: Tuple, characterize: Callable[[], object]):
         with self._lock:
-            hit = key in self._cache
-            self.stats.record(key[0], hit=hit)
-            if not hit:
-                self._cache[key] = characterize()
-            return self._cache[key]
+            if key in self._cache:
+                self.stats.record(key[0], hit=True)
+                return self._cache[key]
+            if self.disk_cache is not None:
+                value = self.disk_cache.get(self.fingerprint, key)
+                if value is not MISSING:
+                    self.stats.record_disk_hit(key[0])
+                    self._cache[key] = value
+                    return value
+            self.stats.record(key[0], hit=False)
+            value = characterize()
+            self._cache[key] = value
+            if self.disk_cache is not None:
+                self.disk_cache.put(self.fingerprint, key, value)
+            return value
 
     # ------------------------------------------------------------- VCCS table
 
@@ -188,4 +232,7 @@ class LibraryCharacterizer:
         for key in self._cache:
             kinds[key[0]] = kinds.get(key[0], 0) + 1
         parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
-        return f"LibraryCharacterizer cache: {parts or 'empty'}"
+        summary = f"LibraryCharacterizer cache: {parts or 'empty'}"
+        if self.disk_cache is not None:
+            summary += f"\n  {self.disk_cache.summary()}"
+        return summary

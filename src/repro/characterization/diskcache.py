@@ -1,0 +1,377 @@
+"""Persistent on-disk characterisation cache.
+
+Characterising a cell arc costs dozens to hundreds of circuit simulations,
+and the in-memory cache of :class:`~repro.characterization.characterizer.
+LibraryCharacterizer` dies with the process.  This module persists every
+characterised model to disk so the results are shared across worker
+processes of a scenario sweep and across CI runs:
+
+* entries are keyed by a SHA-256 **content hash** of the technology
+  fingerprint (every device / metal parameter that shapes the result -- corner
+  and Monte-Carlo variation included) plus the characteriser's exact key
+  tuple, so a stale entry can never be returned for changed parameters;
+* each entry is one ``.npz`` file (numpy arrays plus a JSON metadata blob)
+  written atomically (temp file + ``os.replace``), so a crashed or killed
+  writer can never leave a half-entry behind under the final name;
+* corrupted or truncated entries (e.g. from a torn copy) are detected on
+  load, dropped and transparently recomputed.
+
+The cache directory defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``
+(see :func:`default_cache_dir`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import tempfile
+import time
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..technology.library import CellLibrary
+from ..technology.process import Technology
+from .loadsurface import VCCSLoadSurface
+from .nrc import NoiseRejectionCurve
+from .propagation import NoisePropagationTable
+from .thevenin import TheveninDriverModel
+
+__all__ = [
+    "MISSING",
+    "DiskCacheStats",
+    "PersistentCharacterizationCache",
+    "default_cache_dir",
+    "library_fingerprint",
+    "technology_fingerprint",
+]
+
+#: Sentinel returned by :meth:`PersistentCharacterizationCache.get` on a miss
+#: (``None`` could in principle be a cached value).
+MISSING = object()
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Format version embedded in every entry; bump to invalidate old caches.
+_FORMAT_VERSION = 1
+
+#: Serialisable characterisation model classes, by stable tag.
+_MODEL_CLASSES: Dict[str, Type] = {
+    "vccs": VCCSLoadSurface,
+    "thevenin": TheveninDriverModel,
+    "prop": NoisePropagationTable,
+    "nrc": NoiseRejectionCurve,
+}
+_MODEL_TAGS = {cls: tag for tag, cls in _MODEL_CLASSES.items()}
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert a cache key / fingerprint into JSON-stable form."""
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def technology_fingerprint(technology: Technology) -> str:
+    """A stable hash of everything in a technology that characterisation sees.
+
+    Covers the supply, the sizing rules, both device model cards and the
+    full metal stack, so corner scaling and Monte-Carlo parameter variation
+    each produce a distinct fingerprint (and therefore distinct cache
+    entries) even when the technology *name* collides.
+    """
+    payload = _canonical(dataclasses.asdict(technology))
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def library_fingerprint(library: CellLibrary) -> str:
+    """A stable hash of a cell library: technology plus cell definitions.
+
+    The characterisation keys identify cells only by *name*, but a
+    :class:`StandardCell` is not derivable from the technology -- two
+    libraries in the same technology can define different cells under the
+    same name (custom strengths, different pull networks).  Mixing the full
+    structural definition of every cell into the fingerprint guarantees a
+    persistent-cache entry is only ever returned for the exact library that
+    produced it.
+    """
+    cells = {
+        cell.name: {
+            "pull_down": repr(cell.pull_down),
+            "strength": cell.strength,
+            "stage1_strength": cell.stage1_strength,
+            "output_pin": cell.output_pin,
+            "output_stage_inverter": cell.output_stage_inverter,
+        }
+        for cell in library
+    }
+    payload = {
+        "technology": _canonical(dataclasses.asdict(library.technology)),
+        "cells": _canonical(cells),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_hash(fingerprint: str, key: Tuple) -> str:
+    blob = json.dumps(
+        {"format": _FORMAT_VERSION, "technology": fingerprint, "key": _canonical(key)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _model_to_payload(value: Any) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Split a characterisation dataclass into arrays and JSON-able metadata."""
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, Any] = {}
+    for f in dataclasses.fields(value):
+        item = getattr(value, f.name)
+        if isinstance(item, np.ndarray):
+            arrays[f.name] = item
+        else:
+            meta[f.name] = _canonical(item)
+    return arrays, meta
+
+
+def _tuplize(value: Any) -> Any:
+    """Convert JSON lists back to the tuples the frozen dataclasses expect."""
+    if isinstance(value, list):
+        return tuple(_tuplize(item) for item in value)
+    return value
+
+
+def _model_from_payload(cls: Type, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]):
+    kwargs: Dict[str, Any] = {name: _tuplize(item) for name, item in meta.items()}
+    kwargs.update(arrays)
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    if set(kwargs) != field_names:
+        raise ValueError(
+            f"cache entry fields {sorted(kwargs)} do not match {cls.__name__} "
+            f"fields {sorted(field_names)}"
+        )
+    return cls(**kwargs)
+
+
+@dataclass
+class DiskCacheStats:
+    """Hit/miss/store accounting of one cache instance (per kind)."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    stores: Dict[str, int] = field(default_factory=dict)
+    #: Entries dropped because they could not be read back (corruption,
+    #: truncation, format drift); each one falls back to a recompute.
+    corrupt_dropped: int = 0
+    #: Failed best-effort writes (e.g. read-only cache dir).
+    store_failures: int = 0
+
+    def _bump(self, counter: Dict[str, int], kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    def hit_count(self, kind: Optional[str] = None) -> int:
+        return self.hits.get(kind, 0) if kind else sum(self.hits.values())
+
+    def miss_count(self, kind: Optional[str] = None) -> int:
+        return self.misses.get(kind, 0) if kind else sum(self.misses.values())
+
+    def store_count(self, kind: Optional[str] = None) -> int:
+        return self.stores.get(kind, 0) if kind else sum(self.stores.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat totals, used by sweep workers to report per-shard deltas."""
+        return {
+            "hits": self.hit_count(),
+            "misses": self.miss_count(),
+            "stores": self.store_count(),
+            "corrupt_dropped": self.corrupt_dropped,
+            "store_failures": self.store_failures,
+        }
+
+
+class PersistentCharacterizationCache:
+    """Content-hash keyed characterisation store shared via the filesystem.
+
+    Thread-compatibility: callers (the :class:`LibraryCharacterizer`) already
+    serialise access per characteriser; concurrent *processes* are safe by
+    construction -- reads only ever see complete entries because writes are
+    atomic renames, and two processes racing to store the same entry simply
+    overwrite it with identical content.
+    """
+
+    #: Temp files older than this are presumed orphaned by a killed writer.
+    _STALE_TMP_SECONDS = 3600.0
+
+    #: Directories already swept for orphaned temp files in this process.
+    #: Sweep sessions construct one cache instance per derived library, and
+    #: a Monte-Carlo cache directory holds thousands of entries -- one glob
+    #: per directory per process is enough.
+    _swept_directories: set = set()
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory).expanduser() if directory else default_cache_dir()
+        self.stats = DiskCacheStats()
+        if self.directory not in self._swept_directories:
+            self._swept_directories.add(self.directory)
+            self._sweep_stale_tmp_files()
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Drop temp files orphaned by killed writers (best-effort).
+
+        A writer killed between ``mkstemp`` and ``os.replace`` (e.g. a
+        cancelled CI job) leaves a ``.*.tmp`` file behind; only clearly
+        stale ones are removed so an in-flight write is never raced.
+        """
+        if not self.directory.is_dir():
+            return
+        cutoff = time.time() - self._STALE_TMP_SECONDS
+        for path in self.directory.glob(".*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ paths
+
+    def path_for(self, fingerprint: str, key: Tuple) -> Path:
+        """The entry file for one characterisation key (kind-prefixed)."""
+        kind = str(key[0])
+        return self.directory / f"{kind}-{_entry_hash(fingerprint, key)}.npz"
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+    def clear(self) -> int:
+        """Delete every entry (and temp leftovers); returns entries removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.npz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob(".*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    # ------------------------------------------------------------------- get
+
+    def get(self, fingerprint: str, key: Tuple):
+        """Load the entry for ``key`` or return :data:`MISSING`.
+
+        A present-but-unreadable entry (truncated write, bad zip, format
+        drift) is counted in ``stats.corrupt_dropped``, deleted best-effort
+        and reported as a miss so the caller recomputes it.
+        """
+        kind = str(key[0])
+        path = self.path_for(fingerprint, key)
+        if not path.is_file():
+            self.stats._bump(self.stats.misses, kind)
+            return MISSING
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(str(payload["__meta__"]))
+                tag = meta["model"]
+                cls = _MODEL_CLASSES[tag]
+                arrays = {
+                    name: payload[name]
+                    for name in payload.files
+                    if name != "__meta__"
+                }
+                value = _model_from_payload(cls, arrays, meta["fields"])
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            TypeError,
+            EOFError,
+            zipfile.BadZipFile,
+            json.JSONDecodeError,
+        ):
+            self.stats.corrupt_dropped += 1
+            self.stats._bump(self.stats.misses, kind)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISSING
+        self.stats._bump(self.stats.hits, kind)
+        return value
+
+    # ------------------------------------------------------------------- put
+
+    def put(self, fingerprint: str, key: Tuple, value: Any) -> bool:
+        """Store ``value`` under ``key`` (best-effort; returns success).
+
+        Unknown model types are skipped silently -- a characteriser may cache
+        richer objects in memory than this store knows how to persist.
+        """
+        tag = _MODEL_TAGS.get(type(value))
+        if tag is None:
+            return False
+        kind = str(key[0])
+        arrays, meta_fields = _model_to_payload(value)
+        meta = {"model": tag, "format": _FORMAT_VERSION, "fields": meta_fields}
+        buffer = io.BytesIO()
+        np.savez(buffer, __meta__=json.dumps(meta, sort_keys=True), **arrays)
+        path = self.path_for(fingerprint, key)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{path.stem}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(buffer.getvalue())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.store_failures += 1
+            return False
+        self.stats._bump(self.stats.stores, kind)
+        return True
+
+    # --------------------------------------------------------------- summary
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"PersistentCharacterizationCache at {self.directory}: "
+            f"{len(self)} entries, {s.hit_count()} hits, {s.miss_count()} misses, "
+            f"{s.store_count()} stores, {s.corrupt_dropped} corrupt dropped"
+        )

@@ -1,0 +1,58 @@
+"""Scenario sweeps: corners, geometry variants and Monte-Carlo variation.
+
+This package turns a single noise cluster into a design-space sweep and
+executes it at scale:
+
+* :class:`ScenarioSpace` expands axes -- process corners
+  (:func:`repro.technology.apply_corner`), wire-geometry variants and
+  seeded Monte-Carlo parameter variation -- into concrete, picklable
+  :class:`Scenario` objects;
+* :class:`SweepRunner` shards the scenarios across worker processes with
+  per-worker session reuse and (via ``AnalysisConfig.cache_dir``) a
+  persistent characterisation cache shared through the filesystem;
+* :class:`SweepReport` aggregates per-scenario scalar results into
+  worst-case noise per axis value, NRC failure counts and
+  method-vs-golden error distributions.
+
+Quick start::
+
+    from repro.api import AnalysisConfig
+    from repro.experiments import table1_cluster
+    from repro.scenarios import MonteCarloModel, ScenarioSpace, SweepRunner
+
+    space = ScenarioSpace(
+        base=table1_cluster(),
+        technology="cmos130",
+        corners=("tt", "ff", "ss"),
+        monte_carlo=MonteCarloModel(num_samples=8, seed=42),
+    )
+    runner = SweepRunner(
+        AnalysisConfig(methods=("macromodel",), cache_dir="auto"),
+        num_workers=4,
+    )
+    report = runner.run(space)
+    print(report.text())
+"""
+
+from .report import AxisStats, ScenarioResult, SweepReport
+from .runner import SweepRunner, reset_worker_sessions
+from .space import (
+    GeometryVariant,
+    MonteCarloModel,
+    ParameterVariation,
+    Scenario,
+    ScenarioSpace,
+)
+
+__all__ = [
+    "GeometryVariant",
+    "MonteCarloModel",
+    "ParameterVariation",
+    "Scenario",
+    "ScenarioSpace",
+    "ScenarioResult",
+    "AxisStats",
+    "SweepReport",
+    "SweepRunner",
+    "reset_worker_sessions",
+]

@@ -1,0 +1,244 @@
+"""Sharded multiprocess execution of scenario sweeps.
+
+The :class:`SweepRunner` takes the scenarios of a
+:class:`~repro.scenarios.space.ScenarioSpace`, groups them by the library
+they analyse against (same technology + corner + variation), slices the
+groups into shards and fans the shards out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Worker economics:
+
+* every payload crossing the process boundary is a small picklable value
+  (scenarios carry specs and parameter draws, results carry scalar
+  metrics -- never waveforms);
+* each worker process keeps a per-process session cache keyed by
+  :meth:`Scenario.session_key`, so consecutive scenarios against the same
+  derived library reuse its characterised models instead of rebuilding
+  them;
+* with a configured persistent cache (``AnalysisConfig.cache_dir``) the
+  characterised models are shared *across* processes and across runs
+  through the filesystem, which is what makes a warm parallel sweep
+  dramatically faster than a cold serial one.
+
+A failing scenario never aborts the sweep: the failure is captured as a
+structured error on its :class:`~repro.scenarios.report.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..api.config import AnalysisConfig
+from ..api.session import NoiseAnalysisSession
+from .report import ScenarioResult, SweepReport
+from .space import Scenario, ScenarioSpace
+
+__all__ = ["SweepRunner", "reset_worker_sessions"]
+
+#: Per-process session cache: one characterised session per derived library.
+_WORKER_SESSIONS: Dict[Tuple, NoiseAnalysisSession] = {}
+
+#: Keep at most this many sessions alive per worker (a Monte-Carlo sweep
+#: creates one distinct library per sample; unbounded growth would hold
+#: every characterised model of the whole sweep in one process).
+_MAX_WORKER_SESSIONS = 32
+
+
+def reset_worker_sessions() -> None:
+    """Drop this process's session cache.
+
+    Benchmarks call this between timed phases so a "cold" serial run in the
+    same process really starts cold; worker processes never need it.
+    """
+    _WORKER_SESSIONS.clear()
+
+
+def _session_for(scenario: Scenario, config: AnalysisConfig) -> NoiseAnalysisSession:
+    key = (scenario.session_key(), config)
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        if len(_WORKER_SESSIONS) >= _MAX_WORKER_SESSIONS:
+            _WORKER_SESSIONS.pop(next(iter(_WORKER_SESSIONS)))
+        session = NoiseAnalysisSession(scenario.build_library(), config)
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _worker_cache_totals() -> Dict[str, int]:
+    """Summed cache counters over every session alive in this process."""
+    totals = {
+        "characterizations": 0,
+        "disk_hits": 0,
+        "disk_misses": 0,
+        "disk_stores": 0,
+        "corrupt_dropped": 0,
+        "store_failures": 0,
+    }
+    for session in _WORKER_SESSIONS.values():
+        totals["characterizations"] += session.characterizer.stats.miss_count()
+        disk = session.characterizer.disk_cache
+        if disk is not None:
+            snapshot = disk.stats.snapshot()
+            totals["disk_hits"] += snapshot["hits"]
+            totals["disk_misses"] += snapshot["misses"]
+            totals["disk_stores"] += snapshot["stores"]
+            totals["corrupt_dropped"] += snapshot["corrupt_dropped"]
+            totals["store_failures"] += snapshot["store_failures"]
+    return totals
+
+
+def _analyze_scenario(scenario: Scenario, config: AnalysisConfig) -> ScenarioResult:
+    """Run one scenario; failures become structured per-scenario errors."""
+    start = time.perf_counter()
+    try:
+        session = _session_for(scenario, config)
+        report = session.analyze(scenario.cluster, label=scenario.scenario_id)
+    except Exception as exc:
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id,
+            axes=scenario.axes(),
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback_text=traceback.format_exc(),
+            runtime_seconds=time.perf_counter() - start,
+        )
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        axes=scenario.axes(),
+        peaks={name: result.peak for name, result in report.results.items()},
+        areas_v_ps={name: result.area_v_ps for name, result in report.results.items()},
+        widths_ps={name: result.width_ps for name, result in report.results.items()},
+        nrc_fails={name: check.fails for name, check in report.nrc_checks.items()},
+        runtime_seconds=time.perf_counter() - start,
+    )
+
+
+def _run_shard(
+    payload: Tuple[Tuple[Tuple[int, Scenario], ...], AnalysisConfig]
+) -> Tuple[List[Tuple[int, ScenarioResult]], Dict[str, int]]:
+    """Worker entry point: run one shard, report results + cache deltas."""
+    indexed_scenarios, config = payload
+    before = _worker_cache_totals()
+    results = [
+        (index, _analyze_scenario(scenario, config))
+        for index, scenario in indexed_scenarios
+    ]
+    after = _worker_cache_totals()
+    # Session eviction can drop counters between snapshots; clamp so the
+    # aggregate never goes negative.
+    delta = {key: max(0, after[key] - before.get(key, 0)) for key in after}
+    return results, delta
+
+
+class SweepRunner:
+    """Shard a scenario sweep across worker processes and aggregate it.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.api.AnalysisConfig` every scenario is analysed
+        with.  Set ``cache_dir`` on it to share characterisation across
+        workers and runs; leave ``max_workers`` at 1 (process parallelism
+        happens here, thread parallelism inside a worker rarely pays).
+    num_workers:
+        Worker process count; 1 runs everything in this process (no pool,
+        no pickling -- the mode unit tests and baselines use).
+    shard_size:
+        Scenarios per shard.  Defaults to spreading the sweep over roughly
+        four shards per worker (bounds scheduling overhead while keeping
+        the pool busy when shard runtimes differ).
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g. a "spawn" context)
+        forwarded to the pool.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        *,
+        num_workers: int = 1,
+        shard_size: Optional[int] = None,
+        mp_context=None,
+    ):
+        self.config = config or AnalysisConfig()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be at least 1, got {num_workers}")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+        self.num_workers = num_workers
+        self.shard_size = shard_size
+        self.mp_context = mp_context
+
+    # ---------------------------------------------------------------- shards
+
+    def _make_shards(
+        self, scenarios: Sequence[Scenario]
+    ) -> List[Tuple[Tuple[int, Scenario], ...]]:
+        """Group scenarios by session key, then slice into shards.
+
+        Grouping keeps scenarios that share a derived library adjacent, so
+        a shard (and therefore a worker) characterises each library at most
+        once; the original indices ride along to restore input order.
+        """
+        order: Dict[Tuple, List[Tuple[int, Scenario]]] = {}
+        for index, scenario in enumerate(scenarios):
+            order.setdefault(scenario.session_key(), []).append((index, scenario))
+        grouped = [pair for group in order.values() for pair in group]
+
+        if self.shard_size is not None:
+            size = self.shard_size
+        else:
+            size = max(1, -(-len(grouped) // (self.num_workers * 4)))
+        return [
+            tuple(grouped[start:start + size])
+            for start in range(0, len(grouped), size)
+        ]
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self, scenarios: Union[ScenarioSpace, Sequence[Scenario]]
+    ) -> SweepReport:
+        """Execute the sweep and aggregate everything into a report.
+
+        ``scenarios`` is a :class:`ScenarioSpace` (expanded here) or an
+        already-expanded scenario sequence.  Results keep the input order
+        regardless of sharding; the same scenarios with the same seeds
+        produce the same report numbers at any worker count.
+        """
+        if isinstance(scenarios, ScenarioSpace):
+            scenarios = scenarios.expand()
+        scenarios = list(scenarios)
+        start = time.perf_counter()
+        shards = self._make_shards(scenarios)
+        cache_stats: Dict[str, int] = {}
+        indexed_results: List[Tuple[int, ScenarioResult]] = []
+
+        if self.num_workers == 1 or len(scenarios) <= 1:
+            for shard in shards:
+                results, delta = _run_shard((shard, self.config))
+                indexed_results.extend(results)
+                for key, value in delta.items():
+                    cache_stats[key] = cache_stats.get(key, 0) + value
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.num_workers, mp_context=self.mp_context
+            ) as pool:
+                payloads = [(shard, self.config) for shard in shards]
+                for results, delta in pool.map(_run_shard, payloads):
+                    indexed_results.extend(results)
+                    for key, value in delta.items():
+                        cache_stats[key] = cache_stats.get(key, 0) + value
+
+        indexed_results.sort(key=lambda pair: pair[0])
+        return SweepReport(
+            [result for _, result in indexed_results],
+            methods=self.config.methods,
+            elapsed_seconds=time.perf_counter() - start,
+            num_workers=self.num_workers,
+            num_shards=len(shards),
+            cache_stats=cache_stats,
+        )

@@ -1,0 +1,348 @@
+"""Scenario spaces: corners x geometry x Monte-Carlo variation.
+
+The paper evaluates single scenarios -- one technology, one cluster
+topology per table row.  A :class:`ScenarioSpace` turns one such cluster
+into a *design-space sweep*: the cross product of
+
+* **process corners** (:mod:`repro.technology.process` --
+  fast/slow/typical device scaling with supply and temperature derating),
+* **geometry variants** (wire-length, coupled-length and spacing scaling
+  of the cluster's :class:`~repro.interconnect.geometry.ParallelBusGeometry`),
+* **seeded Monte-Carlo parameter variation** (per-sample device ``kp`` /
+  ``vto`` and wire-capacitance perturbations),
+
+expanded into concrete, picklable :class:`Scenario` objects that a
+:class:`~repro.scenarios.runner.SweepRunner` shards across worker
+processes.
+
+Determinism: Monte-Carlo sample ``i`` of a space seeded with ``seed`` is
+drawn from ``numpy.random.default_rng([seed, i])`` -- it depends only on
+``(seed, i)``, never on expansion order, worker count or sharding, so the
+same space always produces the same scenarios and the same sweep numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..noise.cluster import NoiseClusterSpec
+from ..technology.library import CellLibrary, build_default_library
+from ..technology.process import (
+    ProcessCorner,
+    Technology,
+    apply_corner,
+    get_corner,
+    get_technology,
+)
+
+__all__ = [
+    "GeometryVariant",
+    "MonteCarloModel",
+    "ParameterVariation",
+    "Scenario",
+    "ScenarioSpace",
+]
+
+#: Threshold floor a Monte-Carlo draw may not cross (enhancement mode).
+_MIN_VTO = 0.05
+
+
+@dataclass(frozen=True)
+class GeometryVariant:
+    """One point on the wire-geometry axis of a scenario space.
+
+    ``length_scale`` multiplies every wire length of the cluster;
+    ``coupling_scale`` additionally scales the *coupled* run length (values
+    below 1 model aggressors that run alongside the victim for only part of
+    the route); ``spacing_factor`` overrides the bus spacing (2.0 = double
+    spacing, roughly halving the coupling capacitance).
+    """
+
+    label: str
+    length_scale: float = 1.0
+    coupling_scale: float = 1.0
+    spacing_factor: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.label:
+            raise ValueError("geometry variant label must be non-empty")
+        if self.length_scale <= 0 or self.coupling_scale <= 0:
+            raise ValueError(
+                f"geometry variant {self.label!r}: scales must be positive"
+            )
+        if self.coupling_scale > 1.0:
+            raise ValueError(
+                f"geometry variant {self.label!r}: coupling_scale cannot exceed 1 "
+                f"(a wire cannot couple over more than its length)"
+            )
+        if self.spacing_factor is not None and self.spacing_factor <= 0:
+            raise ValueError(
+                f"geometry variant {self.label!r}: spacing_factor must be positive"
+            )
+
+    def apply_to(self, spec: NoiseClusterSpec) -> NoiseClusterSpec:
+        """The cluster spec with this variant's geometry transformation."""
+        wires = []
+        for wire in spec.geometry.wires:
+            length = wire.length_um * self.length_scale
+            coupled = wire.coupled_length_um * self.length_scale * self.coupling_scale
+            wires.append(
+                dataclasses.replace(
+                    wire, length_um=length, coupled_length_um=min(length, coupled)
+                )
+            )
+        geometry = dataclasses.replace(
+            spec.geometry,
+            wires=wires,
+            spacing_factor=(
+                spec.geometry.spacing_factor
+                if self.spacing_factor is None
+                else self.spacing_factor
+            ),
+        )
+        return dataclasses.replace(spec, geometry=geometry)
+
+
+@dataclass(frozen=True)
+class ParameterVariation:
+    """One sampled set of parameter perturbations (a Monte-Carlo draw).
+
+    ``*_kp_scale`` multiply the device transconductance, ``*_vto_shift``
+    are additive threshold shifts (volts) and ``wire_cap_scale`` multiplies
+    every metal layer's ground and coupling capacitance.
+    """
+
+    nmos_kp_scale: float = 1.0
+    pmos_kp_scale: float = 1.0
+    nmos_vto_shift: float = 0.0
+    pmos_vto_shift: float = 0.0
+    wire_cap_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.nmos_kp_scale <= 0 or self.pmos_kp_scale <= 0 or self.wire_cap_scale <= 0:
+            raise ValueError("variation scales must be positive")
+
+    def apply_to(self, technology: Technology, *, tag: str = "") -> Technology:
+        """The technology with this draw's perturbations applied."""
+        nmos = technology.nmos.scaled(
+            kp=technology.nmos.kp * self.nmos_kp_scale,
+            vto=max(_MIN_VTO, technology.nmos.vto + self.nmos_vto_shift),
+        )
+        pmos = technology.pmos.scaled(
+            kp=technology.pmos.kp * self.pmos_kp_scale,
+            vto=max(_MIN_VTO, technology.pmos.vto + self.pmos_vto_shift),
+        )
+        layers = {
+            index: dataclasses.replace(
+                layer,
+                ground_cap_per_um=layer.ground_cap_per_um * self.wire_cap_scale,
+                coupling_cap_per_um=layer.coupling_cap_per_um * self.wire_cap_scale,
+            )
+            for index, layer in technology.metal_layers.items()
+        }
+        return dataclasses.replace(
+            technology,
+            name=technology.name + (f"#{tag}" if tag else "#mc"),
+            nmos=nmos,
+            pmos=pmos,
+            metal_layers=layers,
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloModel:
+    """Seeded Monte-Carlo axis of a scenario space.
+
+    ``kp_sigma`` is the relative (lognormal) sigma of the device
+    transconductance, ``vto_sigma`` the absolute sigma of the threshold
+    shift (volts, NMOS and PMOS drawn independently) and ``wire_cap_sigma``
+    the relative sigma of the wire capacitance scale.
+    """
+
+    num_samples: int
+    seed: int = 0
+    kp_sigma: float = 0.05
+    vto_sigma: float = 0.015
+    wire_cap_sigma: float = 0.05
+
+    def __post_init__(self):
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        for label in ("kp_sigma", "vto_sigma", "wire_cap_sigma"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be non-negative")
+
+    def sample(self, index: int) -> ParameterVariation:
+        """Draw sample ``index``; depends only on ``(seed, index)``."""
+        if not 0 <= index < self.num_samples:
+            raise IndexError(
+                f"sample index {index} out of range [0, {self.num_samples})"
+            )
+        rng = np.random.default_rng([self.seed, index])
+        draw = rng.standard_normal(5)
+        return ParameterVariation(
+            nmos_kp_scale=float(np.exp(draw[0] * self.kp_sigma)),
+            pmos_kp_scale=float(np.exp(draw[1] * self.kp_sigma)),
+            nmos_vto_shift=float(draw[2] * self.vto_sigma),
+            pmos_vto_shift=float(draw[3] * self.vto_sigma),
+            wire_cap_scale=float(np.exp(draw[4] * self.wire_cap_sigma)),
+        )
+
+    def samples(self) -> Iterator[ParameterVariation]:
+        for index in range(self.num_samples):
+            yield self.sample(index)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified point of a scenario space.
+
+    Everything needed to analyse the point is derivable from this object
+    alone (it is picklable and self-contained), which is what lets the
+    sweep runner ship scenarios to worker processes.
+    """
+
+    scenario_id: str
+    base_technology: str
+    corner: ProcessCorner
+    cluster: NoiseClusterSpec
+    geometry_label: str = "nom"
+    variation: Optional[ParameterVariation] = None
+    sample_index: Optional[int] = None
+
+    @property
+    def corner_name(self) -> str:
+        return self.corner.name
+
+    def axes(self) -> Tuple[Tuple[str, str], ...]:
+        """(axis, value) pairs identifying this scenario for aggregation."""
+        sample = "nominal" if self.sample_index is None else f"mc{self.sample_index:03d}"
+        return (
+            ("technology", self.base_technology),
+            ("corner", self.corner.name),
+            ("geometry", self.geometry_label),
+            ("sample", sample),
+        )
+
+    def session_key(self) -> Tuple:
+        """Hashable key of the library this scenario analyses against.
+
+        Scenarios sharing a key can reuse one characterised session; the
+        cluster geometry is deliberately not part of the key (it does not
+        change the cell library).
+        """
+        return (self.base_technology, self.corner, self.variation)
+
+    def derived_technology(self) -> Technology:
+        """The corner- and variation-derived technology of this scenario."""
+        technology = apply_corner(get_technology(self.base_technology), self.corner)
+        if self.variation is not None:
+            tag = "mc" if self.sample_index is None else f"mc{self.sample_index:03d}"
+            technology = self.variation.apply_to(technology, tag=tag)
+        return technology
+
+    def build_library(self) -> CellLibrary:
+        """A standard-cell library in this scenario's derived technology."""
+        return build_default_library(self.derived_technology())
+
+
+@dataclass
+class ScenarioSpace:
+    """The cross product of corner, geometry and Monte-Carlo axes.
+
+    ``corners`` accepts names from
+    :data:`~repro.technology.process.PROCESS_CORNERS` or custom
+    :class:`~repro.technology.process.ProcessCorner` objects (custom corners
+    are registered under their own name in the scenario ids).
+    """
+
+    base: NoiseClusterSpec
+    technology: str = "cmos130"
+    corners: Sequence[Union[str, ProcessCorner]] = ("tt",)
+    geometry: Sequence[GeometryVariant] = (GeometryVariant("nom"),)
+    monte_carlo: Optional[MonteCarloModel] = None
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.corners:
+            raise ValueError("a scenario space needs at least one corner")
+        if not self.geometry:
+            raise ValueError("a scenario space needs at least one geometry variant")
+        labels = [variant.label for variant in self.geometry]
+        if len(set(labels)) != len(labels):
+            raise ValueError("geometry variant labels must be unique")
+        # Resolve names eagerly so typos fail at construction, not mid-sweep.
+        resolved = tuple(get_corner(corner) for corner in self.corners)
+        corner_names = [corner.name for corner in resolved]
+        if len(set(corner_names)) != len(corner_names):
+            raise ValueError("corner names must be unique")
+        get_technology(self.technology)
+        self.corners = resolved
+        self.geometry = tuple(self.geometry)
+        if not self.name:
+            self.name = self.base.name
+
+    def __len__(self) -> int:
+        samples = self.monte_carlo.num_samples if self.monte_carlo else 1
+        return len(self.corners) * len(self.geometry) * samples
+
+    def resolved_corners(self) -> Tuple[ProcessCorner, ...]:
+        """The corner axis as :class:`ProcessCorner` objects.
+
+        ``__post_init__`` already resolved every name, so ``get_corner`` is
+        a passthrough here -- it exists to narrow the declared
+        ``Union[str, ProcessCorner]`` field type for checkers and for any
+        caller mutating ``corners`` after construction.
+        """
+        return tuple(get_corner(corner) for corner in self.corners)
+
+    def expand(self) -> List[Scenario]:
+        """All scenarios of the space, in deterministic axis-major order."""
+        scenarios: List[Scenario] = []
+        for corner in self.resolved_corners():
+            for variant in self.geometry:
+                cluster = variant.apply_to(self.base)
+                prefix = f"{self.name}/{self.technology}/{corner.name}/{variant.label}"
+                if self.monte_carlo is None:
+                    scenarios.append(
+                        Scenario(
+                            scenario_id=prefix,
+                            base_technology=self.technology,
+                            corner=corner,
+                            cluster=cluster,
+                            geometry_label=variant.label,
+                        )
+                    )
+                    continue
+                for index in range(self.monte_carlo.num_samples):
+                    scenarios.append(
+                        Scenario(
+                            scenario_id=f"{prefix}/mc{index:03d}",
+                            base_technology=self.technology,
+                            corner=corner,
+                            cluster=cluster,
+                            geometry_label=variant.label,
+                            variation=self.monte_carlo.sample(index),
+                            sample_index=index,
+                        )
+                    )
+        return scenarios
+
+    def describe(self) -> str:
+        corners = "/".join(corner.name for corner in self.resolved_corners())
+        geometry = "/".join(variant.label for variant in self.geometry)
+        mc = (
+            f", {self.monte_carlo.num_samples} MC samples (seed {self.monte_carlo.seed})"
+            if self.monte_carlo
+            else ""
+        )
+        return (
+            f"ScenarioSpace '{self.name}' on {self.technology}: "
+            f"corners {corners}, geometry {geometry}{mc} -> {len(self)} scenarios"
+        )

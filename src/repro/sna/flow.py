@@ -183,6 +183,9 @@ class StaticNoiseAnalysisFlow:
         )
         session_report = self.session.run_design(
             self.design,
+            # The shim predates batch error collection: a failing cluster
+            # must propagate its original exception, as this API always did.
+            on_error="raise",
             extractor=self.extractor,
             methods=(method,),
             dt=dt,

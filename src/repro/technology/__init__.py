@@ -9,11 +9,28 @@ pull-network descriptions.
 from .cells import NoiseArc, StandardCell, default_cell_set
 from .library import CellLibrary, build_default_library
 from .network import Leaf, Parallel, PullNetwork, Series
-from .process import MetalLayer, Technology, TECHNOLOGIES, cmos130, cmos90, get_technology
+from .process import (
+    MetalLayer,
+    PROCESS_CORNERS,
+    ProcessCorner,
+    TECHNOLOGIES,
+    Technology,
+    apply_corner,
+    cmos130,
+    cmos90,
+    corner_names,
+    get_corner,
+    get_technology,
+)
 
 __all__ = [
     "Technology",
     "MetalLayer",
+    "ProcessCorner",
+    "PROCESS_CORNERS",
+    "apply_corner",
+    "corner_names",
+    "get_corner",
     "cmos130",
     "cmos90",
     "get_technology",

@@ -21,13 +21,26 @@ values because all three methods share the same devices and wires.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..circuit.mosfet import MOSFETParams
 from ..units import fF, um
 
-__all__ = ["MetalLayer", "Technology", "cmos130", "cmos90", "get_technology", "TECHNOLOGIES"]
+__all__ = [
+    "MetalLayer",
+    "Technology",
+    "ProcessCorner",
+    "PROCESS_CORNERS",
+    "cmos130",
+    "cmos90",
+    "get_technology",
+    "get_corner",
+    "corner_names",
+    "apply_corner",
+    "TECHNOLOGIES",
+]
 
 
 @dataclass(frozen=True)
@@ -255,3 +268,154 @@ def get_technology(name: str) -> Technology:
             f"unknown technology '{name}' (available: {sorted(TECHNOLOGIES)})"
         ) from exc
     return factory()
+
+
+# --------------------------------------------------------------------------
+# Process corners
+# --------------------------------------------------------------------------
+
+#: Nominal characterisation temperature (degrees Celsius).
+NOMINAL_TEMPERATURE_C = 25.0
+
+#: Mobility temperature exponent: kp ~ (T/T0)^-1.5 (Kelvin ratio).
+_MOBILITY_TEMP_EXPONENT = -1.5
+
+#: Threshold-voltage temperature coefficient (V per degree C, magnitude).
+_VTO_TEMP_COEFF = 1.0e-3
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One named process/voltage/temperature corner.
+
+    ``nmos_speed`` / ``pmos_speed`` scale the device transconductance
+    parameter ``kp`` (fast > 1); ``nmos_vto_shift`` / ``pmos_vto_shift`` are
+    threshold shifts in volts (fast corners have *lower* thresholds, so the
+    shift is negative for a fast device).  ``supply_scale`` derates VDD
+    (slow corners pair with a low supply, fast corners with a high one) and
+    ``temperature_c`` is the corner's junction temperature; mobility and
+    threshold are derated from :data:`NOMINAL_TEMPERATURE_C` accordingly.
+    """
+
+    name: str
+    nmos_speed: float = 1.0
+    pmos_speed: float = 1.0
+    nmos_vto_shift: float = 0.0
+    pmos_vto_shift: float = 0.0
+    supply_scale: float = 1.0
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("corner name must be non-empty")
+        for label in ("nmos_speed", "pmos_speed", "supply_scale"):
+            if getattr(self, label) <= 0:
+                raise ValueError(f"corner {self.name!r}: {label} must be positive")
+
+
+#: The canonical five device corners plus their conventional supply and
+#: temperature pairing (fast corners: high VDD, cold; slow: low VDD, hot).
+PROCESS_CORNERS: Dict[str, ProcessCorner] = {
+    corner.name: corner
+    for corner in (
+        ProcessCorner("tt"),
+        ProcessCorner(
+            "ff",
+            nmos_speed=1.15,
+            pmos_speed=1.15,
+            nmos_vto_shift=-0.03,
+            pmos_vto_shift=-0.03,
+            supply_scale=1.10,
+            temperature_c=0.0,
+        ),
+        ProcessCorner(
+            "ss",
+            nmos_speed=0.85,
+            pmos_speed=0.85,
+            nmos_vto_shift=+0.03,
+            pmos_vto_shift=+0.03,
+            supply_scale=0.90,
+            temperature_c=125.0,
+        ),
+        ProcessCorner(
+            "fs",
+            nmos_speed=1.15,
+            pmos_speed=0.85,
+            nmos_vto_shift=-0.03,
+            pmos_vto_shift=+0.03,
+        ),
+        ProcessCorner(
+            "sf",
+            nmos_speed=0.85,
+            pmos_speed=1.15,
+            nmos_vto_shift=+0.03,
+            pmos_vto_shift=-0.03,
+        ),
+    )
+}
+
+
+def corner_names() -> list:
+    """Names of the built-in process corners, nominal first."""
+    return list(PROCESS_CORNERS)
+
+
+def get_corner(corner) -> ProcessCorner:
+    """Resolve a corner given by name or as a :class:`ProcessCorner`."""
+    if isinstance(corner, ProcessCorner):
+        return corner
+    try:
+        return PROCESS_CORNERS[corner]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown process corner {corner!r} (available: {sorted(PROCESS_CORNERS)})"
+        ) from exc
+
+
+def _derate_device(
+    params: MOSFETParams, speed: float, vto_shift: float, temperature_c: float
+) -> MOSFETParams:
+    """Apply corner speed/threshold scaling plus temperature derating."""
+    t_ratio = (temperature_c + 273.15) / (NOMINAL_TEMPERATURE_C + 273.15)
+    kp = params.kp * speed * t_ratio ** _MOBILITY_TEMP_EXPONENT
+    vto = params.vto + vto_shift - _VTO_TEMP_COEFF * (temperature_c - NOMINAL_TEMPERATURE_C)
+    if vto <= 0.0:
+        raise ValueError(
+            f"corner derating drives the {params.polarity}-device threshold to "
+            f"{vto:.3f} V; corners must keep devices in enhancement mode"
+        )
+    return params.scaled(kp=kp, vto=vto)
+
+
+def apply_corner(
+    technology: Technology,
+    corner,
+    *,
+    temperature_c: Optional[float] = None,
+) -> Technology:
+    """Derive the technology at a process corner.
+
+    ``corner`` is a name from :data:`PROCESS_CORNERS` or a custom
+    :class:`ProcessCorner`.  ``temperature_c`` overrides the corner's own
+    temperature.  The derived technology is renamed ``"<base>@<corner>"``
+    -- plus a ``@<T>C`` suffix when the temperature is overridden -- so
+    characterisation caches keyed by technology name never mix corner or
+    temperature variants.
+    """
+    corner = get_corner(corner)
+    temperature = corner.temperature_c if temperature_c is None else temperature_c
+    name = f"{technology.name}@{corner.name}"
+    if temperature != corner.temperature_c:
+        name += f"@{temperature:g}C"
+    derived = dataclasses.replace(
+        technology,
+        name=name,
+        vdd=technology.vdd * corner.supply_scale,
+        nmos=_derate_device(
+            technology.nmos, corner.nmos_speed, corner.nmos_vto_shift, temperature
+        ),
+        pmos=_derate_device(
+            technology.pmos, corner.pmos_speed, corner.pmos_vto_shift, temperature
+        ),
+    )
+    return derived

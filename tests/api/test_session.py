@@ -1,14 +1,19 @@
 """Tests for AnalysisConfig and the unified NoiseAnalysisSession."""
 
+import dataclasses
+
 import pytest
 
 from repro.api import (
     AnalysisConfig,
+    ClusterError,
     ClusterReport,
     NoiseAnalysisSession,
     SessionReport,
     UnknownMethodError,
     list_methods,
+    register_method,
+    unregister_method,
 )
 from repro.experiments import accuracy_sweep_clusters, paper_session
 from repro.noise import InputGlitchSpec
@@ -158,6 +163,97 @@ class TestAnalyzeMany:
     def test_invalid_worker_count_rejected(self, session, sweep_cases):
         with pytest.raises(ValueError, match="max_workers"):
             session.analyze_many([sweep_cases[0].spec], max_workers=0)
+
+
+class TestAnalyzeManyErrorCollection:
+    @pytest.fixture()
+    def failing_spec(self, sweep_cases):
+        """A spec whose victim driver does not exist -> fails at analysis."""
+        spec = sweep_cases[0].spec
+        return dataclasses.replace(
+            spec,
+            victim=dataclasses.replace(spec.victim, driver_cell="GHOST_X1"),
+            name="ghost_cluster",
+        )
+
+    def test_failure_surfaces_as_structured_per_item_error(
+        self, session, sweep_cases, failing_spec
+    ):
+        good = sweep_cases[0].spec
+        reports = session.analyze_many([good, failing_spec, good], dt=2e-12)
+        assert len(reports) == 3
+        assert [report.ok for report in reports] == [True, False, True]
+        failed = reports[1]
+        assert isinstance(failed.error, ClusterError)
+        assert failed.error.exception_type == "KeyError"
+        assert "GHOST_X1" in failed.error.message
+        assert "GHOST_X1" in failed.error.traceback_text
+        assert failed.label == "ghost_cluster"
+        assert failed.results == {} and failed.nrc_check() is None
+        assert not failed.fails
+        assert "ERROR" in failed.summary()
+        with pytest.raises(ValueError, match="ghost_cluster"):
+            failed.primary_method
+
+    def test_parallel_batch_collects_errors_too(self, session, sweep_cases, failing_spec):
+        good = sweep_cases[0].spec
+        reports = session.analyze_many(
+            [good, failing_spec, good], dt=2e-12, max_workers=3
+        )
+        assert [report.ok for report in reports] == [True, False, True]
+        assert reports[1].error is not None
+
+    def test_on_error_raise_propagates(self, session, sweep_cases, failing_spec):
+        with pytest.raises(KeyError, match="GHOST_X1"):
+            session.analyze_many(
+                [sweep_cases[0].spec, failing_spec], dt=2e-12, on_error="raise"
+            )
+
+    def test_invalid_on_error_rejected(self, session, sweep_cases):
+        with pytest.raises(ValueError, match="on_error"):
+            session.analyze_many([sweep_cases[0].spec], on_error="ignore")
+
+    def test_method_level_failure_collected(self, library, sweep_cases):
+        """A registered-but-broken backend fails per cluster, not per batch."""
+
+        class _Broken:
+            method_name = "broken"
+
+            def analyze(self, spec, *, dt=None, t_stop=None, builder=None):
+                raise RuntimeError(f"backend exploded on {spec.name}")
+
+        register_method("broken", description="always fails")(lambda context: _Broken())
+        try:
+            session = NoiseAnalysisSession(
+                library, AnalysisConfig(methods=("broken",), check_nrc=False)
+            )
+            reports = session.analyze_many([case.spec for case in sweep_cases])
+            assert all(not report.ok for report in reports)
+            assert all(
+                report.error.exception_type == "RuntimeError" for report in reports
+            )
+            # The failure is attributed to the backend that raised, and
+            # result lookups point at it instead of a bare KeyError.
+            assert all(report.error.method == "broken" for report in reports)
+            assert "broken" in reports[0].error.summary()
+            with pytest.raises(KeyError, match="failed.*RuntimeError"):
+                reports[0].result("broken")
+        finally:
+            unregister_method("broken")
+
+    def test_session_report_text_shows_errors(self, session, sweep_cases, failing_spec):
+        reports = session.analyze_many([sweep_cases[0].spec, failing_spec], dt=2e-12)
+        report = SessionReport(
+            clusters=reports,
+            methods=("macromodel",),
+            total_runtime_seconds=0.0,
+        )
+        assert len(report.errors) == 1
+        text = report.text()
+        assert "ERROR" in text and "errors: 1 / 2" in text
+        # A crashed cluster must never read as a clean sign-off, even with
+        # zero NRC violations.
+        assert not report.violations and not report.ok
 
 
 class TestRunDesign:

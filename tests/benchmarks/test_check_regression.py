@@ -1,0 +1,85 @@
+"""The CI perf gate must fail on an injected slowdown and pass otherwise."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_MODULE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+BASELINE = {"summary": {"linear_speedup_geomean": 8.0, "linear_speedup_min": 4.0}}
+
+
+@pytest.fixture()
+def baseline_path(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(BASELINE))
+    return path
+
+
+def write_current(tmp_path, geomean):
+    path = tmp_path / "current.json"
+    path.write_text(json.dumps({"summary": {"linear_speedup_geomean": geomean}}))
+    return path
+
+
+def run_gate(baseline_path, current_path, *extra):
+    return check_regression.main(
+        ["--baseline", str(baseline_path), "--current", str(current_path), *extra]
+    )
+
+
+class TestGateVerdicts:
+    def test_injected_slowdown_fails(self, tmp_path, baseline_path, capsys):
+        # A 2x slowdown (8.0 -> 4.0) is far beyond the 30% budget.
+        current = write_current(tmp_path, 4.0)
+        assert run_gate(baseline_path, current) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err and "regressed" in captured.err
+
+    def test_boundary_cases(self, tmp_path, baseline_path):
+        # Exactly at the floor passes; just below fails.
+        assert run_gate(baseline_path, write_current(tmp_path, 8.0 * 0.70)) == 0
+        assert run_gate(baseline_path, write_current(tmp_path, 8.0 * 0.699)) == 1
+
+    def test_equal_and_faster_pass(self, tmp_path, baseline_path):
+        assert run_gate(baseline_path, write_current(tmp_path, 8.0)) == 0
+        assert run_gate(baseline_path, write_current(tmp_path, 16.0)) == 0
+
+    def test_noise_within_budget_passes(self, tmp_path, baseline_path):
+        assert run_gate(baseline_path, write_current(tmp_path, 8.0 * 0.85)) == 0
+
+    def test_custom_metric_and_budget(self, tmp_path, baseline_path):
+        current = write_current(tmp_path, 0.0)  # irrelevant metric value
+        code = check_regression.main(
+            [
+                "--baseline", str(baseline_path),
+                "--current", str(baseline_path),  # compare baseline to itself
+                "--metric", "summary.linear_speedup_min",
+                "--max-regression", "0.0",
+            ]
+        )
+        assert code == 0
+        assert current.exists()
+
+
+class TestGateErrors:
+    def test_missing_metric_is_a_config_error(self, tmp_path, baseline_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"summary": {}}))
+        assert run_gate(baseline_path, current) == 2
+
+    def test_missing_file_is_a_config_error(self, tmp_path, baseline_path):
+        assert run_gate(baseline_path, tmp_path / "nope.json") == 2
+
+    def test_non_numeric_metric_is_a_config_error(self, tmp_path, baseline_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"summary": {"linear_speedup_geomean": "fast"}}))
+        assert run_gate(baseline_path, current) == 2

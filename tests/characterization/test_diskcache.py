@@ -1,0 +1,260 @@
+"""Persistent characterisation cache: accounting, corruption, cross-process."""
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    LibraryCharacterizer,
+    PersistentCharacterizationCache,
+    default_cache_dir,
+    technology_fingerprint,
+)
+from repro.characterization.diskcache import MISSING, CACHE_DIR_ENV
+from repro.technology import apply_corner, build_default_library, get_technology
+
+GRID = 5  # smallest useful VCCS grid: keeps characterisation runs cheap
+
+
+@pytest.fixture()
+def library():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture()
+def arc(library):
+    return library.cell("NAND2_X1").noise_arcs(output_high=False)[0]
+
+
+def make_characterizer(tmp_path, library=None):
+    return LibraryCharacterizer(
+        library if library is not None else build_default_library("cmos130"),
+        vccs_grid=GRID,
+        disk_cache=PersistentCharacterizationCache(tmp_path),
+    )
+
+
+class TestDefaultLocation:
+    def test_env_var_overrides(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_falls_back_to_user_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_dir()).endswith(".cache/repro")
+
+
+class TestColdWarmAccounting:
+    def test_cold_run_stores_then_warm_run_hits(self, tmp_path, library, arc):
+        cold = make_characterizer(tmp_path, library)
+        surface = cold.load_surface("NAND2_X1", arc)
+        thevenin = cold.thevenin_driver("INV_X2", rising=True)
+        snap = cold.disk_cache.stats.snapshot()
+        assert snap["misses"] == 2 and snap["stores"] == 2 and snap["hits"] == 0
+        assert cold.stats.miss_count() == 2  # both actually characterised
+
+        # A fresh characteriser on a fresh library simulates a new process.
+        warm = make_characterizer(tmp_path)
+        surface2 = warm.load_surface("NAND2_X1", arc)
+        thevenin2 = warm.thevenin_driver("INV_X2", rising=True)
+        snap = warm.disk_cache.stats.snapshot()
+        assert snap["hits"] == 2 and snap["misses"] == 0 and snap["stores"] == 0
+        # Disk hits are neither memory hits nor expensive recomputes.
+        assert warm.stats.miss_count() == 0
+        assert warm.stats.disk_hit_count() == 2
+
+        np.testing.assert_array_equal(surface.current, surface2.current)
+        np.testing.assert_array_equal(surface.vin_grid, surface2.vin_grid)
+        assert surface.side_inputs == surface2.side_inputs
+        assert thevenin == thevenin2  # frozen dataclass: full field equality
+
+        # Second access in the same characteriser stays in memory.
+        warm.load_surface("NAND2_X1", arc)
+        assert warm.disk_cache.stats.snapshot()["hits"] == 2
+        assert warm.stats.hit_count("vccs") == 1
+
+    def test_distinct_technologies_do_not_share_entries(self, tmp_path, arc):
+        base = make_characterizer(tmp_path)
+        base.load_surface("NAND2_X1", arc)
+        corner_lib = build_default_library(apply_corner(get_technology("cmos130"), "ss"))
+        corner = make_characterizer(tmp_path, corner_lib)
+        corner_arc = corner_lib.cell("NAND2_X1").noise_arcs(output_high=False)[0]
+        surface = corner.load_surface("NAND2_X1", corner_arc)
+        # Same key tuple, different fingerprint -> a miss, then a store.
+        snap = corner.disk_cache.stats.snapshot()
+        assert snap["misses"] == 1 and snap["stores"] == 1
+        assert len(corner.disk_cache) == 2
+        assert surface.vdd == pytest.approx(1.2 * 0.9)
+
+    def test_fingerprint_tracks_parameters_not_name(self):
+        base = get_technology("cmos130")
+        assert technology_fingerprint(base) == technology_fingerprint(
+            get_technology("cmos130")
+        )
+        assert technology_fingerprint(base) != technology_fingerprint(
+            apply_corner(base, "ss")
+        )
+
+    def test_same_named_cells_with_different_definitions_never_share(
+        self, tmp_path, library, arc
+    ):
+        """The entry key covers the cell definition, not just its name."""
+        default = make_characterizer(tmp_path, library)
+        surface = default.load_surface("NAND2_X1", arc)
+
+        # A custom library redefining NAND2_X1 at double strength in the
+        # *same* technology must not read the default library's entry back.
+        from repro.technology import CellLibrary, StandardCell
+        from repro.technology.network import Leaf
+
+        custom_lib = CellLibrary(
+            "custom",
+            get_technology("cmos130"),
+            [
+                StandardCell(
+                    "NAND2_X1", Leaf("A") & Leaf("B"), strength=2.0,
+                    description="double-strength impostor",
+                )
+            ],
+        )
+        custom = make_characterizer(tmp_path, custom_lib)
+        custom_arc = custom_lib.cell("NAND2_X1").noise_arcs(output_high=False)[0]
+        impostor = custom.load_surface("NAND2_X1", custom_arc)
+        snap = custom.disk_cache.stats.snapshot()
+        assert snap["hits"] == 0 and snap["misses"] == 1 and snap["stores"] == 1
+        # Double strength -> roughly double the holding current.
+        assert np.abs(impostor.current).max() > 1.5 * np.abs(surface.current).max()
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_recomputes_and_heals(self, tmp_path, library, arc):
+        cold = make_characterizer(tmp_path, library)
+        surface = cold.load_surface("NAND2_X1", arc)
+        entry = next(iter(tmp_path.glob("vccs-*.npz")))
+        entry.write_bytes(entry.read_bytes()[:50])  # torn write / bad copy
+
+        warm = make_characterizer(tmp_path)
+        healed = warm.load_surface("NAND2_X1", arc)
+        snap = warm.disk_cache.stats.snapshot()
+        assert snap["corrupt_dropped"] == 1
+        assert snap["misses"] == 1 and snap["stores"] == 1  # recomputed + re-stored
+        assert warm.stats.miss_count("vccs") == 1
+        np.testing.assert_array_equal(surface.current, healed.current)
+
+        # The healed entry is readable again.
+        third = make_characterizer(tmp_path)
+        third.load_surface("NAND2_X1", arc)
+        assert third.disk_cache.stats.snapshot()["hits"] == 1
+
+    def test_garbage_json_metadata_is_dropped(self, tmp_path, library, arc):
+        cold = make_characterizer(tmp_path, library)
+        cold.load_surface("NAND2_X1", arc)
+        entry = next(iter(tmp_path.glob("vccs-*.npz")))
+        np.savez(entry, __meta__="not json{", junk=np.zeros(3))
+
+        warm = make_characterizer(tmp_path)
+        warm.load_surface("NAND2_X1", arc)
+        assert warm.disk_cache.stats.snapshot()["corrupt_dropped"] == 1
+
+    def test_get_returns_missing_for_absent_key(self, tmp_path):
+        cache = PersistentCharacterizationCache(tmp_path)
+        assert cache.get("fp", ("vccs", "nothing")) is MISSING
+
+    def test_unknown_value_types_are_skipped(self, tmp_path):
+        cache = PersistentCharacterizationCache(tmp_path)
+        assert cache.put("fp", ("vccs", "x"), {"not": "a model"}) is False
+        assert len(cache) == 0
+
+    def test_orphaned_tmp_files_are_swept(self, tmp_path, library, arc):
+        stale = tmp_path / ".vccs-deadbeef-x.tmp"
+        stale.write_bytes(b"half-written")
+        two_hours_ago = stale.stat().st_mtime - 7200
+        os.utime(stale, (two_hours_ago, two_hours_ago))
+        fresh = tmp_path / ".vccs-cafef00d-y.tmp"
+        fresh.write_bytes(b"in-flight write")
+
+        cache = PersistentCharacterizationCache(tmp_path)
+        assert not stale.exists()  # killed writer's leftover: swept
+        assert fresh.exists()  # recent file: never raced
+        cache.clear()
+        assert not fresh.exists()  # clear() drops temp leftovers too
+
+
+def _characterize_in_worker(args):
+    """Module-level worker: characterise one cell arc against a cache dir."""
+    cache_dir, cell_name = args
+    library = build_default_library("cmos130")
+    arc = library.cell(cell_name).noise_arcs(output_high=False)[0]
+    characterizer = LibraryCharacterizer(
+        library, vccs_grid=GRID, disk_cache=PersistentCharacterizationCache(cache_dir)
+    )
+    surface = characterizer.load_surface(cell_name, arc)
+    return (
+        characterizer.stats.miss_count("vccs"),
+        characterizer.stats.disk_hit_count("vccs"),
+        surface.current.tolist(),
+    )
+
+
+class TestCrossProcessSharing:
+    def test_processpool_round_trip(self, tmp_path, library, arc):
+        """A value characterised here is a disk hit in spawned workers."""
+        parent = make_characterizer(tmp_path, library)
+        surface = parent.load_surface("NAND2_X1", arc)
+
+        # Spawn (not fork) so workers cannot inherit in-memory state.
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=2, mp_context=context) as pool:
+            outcomes = list(
+                pool.map(
+                    _characterize_in_worker,
+                    [(str(tmp_path), "NAND2_X1")] * 2,
+                )
+            )
+        for misses, disk_hits, current in outcomes:
+            assert misses == 0  # nothing recomputed in any worker
+            assert disk_hits == 1
+            np.testing.assert_array_equal(np.array(current), surface.current)
+
+    def test_worker_stores_are_visible_to_parent(self, tmp_path):
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            misses, disk_hits, _ = pool.submit(
+                _characterize_in_worker, (str(tmp_path), "INV_X1")
+            ).result()
+        assert misses == 1 and disk_hits == 0
+        warm = make_characterizer(tmp_path)
+        arc = warm.library.cell("INV_X1").noise_arcs(output_high=False)[0]
+        warm.load_surface("INV_X1", arc)
+        assert warm.stats.miss_count() == 0
+        assert warm.disk_cache.stats.snapshot()["hits"] == 1
+
+
+class TestEntrySerialization:
+    def test_all_four_model_kinds_round_trip(self, tmp_path, library, arc):
+        cold = make_characterizer(tmp_path, library)
+        cold.load_surface("NAND2_X1", arc)
+        cold.thevenin_driver("INV_X2", rising=False)
+        cold.noise_rejection_curve("INV_X1")
+        cold.propagation_table("NAND2_X1", arc)
+        assert len(cold.disk_cache) == 4
+
+        warm = make_characterizer(tmp_path)
+        warm.load_surface("NAND2_X1", arc)
+        warm.thevenin_driver("INV_X2", rising=False)
+        warm.noise_rejection_curve("INV_X1")
+        warm.propagation_table("NAND2_X1", arc)
+        assert warm.stats.miss_count() == 0
+        assert warm.disk_cache.stats.snapshot()["hits"] == 4
+
+    def test_entries_are_plain_npz_without_pickles(self, tmp_path, library, arc):
+        make_characterizer(tmp_path, library).load_surface("NAND2_X1", arc)
+        entry = next(iter(tmp_path.glob("vccs-*.npz")))
+        with np.load(entry, allow_pickle=False) as payload:
+            meta = json.loads(str(payload["__meta__"]))
+            assert meta["model"] == "vccs"
+            assert "current" in payload.files

@@ -1,0 +1,167 @@
+"""SweepRunner: sharding, multiprocess parity, errors, reporting."""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+from repro.api import AnalysisConfig
+from repro.experiments import figure1_cluster
+from repro.scenarios import (
+    GeometryVariant,
+    MonteCarloModel,
+    ScenarioSpace,
+    SweepRunner,
+    reset_worker_sessions,
+)
+
+#: Cheap but real analysis settings: no glitch propagation (figure1 cluster),
+#: no NRC, coarse VCCS grid, coarse time step.
+CONFIG = AnalysisConfig(
+    methods=("macromodel",), vccs_grid=5, check_nrc=False, dt=4e-12
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return figure1_cluster(length_um=200.0, num_segments=3)
+
+
+@pytest.fixture(scope="module")
+def small_space(base):
+    return ScenarioSpace(
+        base=base,
+        corners=("tt", "ff"),
+        geometry=(GeometryVariant("nom"), GeometryVariant("half", length_scale=0.5)),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_report(small_space, tmp_path_factory):
+    reset_worker_sessions()
+    config = dataclasses.replace(
+        CONFIG, cache_dir=str(tmp_path_factory.mktemp("sweep-cache"))
+    )
+    return config, SweepRunner(config, num_workers=1).run(small_space)
+
+
+class TestSerialRun:
+    def test_results_complete_and_ordered(self, small_space, serial_report):
+        _, report = serial_report
+        scenarios = small_space.expand()
+        assert len(report) == len(scenarios) == 4
+        assert [r.scenario_id for r in report] == [s.scenario_id for s in scenarios]
+        assert not report.errors
+        for result in report:
+            assert result.ok and result.peaks["macromodel"] != 0.0
+
+    def test_axis_aggregation(self, serial_report):
+        _, report = serial_report
+        by_corner = report.by_axis("corner")
+        assert set(by_corner) == {"tt", "ff"}
+        assert all(stats.count == 2 for stats in by_corner.values())
+        # The fast corner injects more noise than typical.
+        assert abs(by_corner["ff"].worst_peak) > abs(by_corner["tt"].worst_peak)
+        by_geometry = report.by_axis("geometry")
+        # Halving the coupled length reduces the injected noise.
+        assert abs(by_geometry["half"].mean_abs_peak) < abs(
+            by_geometry["nom"].mean_abs_peak
+        )
+
+    def test_worst_case_and_text(self, serial_report):
+        _, report = serial_report
+        worst = report.worst_case()
+        assert abs(worst.peaks["macromodel"]) == max(
+            abs(r.peaks["macromodel"]) for r in report
+        )
+        text = report.text()
+        assert "worst case" in text and "scenarios" in text
+        payload = report.to_json()
+        assert payload["num_scenarios"] == 4 and payload["num_errors"] == 0
+
+    def test_cache_stats_recorded(self, serial_report):
+        _, report = serial_report
+        # Two corners -> two libraries characterised, everything stored.
+        assert report.cache_stats["characterizations"] > 0
+        assert report.cache_stats["disk_stores"] == report.cache_stats["characterizations"]
+
+    def test_result_lookup(self, serial_report):
+        _, report = serial_report
+        first = report.results[0]
+        assert report.result(first.scenario_id) is first
+        with pytest.raises(KeyError):
+            report.result("ghost")
+
+
+class TestMultiprocessParity:
+    def test_two_spawned_workers_match_serial(self, small_space, serial_report):
+        config, serial = serial_report
+        # Spawn: workers share nothing with this process except the disk
+        # cache directory, which the serial run has already warmed.
+        parallel = SweepRunner(
+            config,
+            num_workers=2,
+            mp_context=multiprocessing.get_context("spawn"),
+        ).run(small_space)
+        assert [r.scenario_id for r in parallel] == [r.scenario_id for r in serial]
+        for left, right in zip(serial, parallel):
+            assert left.peaks == right.peaks
+            assert left.areas_v_ps == right.areas_v_ps
+        # The warm disk cache meant no worker recharacterised anything.
+        assert parallel.cache_stats["characterizations"] == 0
+        assert parallel.cache_stats["disk_hits"] > 0
+
+
+class TestSharding:
+    def test_shards_group_by_session_key(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("tt", "ff"),
+            geometry=(GeometryVariant("nom"), GeometryVariant("half", length_scale=0.5)),
+        )
+        runner = SweepRunner(CONFIG, num_workers=2, shard_size=2)
+        shards = runner._make_shards(space.expand())
+        assert [len(shard) for shard in shards] == [2, 2]
+        for shard in shards:
+            keys = {scenario.session_key() for _, scenario in shard}
+            assert len(keys) == 1  # one library per shard -> one session
+
+    def test_default_shard_size_spreads_work(self, base):
+        space = ScenarioSpace(
+            base=base, corners=("tt",), monte_carlo=MonteCarloModel(num_samples=6)
+        )
+        shards = SweepRunner(CONFIG, num_workers=2)._make_shards(space.expand())
+        assert len(shards) >= 2
+        assert sum(len(shard) for shard in shards) == 6
+
+    def test_runner_validation(self):
+        with pytest.raises(ValueError):
+            SweepRunner(CONFIG, num_workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(CONFIG, shard_size=0)
+
+
+class TestErrorCollection:
+    def test_failing_scenario_is_structured_not_fatal(self, base):
+        space = ScenarioSpace(base=base, corners=("tt",))
+        good, bad = space.expand()[0], None
+        # A scenario whose victim driver does not exist in the library
+        # fails inside the worker -- the sweep must survive it.
+        broken_cluster = dataclasses.replace(
+            base, victim=dataclasses.replace(base.victim, driver_cell="GHOST_X1")
+        )
+        bad = dataclasses.replace(
+            good, scenario_id="broken/tt", cluster=broken_cluster
+        )
+        reset_worker_sessions()
+        report = SweepRunner(CONFIG, num_workers=1).run([good, bad, good])
+        assert len(report) == 3
+        assert [r.ok for r in report] == [True, False, True]
+        failed = report.results[1]
+        assert "GHOST_X1" in failed.error and "KeyError" in failed.error
+        assert failed.traceback_text
+        assert failed.peaks == {}
+        assert len(report.errors) == 1
+        assert "ERROR broken/tt" in report.text()
+        by_corner = report.by_axis("corner")
+        assert by_corner["tt"].errors == 1 and by_corner["tt"].count == 2

@@ -1,0 +1,187 @@
+"""ScenarioSpace expansion: axes, determinism, picklability."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import figure1_cluster
+from repro.scenarios import (
+    GeometryVariant,
+    MonteCarloModel,
+    ParameterVariation,
+    Scenario,
+    ScenarioSpace,
+)
+from repro.technology import ProcessCorner, get_technology
+
+
+@pytest.fixture(scope="module")
+def base():
+    return figure1_cluster(length_um=300.0, num_segments=4)
+
+
+class TestGeometryVariant:
+    def test_scales_lengths_and_coupling(self, base):
+        variant = GeometryVariant("short", length_scale=0.5, coupling_scale=0.8)
+        derived = variant.apply_to(base)
+        for wire, orig in zip(derived.geometry.wires, base.geometry.wires):
+            assert wire.length_um == pytest.approx(orig.length_um * 0.5)
+            assert wire.coupled_length_um == pytest.approx(
+                orig.coupled_length_um * 0.5 * 0.8
+            )
+        # The original spec is untouched.
+        assert base.geometry.wires[0].length_um == 300.0
+
+    def test_spacing_override(self, base):
+        derived = GeometryVariant("spread", spacing_factor=2.0).apply_to(base)
+        assert derived.geometry.spacing_factor == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"label": ""},
+            {"label": "x", "length_scale": 0.0},
+            {"label": "x", "coupling_scale": 1.5},
+            {"label": "x", "spacing_factor": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GeometryVariant(**kwargs)
+
+
+class TestMonteCarlo:
+    def test_samples_are_deterministic_and_order_free(self):
+        model = MonteCarloModel(num_samples=8, seed=7)
+        assert model.sample(3) == model.sample(3)
+        assert model.sample(3) == MonteCarloModel(num_samples=100, seed=7).sample(3)
+        assert model.sample(3) != model.sample(4)
+        assert model.sample(0) != MonteCarloModel(num_samples=8, seed=8).sample(0)
+
+    def test_sample_index_bounds(self):
+        model = MonteCarloModel(num_samples=2)
+        with pytest.raises(IndexError):
+            model.sample(2)
+
+    def test_variation_applies_to_technology(self):
+        base = get_technology("cmos130")
+        variation = ParameterVariation(
+            nmos_kp_scale=1.1, pmos_kp_scale=0.9, nmos_vto_shift=0.02,
+            wire_cap_scale=1.2,
+        )
+        derived = variation.apply_to(base, tag="mc007")
+        assert derived.nmos.kp == pytest.approx(base.nmos.kp * 1.1)
+        assert derived.pmos.kp == pytest.approx(base.pmos.kp * 0.9)
+        assert derived.nmos.vto == pytest.approx(base.nmos.vto + 0.02)
+        assert derived.metal_layers[4].coupling_cap_per_um == pytest.approx(
+            base.metal_layers[4].coupling_cap_per_um * 1.2
+        )
+        assert derived.name.endswith("#mc007")
+
+    def test_sigma_zero_is_nominal(self):
+        model = MonteCarloModel(num_samples=1, kp_sigma=0, vto_sigma=0, wire_cap_sigma=0)
+        assert model.sample(0) == ParameterVariation()
+
+
+class TestScenarioSpace:
+    def test_cross_product_size_and_unique_ids(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("tt", "ff", "ss"),
+            geometry=(GeometryVariant("nom"), GeometryVariant("short", length_scale=0.5)),
+            monte_carlo=MonteCarloModel(num_samples=4, seed=1),
+        )
+        scenarios = space.expand()
+        assert len(scenarios) == len(space) == 3 * 2 * 4
+        ids = [scenario.scenario_id for scenario in scenarios]
+        assert len(set(ids)) == len(ids)
+        corners = {scenario.corner_name for scenario in scenarios}
+        assert corners == {"tt", "ff", "ss"}
+
+    def test_no_monte_carlo_axis(self, base):
+        space = ScenarioSpace(base=base, corners=("tt", "ss"))
+        scenarios = space.expand()
+        assert len(scenarios) == 2
+        assert all(s.variation is None and s.sample_index is None for s in scenarios)
+        assert scenarios[0].axes()[-1] == ("sample", "nominal")
+
+    def test_expansion_is_reproducible(self, base):
+        def build():
+            return ScenarioSpace(
+                base=base,
+                corners=("tt",),
+                monte_carlo=MonteCarloModel(num_samples=3, seed=11),
+            ).expand()
+
+        first, second = build(), build()
+        assert [s.scenario_id for s in first] == [s.scenario_id for s in second]
+        assert [s.variation for s in first] == [s.variation for s in second]
+
+    def test_custom_corner_objects(self, base):
+        corner = ProcessCorner("hot", temperature_c=125.0)
+        space = ScenarioSpace(base=base, corners=(corner,))
+        scenario = space.expand()[0]
+        assert scenario.corner_name == "hot"
+        technology = scenario.derived_technology()
+        assert technology.nmos.kp < get_technology("cmos130").nmos.kp
+
+    def test_validation(self, base):
+        with pytest.raises(ValueError):
+            ScenarioSpace(base=base, corners=())
+        with pytest.raises(ValueError):
+            ScenarioSpace(base=base, geometry=())
+        with pytest.raises(ValueError):
+            ScenarioSpace(
+                base=base, geometry=(GeometryVariant("a"), GeometryVariant("a"))
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpace(base=base, corners=("tt", "tt"))
+        with pytest.raises(KeyError):
+            ScenarioSpace(base=base, corners=("nosuch",))
+        with pytest.raises(KeyError):
+            ScenarioSpace(base=base, technology="nosuch")
+
+
+class TestScenario:
+    def test_scenarios_are_picklable(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("ff",),
+            monte_carlo=MonteCarloModel(num_samples=1, seed=3),
+        )
+        scenario = space.expand()[0]
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.scenario_id == scenario.scenario_id
+        assert clone.variation == scenario.variation
+        assert clone.cluster.name == scenario.cluster.name
+        assert clone.derived_technology() == scenario.derived_technology()
+
+    def test_derived_technology_composes_corner_and_variation(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("ff",),
+            monte_carlo=MonteCarloModel(num_samples=1, seed=3),
+        )
+        scenario = space.expand()[0]
+        technology = scenario.derived_technology()
+        corner_only = Scenario(
+            scenario_id="x",
+            base_technology="cmos130",
+            corner=scenario.corner,
+            cluster=base,
+        ).derived_technology()
+        variation = scenario.variation
+        assert technology.nmos.kp == pytest.approx(
+            corner_only.nmos.kp * variation.nmos_kp_scale
+        )
+        assert "@ff" in technology.name and "#mc000" in technology.name
+
+    def test_session_key_ignores_geometry(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("tt",),
+            geometry=(GeometryVariant("nom"), GeometryVariant("half", length_scale=0.5)),
+        )
+        first, second = space.expand()
+        assert first.session_key() == second.session_key()
+        assert first.geometry_label != second.geometry_label

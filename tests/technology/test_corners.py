@@ -1,0 +1,104 @@
+"""Process-corner derivation tests."""
+
+import pytest
+
+from repro.technology import (
+    PROCESS_CORNERS,
+    ProcessCorner,
+    apply_corner,
+    build_default_library,
+    corner_names,
+    get_corner,
+    get_technology,
+)
+from repro.technology.process import NOMINAL_TEMPERATURE_C
+
+
+@pytest.fixture(scope="module")
+def base():
+    return get_technology("cmos130")
+
+
+class TestCornerLookup:
+    def test_builtin_corners_present(self):
+        assert set(corner_names()) == {"tt", "ff", "ss", "fs", "sf"}
+        assert corner_names()[0] == "tt"
+
+    def test_get_corner_by_name_and_object(self):
+        assert get_corner("ff") is PROCESS_CORNERS["ff"]
+        custom = ProcessCorner("hot_tt", temperature_c=100.0)
+        assert get_corner(custom) is custom
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(KeyError, match="nosuch"):
+            get_corner("nosuch")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "x", "nmos_speed": 0.0},
+            {"name": "x", "supply_scale": -1.0},
+        ],
+    )
+    def test_corner_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessCorner(**kwargs)
+
+
+class TestApplyCorner:
+    def test_tt_is_identity_except_name(self, base):
+        derived = apply_corner(base, "tt")
+        assert derived.name == "cmos130@tt"
+        assert derived.vdd == base.vdd
+        assert derived.nmos == base.nmos
+        assert derived.pmos == base.pmos
+        assert derived.metal_layers == base.metal_layers
+
+    def test_ff_is_faster_in_every_knob(self, base):
+        ff = apply_corner(base, "ff")
+        # Higher drive (corner scaling x cold-temperature mobility gain),
+        # lower thresholds, higher supply.
+        assert ff.nmos.kp > base.nmos.kp
+        assert ff.pmos.kp > base.pmos.kp
+        assert ff.nmos.vto < base.nmos.vto
+        assert ff.pmos.vto < base.pmos.vto
+        assert ff.vdd > base.vdd
+
+    def test_ss_is_slower_where_it_matters(self, base):
+        ss = apply_corner(base, "ss")
+        # The hot slow corner: much lower mobility and a derated supply.
+        # (The threshold *drops* with temperature, which is physical -- the
+        # mobility loss dominates drive strength at the hot corner.)
+        assert ss.nmos.kp < base.nmos.kp * 0.7
+        assert ss.vdd < base.vdd
+
+    def test_skewed_corners_move_devices_oppositely(self, base):
+        fs = apply_corner(base, "fs")
+        sf = apply_corner(base, "sf")
+        assert fs.nmos.kp > base.nmos.kp and fs.pmos.kp < base.pmos.kp
+        assert sf.nmos.kp < base.nmos.kp and sf.pmos.kp > base.pmos.kp
+        # Same nominal supply/temperature: only the devices are skewed.
+        assert fs.vdd == base.vdd == sf.vdd
+
+    def test_temperature_override(self, base):
+        hot = apply_corner(base, "tt", temperature_c=125.0)
+        cold = apply_corner(base, "tt", temperature_c=NOMINAL_TEMPERATURE_C)
+        assert hot.nmos.kp < cold.nmos.kp
+        assert hot.nmos.vto < cold.nmos.vto
+        # An overridden temperature must show in the name: name-keyed caches
+        # may never mix temperature variants of the same corner.
+        assert hot.name == "cmos130@tt@125C"
+        assert cold.name == "cmos130@tt"
+
+    def test_excessive_derating_rejected(self, base):
+        # A threshold shift that drives the device into depletion must fail
+        # loudly instead of building nonsense cells.
+        corner = ProcessCorner("broken", nmos_vto_shift=-0.5)
+        with pytest.raises(ValueError, match="enhancement"):
+            apply_corner(base, corner)
+
+    def test_corner_library_builds_and_names_stay_distinct(self, base):
+        library = build_default_library(apply_corner(base, "ss"))
+        assert library.technology.name == "cmos130@ss"
+        assert "NAND2_X1" in library
