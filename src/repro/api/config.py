@@ -21,6 +21,10 @@ DEFAULT_METHODS: Tuple[str, ...] = ("macromodel",)
 #: Interconnect reductions understood by the model builder.
 _VALID_REDUCTIONS = ("coupled_pi", "full")
 
+#: Circuit-solver backends (mirrors repro.circuit.stamping.SOLVER_BACKENDS;
+#: kept literal here so the config module stays import-light).
+_VALID_BACKENDS = ("auto", "dense", "sparse")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -46,6 +50,13 @@ class AnalysisConfig:
         rejection curve.
     nrc_widths:
         Optional glitch widths (seconds) at which the NRC is characterised.
+    solver_backend:
+        Linear-algebra backend of every circuit solve the session performs
+        (golden transistor-level transients, DC operating points, the
+        dedicated engine's linear macromodels): ``"auto"`` (default) picks
+        scipy.sparse ``splu`` for large systems and dense LAPACK for small
+        ones (see :data:`repro.circuit.stamping.SPARSE_AUTO_THRESHOLD`);
+        ``"dense"`` / ``"sparse"`` force one side everywhere.
     max_workers:
         Default parallelism of ``analyze_many``/``run_design``; 1 runs
         sequentially.
@@ -63,6 +74,7 @@ class AnalysisConfig:
     t_stop: Optional[float] = None
     reduction: str = "coupled_pi"
     vccs_grid: int = 17
+    solver_backend: str = "auto"
     check_nrc: bool = True
     nrc_widths: Optional[Tuple[float, ...]] = None
     max_workers: int = 1
@@ -91,6 +103,11 @@ class AnalysisConfig:
             )
         if self.vccs_grid < 3:
             raise ValueError(f"vccs_grid must be at least 3, got {self.vccs_grid}")
+        if self.solver_backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"unknown solver_backend {self.solver_backend!r}; "
+                f"valid: {_VALID_BACKENDS}"
+            )
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be at least 1, got {self.max_workers}")
         if self.nrc_widths is not None:
@@ -138,6 +155,7 @@ class AnalysisConfig:
         return (
             f"AnalysisConfig(methods={list(self.methods)}, {window[0]}, {window[1]}, "
             f"reduction={self.reduction!r}, vccs_grid={self.vccs_grid}, "
+            f"solver_backend={self.solver_backend!r}, "
             f"check_nrc={self.check_nrc}, max_workers={self.max_workers}, "
             f"cache_dir={self.cache_dir!r})"
         )

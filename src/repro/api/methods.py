@@ -25,7 +25,9 @@ __all__ = []  # nothing to export: importing this module registers the builtins
 def _golden(context: MethodContext) -> AnalysisMethod:
     from ..golden.cluster_sim import GoldenClusterAnalysis
 
-    return GoldenClusterAnalysis(context.library)
+    return GoldenClusterAnalysis(
+        context.library, solver_backend=context.config.solver_backend
+    )
 
 
 @register_method(
@@ -41,6 +43,7 @@ def _macromodel(context: MethodContext) -> AnalysisMethod:
         characterizer=context.characterizer,
         reduction=context.config.reduction,
         vccs_grid=context.config.vccs_grid,
+        solver_backend=context.config.solver_backend,
     )
 
 

@@ -25,7 +25,15 @@ from .elements import (
 from .mna import SingularMatrixError, assemble, assemble_legacy, solve_linear_system
 from .mosfet import AlphaPowerModel, Level1Model, MOSFET, MOSFETParams
 from .netlist import Circuit
-from .stamping import CompiledKernel, KernelStats, LinearSolver
+from .stamping import (
+    SOLVER_BACKENDS,
+    SPARSE_AUTO_THRESHOLD,
+    CompiledKernel,
+    KernelStats,
+    LinearSolver,
+    SparseLinearSolver,
+    resolve_backend,
+)
 from .parser import NetlistError, ParsedNetlist, parse_netlist, parse_value
 from .sources import (
     DCValue,
@@ -78,6 +86,10 @@ __all__ = [
     "CompiledKernel",
     "KernelStats",
     "LinearSolver",
+    "SparseLinearSolver",
+    "SOLVER_BACKENDS",
+    "SPARSE_AUTO_THRESHOLD",
+    "resolve_backend",
     "parse_netlist",
     "ParsedNetlist",
     "NetlistError",

@@ -24,6 +24,7 @@ import numpy as np
 from .elements import GROUND, StampContext, VoltageSource
 from .mna import SingularMatrixError, solve_linear_system
 from .netlist import Circuit
+from .stamping import resolve_backend
 
 __all__ = ["DCSolution", "ConvergenceError", "dc_operating_point", "newton_solve"]
 
@@ -79,6 +80,7 @@ def newton_solve(
     prev_x: Optional[np.ndarray] = None,
     prev_state: Optional[dict] = None,
     assembler=None,
+    backend: str = "auto",
 ) -> tuple:
     """Damped Newton iteration; returns ``(x, iterations)``.
 
@@ -91,12 +93,17 @@ def newton_solve(
     iterations -- only nonlinear companion stamps depend on the iterate).
     ``assembler`` overrides assembly with a ``(circuit, ctx) -> (A, z)``
     callable (used by benchmarks to time the legacy full rebuild).
+    ``backend`` selects the matrix substrate (``"auto"``/``"dense"``/
+    ``"sparse"``, see :func:`repro.circuit.stamping.resolve_backend`); large
+    sparse systems factorise with ``scipy.sparse.linalg.splu`` instead of
+    dense LAPACK.
     """
     kernel = circuit.kernel  # asserts the circuit is prepared
     x = np.array(x0, dtype=float, copy=True)
     n_unknowns = kernel.n
     if x.shape != (n_unknowns,):
         raise ValueError(f"initial guess has wrong size {x.shape}, expected {n_unknowns}")
+    backend = resolve_backend(backend, n_unknowns)
 
     # Damping is a globalisation aid for non-linear circuits; a purely linear
     # circuit converges in a single full Newton step, which damping would
@@ -121,7 +128,7 @@ def newton_solve(
             # Base matrix, cache key and linear RHS are constant over the
             # Newton iterations of this point -- compute them once.
             if point is None:
-                point = kernel.point(ctx)
+                point = kernel.point(ctx, backend=backend)
             A, z = point.assemble(ctx)
         residual = A @ x - z
         x_new = solve_linear_system(A, z)
@@ -156,6 +163,7 @@ def dc_operating_point(
     gmin: Optional[float] = None,
     use_gmin_stepping: bool = True,
     use_source_stepping: bool = True,
+    backend: str = "auto",
 ) -> DCSolution:
     """Compute the DC operating point of ``circuit``.
 
@@ -173,6 +181,9 @@ def dc_operating_point(
         Target minimum conductance (defaults to the circuit's ``gmin``).
     use_gmin_stepping / use_source_stepping:
         Enable/disable the continuation fall-backs.
+    backend:
+        Solver backend (``"auto"``/``"dense"``/``"sparse"``); forwarded to
+        every Newton call, continuation steps included.
     """
     circuit.prepare()
     target_gmin = circuit.gmin if gmin is None else gmin
@@ -183,7 +194,8 @@ def dc_operating_point(
     # 1. Plain Newton.
     try:
         x, iterations = newton_solve(
-            circuit, x0, gmin=target_gmin, max_iterations=max_iterations, vtol=vtol
+            circuit, x0, gmin=target_gmin, max_iterations=max_iterations, vtol=vtol,
+            backend=backend,
         )
         return DCSolution(circuit, x, iterations, target_gmin)
     except (ConvergenceError, SingularMatrixError):
@@ -197,7 +209,8 @@ def dc_operating_point(
             gmin_value = 1e-2
             while gmin_value >= target_gmin * 0.99:
                 x, iters = newton_solve(
-                    circuit, x, gmin=gmin_value, max_iterations=max_iterations, vtol=vtol
+                    circuit, x, gmin=gmin_value, max_iterations=max_iterations, vtol=vtol,
+                    backend=backend,
                 )
                 total_iterations += iters
                 if gmin_value <= target_gmin:
@@ -220,6 +233,7 @@ def dc_operating_point(
                     source_scale=float(scale),
                     max_iterations=max_iterations,
                     vtol=vtol,
+                    backend=backend,
                 )
                 total_iterations += iters
             return DCSolution(circuit, x, total_iterations, target_gmin)

@@ -3,12 +3,13 @@
 Assembly is delegated to the circuit's compiled stamping kernel
 (:mod:`repro.circuit.stamping`): constant (static-linear) stamps and
 ``(dt, method)``-dependent companion stamps are precompiled into flat COO
-arrays and cached as dense *base matrices*, so a Newton iteration only
-copies the cached base and stamps the nonlinear elements.  The circuits
-handled by the noise flow are small (tens to a few hundreds of unknowns) so
-dense linear algebra with NumPy/LAPACK remains the right substrate; the win
-is not sparsity but *not re-doing* the Python-loop assembly on every
-iteration of every time point.
+arrays and cached as *base matrices*, so a Newton iteration only copies the
+cached base and stamps the nonlinear elements.  The paper's noise clusters
+are small (tens to a few hundreds of unknowns) and stay on dense
+NumPy/LAPACK linear algebra; large interconnect clusters (thousands of RC
+nodes) assemble the same COO triples into scipy.sparse CSC matrices instead
+-- see :func:`repro.circuit.stamping.resolve_backend` for the auto-selection
+policy.
 
 :func:`assemble_legacy` keeps the original element-by-element rebuild both
 as the reference oracle for the kernel's correctness tests and as the
@@ -67,8 +68,18 @@ def assemble_legacy(circuit: Circuit, ctx: StampContext) -> Tuple[np.ndarray, np
     return A, z
 
 
-def solve_linear_system(A: np.ndarray, z: np.ndarray) -> np.ndarray:
-    """Solve ``A x = z``, raising :class:`SingularMatrixError` when singular."""
+def solve_linear_system(A, z: np.ndarray) -> np.ndarray:
+    """Solve ``A x = z``, raising :class:`SingularMatrixError` when singular.
+
+    ``A`` may be a dense ndarray (LAPACK ``np.linalg.solve``) or a
+    scipy.sparse matrix (``scipy.sparse.linalg.splu`` through
+    :class:`~repro.circuit.stamping.SparseLinearSolver`) -- Newton loops
+    stay backend-agnostic by calling this on whatever ``assemble`` produced.
+    """
+    if not isinstance(A, np.ndarray):
+        from .stamping import SparseLinearSolver
+
+        return SparseLinearSolver(A).solve(z)
     try:
         x = np.linalg.solve(A, z)
     except np.linalg.LinAlgError as exc:

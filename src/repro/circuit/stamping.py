@@ -30,6 +30,25 @@ skips Newton entirely: one LU factorization per unique ``(dt, method)`` is
 reused across all time steps with only right-hand-side updates, so a
 uniform-``dt`` grid pays for a single factorization over the whole run.
 
+Two interchangeable linear-algebra backends share all of the machinery above:
+
+* **dense** -- NumPy arrays factorised with ``scipy.linalg.lu_factor``; the
+  right substrate for the paper's noise clusters (tens to a few hundred
+  unknowns), where LAPACK's dense kernels beat any sparse bookkeeping;
+* **sparse** -- the same COO stamp capture assembled into
+  ``scipy.sparse`` CSC matrices and factorised with
+  ``scipy.sparse.linalg.splu``.  Extracted RC interconnect is near-tree
+  (a handful of nonzeros per row), so factorisation and solves scale
+  roughly linearly with node count instead of O(n^3)/O(n^2) -- this is what
+  opens the multi-thousand-node workload class.
+
+:func:`resolve_backend` implements the ``"auto"`` policy: circuits at or
+above :data:`SPARSE_AUTO_THRESHOLD` unknowns take the sparse backend, the
+dense oracle keeps everything below it.  Both backends run the same stamps,
+the same companion models and the same caches, so they agree to solver
+precision (the differential suite in ``tests/circuit/test_sparse_backend.py``
+pins sparse-vs-dense agreement at 1e-9).
+
 The capture mechanism runs each element's *existing* ``stamp()`` method
 against duck-typed accumulators, so there is exactly one authoritative
 implementation of every stamp and the compiled kernel cannot drift from the
@@ -63,12 +82,25 @@ __all__ = [
     "CompiledKernel",
     "AssembledPoint",
     "LinearSolver",
+    "SparseLinearSolver",
     "LinearTransientStepper",
+    "SPARSE_AUTO_THRESHOLD",
+    "SOLVER_BACKENDS",
+    "resolve_backend",
 ]
 
 #: Maximum number of cached base matrices per kernel (gmin stepping can visit
 #: a dozen keys; anything beyond that is evicted least-recently-used).
 _BASE_CACHE_SIZE = 32
+
+#: Valid values of every ``backend=`` / ``solver_backend=`` parameter.
+SOLVER_BACKENDS = ("auto", "dense", "sparse")
+
+#: Unknown count at which ``backend="auto"`` switches to the sparse backend.
+#: Measured on the RC-ladder workloads of ``benchmarks/bench_sparse_backend.py``:
+#: below a few hundred unknowns LAPACK's dense kernels win, above it the
+#: near-tree sparsity of extracted interconnect makes ``splu`` pull away.
+SPARSE_AUTO_THRESHOLD = 500
 
 try:  # SciPy is optional: fall back to a cached inverse when missing.
     from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
@@ -77,6 +109,41 @@ try:  # SciPy is optional: fall back to a cached inverse when missing.
 except ImportError:  # pragma: no cover - exercised only on scipy-less installs
     _lu_factor = _lu_solve = None
     _HAVE_SCIPY_LU = False
+
+try:  # The sparse backend needs scipy.sparse; "auto" degrades to dense.
+    from scipy import sparse as _sparse
+    from scipy.sparse.linalg import splu as _splu
+
+    _HAVE_SCIPY_SPARSE = True
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _sparse = _splu = None
+    _HAVE_SCIPY_SPARSE = False
+
+
+def resolve_backend(backend: str, num_unknowns: int) -> str:
+    """Resolve a requested solver backend to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` picks sparse at or above :data:`SPARSE_AUTO_THRESHOLD`
+    unknowns (when scipy.sparse is importable), dense below it.  Forcing
+    ``"sparse"`` without scipy raises -- silently substituting the dense
+    backend would defeat the point of forcing.
+    """
+    if backend not in SOLVER_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SOLVER_BACKENDS}, got '{backend}'"
+        )
+    if backend == "sparse":
+        if not _HAVE_SCIPY_SPARSE:  # pragma: no cover - scipy-less installs
+            raise RuntimeError(
+                "the sparse solver backend requires scipy.sparse, which is "
+                "not importable in this environment"
+            )
+        return "sparse"
+    if backend == "dense":
+        return "dense"
+    if _HAVE_SCIPY_SPARSE and num_unknowns >= SPARSE_AUTO_THRESHOLD:
+        return "sparse"
+    return "dense"
 
 
 class SingularMatrixError(RuntimeError):
@@ -151,6 +218,30 @@ class LinearSolver:
             x = _lu_solve(self._lu, z)
         else:
             x = self._inv @ z
+        if not np.all(np.isfinite(x)):
+            raise SingularMatrixError("solution contains non-finite values")
+        return x
+
+
+class SparseLinearSolver:
+    """Sparse ``A x = z`` solver: one ``splu`` factorisation, many solves.
+
+    The sparse twin of :class:`LinearSolver`; accepts any scipy.sparse
+    matrix (converted to CSC, the format ``splu`` factorises in place).
+    """
+
+    __slots__ = ("_lu",)
+
+    def __init__(self, A):
+        if not _HAVE_SCIPY_SPARSE:  # pragma: no cover - scipy-less installs
+            raise RuntimeError("scipy.sparse is required for SparseLinearSolver")
+        try:
+            self._lu = _splu(_sparse.csc_matrix(A))
+        except (RuntimeError, ValueError) as exc:
+            raise SingularMatrixError(str(exc)) from exc
+
+    def solve(self, z: np.ndarray) -> np.ndarray:
+        x = self._lu.solve(z)
         if not np.all(np.isfinite(x)):
             raise SingularMatrixError("solution contains non-finite values")
         return x
@@ -304,12 +395,17 @@ class CompiledKernel:
             element.stamp(coo, _NULL_SINK, probe)
         for element in self.source_elements:
             element.stamp(coo, _NULL_SINK, probe)
-        self._static_flat = (
-            np.array(coo.rows, dtype=int) * n + np.array(coo.cols, dtype=int)
-        )
+        self._static_rows = np.array(coo.rows, dtype=int)
+        self._static_cols = np.array(coo.cols, dtype=int)
+        self._static_flat = self._static_rows * n + self._static_cols
         self._static_vals = np.array(coo.vals, dtype=float)
 
         self._base_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        # Sparse (CSC) twins of the dense base matrices, cached under the
+        # same keys.  Both caches live on the kernel, so Circuit.invalidate()
+        # -- triggered by topology changes *and* by linear-value setters --
+        # drops dense and sparse factorisation inputs together.
+        self._sparse_base_cache: "OrderedDict[tuple, object]" = OrderedDict()
         self.stats = KernelStats()
 
     # ------------------------------------------------------------ properties
@@ -360,6 +456,35 @@ class CompiledKernel:
         """
         return self.base_matrix_for_key(self.base_key(ctx))
 
+    def _dynamic_coo(self, key: tuple) -> _COOMatrix:
+        """COO triples of the dynamic (companion-model) stamps for ``key``.
+
+        Re-runs the dynamic stamps against a COO accumulator with a
+        synthetic context that reproduces the key: the companion
+        conductances depend only on (dt, method, gmin, state presence),
+        never on the state *values*.
+        """
+        dt, method, gmin, sig = key
+        coo = _COOMatrix()
+        if not self.dynamic_elements:
+            return coo
+        n = self.n
+        prev_state: Dict = {}
+        for element, has_state in zip(self.dynamic_elements, sig or ()):
+            if has_state:
+                prev_state[element.name] = {"i": 0.0, "v": 0.0}
+        probe = StampContext(
+            x=np.zeros(n),
+            prev_x=np.zeros(n),
+            dt=dt,
+            method=method,
+            gmin=gmin,
+            prev_state=prev_state,
+        )
+        for element in self.dynamic_elements:
+            element.stamp(coo, _NULL_SINK, probe)
+        return coo
+
     def base_matrix_for_key(self, key: tuple) -> np.ndarray:
         cached = self._base_cache.get(key)
         if cached is not None:
@@ -373,29 +498,10 @@ class CompiledKernel:
         if self._static_flat.size:
             np.add.at(A, self._static_flat, self._static_vals)
 
-        if self.dynamic_elements:
-            # Re-run the dynamic stamps against a COO accumulator with a
-            # synthetic context that reproduces the key: the companion
-            # conductances depend only on (dt, method, gmin, state presence),
-            # never on the state *values*.
-            prev_state: Dict = {}
-            for element, has_state in zip(self.dynamic_elements, sig or ()):
-                if has_state:
-                    prev_state[element.name] = {"i": 0.0, "v": 0.0}
-            probe = StampContext(
-                x=np.zeros(n),
-                prev_x=np.zeros(n),
-                dt=dt,
-                method=method,
-                gmin=gmin,
-                prev_state=prev_state,
-            )
-            coo = _COOMatrix()
-            for element in self.dynamic_elements:
-                element.stamp(coo, _NULL_SINK, probe)
-            if coo.rows:
-                flat = np.array(coo.rows, dtype=int) * n + np.array(coo.cols, dtype=int)
-                np.add.at(A, flat, np.array(coo.vals, dtype=float))
+        coo = self._dynamic_coo(key)
+        if coo.rows:
+            flat = np.array(coo.rows, dtype=int) * n + np.array(coo.cols, dtype=int)
+            np.add.at(A, flat, np.array(coo.vals, dtype=float))
 
         A = A.reshape(n, n)
         if gmin > 0.0 and self.num_nodes:
@@ -405,6 +511,53 @@ class CompiledKernel:
         self._base_cache[key] = A
         if len(self._base_cache) > _BASE_CACHE_SIZE:
             self._base_cache.popitem(last=False)
+        self.stats.base_builds += 1
+        return A
+
+    # ---------------------------------------------------------- sparse matrix
+
+    def base_matrix_sparse(self, ctx: StampContext):
+        """Sparse (CSC) twin of :meth:`base_matrix` -- shared, do not mutate."""
+        return self.base_matrix_sparse_for_key(self.base_key(ctx))
+
+    def base_matrix_sparse_for_key(self, key: tuple):
+        """The cached sparse base matrix for ``key`` (gmin diagonal included).
+
+        Assembled straight from the compiled COO triples -- the dense
+        ``n x n`` array is never materialised, which is what keeps
+        multi-thousand-node clusters inside memory.
+        """
+        if not _HAVE_SCIPY_SPARSE:  # pragma: no cover - scipy-less installs
+            raise RuntimeError("scipy.sparse is required for the sparse backend")
+        cached = self._sparse_base_cache.get(key)
+        if cached is not None:
+            self._sparse_base_cache.move_to_end(key)
+            self.stats.base_hits += 1
+            return cached
+
+        _dt, _method, gmin, _sig = key
+        n = self.n
+        rows = [self._static_rows]
+        cols = [self._static_cols]
+        vals = [self._static_vals]
+        coo = self._dynamic_coo(key)
+        if coo.rows:
+            rows.append(np.array(coo.rows, dtype=int))
+            cols.append(np.array(coo.cols, dtype=int))
+            vals.append(np.array(coo.vals, dtype=float))
+        if gmin > 0.0 and self.num_nodes:
+            idx = np.arange(self.num_nodes)
+            rows.append(idx)
+            cols.append(idx)
+            vals.append(np.full(self.num_nodes, gmin))
+        A = _sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        ).tocsc()
+
+        self._sparse_base_cache[key] = A
+        if len(self._sparse_base_cache) > _BASE_CACHE_SIZE:
+            self._sparse_base_cache.popitem(last=False)
         self.stats.base_builds += 1
         return A
 
@@ -478,15 +631,17 @@ class CompiledKernel:
 
     # --------------------------------------------------------------- assembly
 
-    def point(self, ctx: StampContext) -> "AssembledPoint":
+    def point(self, ctx: StampContext, backend: str = "dense") -> "AssembledPoint":
         """Precompute the iteration-invariant parts of one solve point.
 
         The base matrix, its cache key/signature and the linear right-hand
         side are all constant over the Newton iterations of a time point;
         Newton loops build one :class:`AssembledPoint` per point and call its
-        :meth:`~AssembledPoint.assemble` per iteration.
+        :meth:`~AssembledPoint.assemble` per iteration.  ``backend`` selects
+        the matrix representation the point assembles (``"dense"`` or
+        ``"sparse"``, already resolved by :func:`resolve_backend`).
         """
-        return AssembledPoint(self, ctx)
+        return AssembledPoint(self, ctx, backend=backend)
 
     def assemble(
         self,
@@ -513,15 +668,45 @@ class CompiledKernel:
             self.stats.nonlinear_stamps += 1
         return A, z
 
+    def stamp_nonlinear_sparse(
+        self, base, z: np.ndarray, ctx: StampContext
+    ) -> Tuple[object, np.ndarray]:
+        """Sparse-base variant of :meth:`stamp_nonlinear`.
+
+        The nonlinear stamps are captured as COO triples (each element's
+        ``stamp`` runs unmodified against the duck-typed accumulator) and
+        added to the shared sparse base, which is never mutated.
+        """
+        coo = _COOMatrix()
+        for element in self.nonlinear_elements:
+            element.stamp(coo, z, ctx)
+            self.stats.nonlinear_stamps += 1
+        if not coo.rows:
+            return base, z
+        delta = _sparse.coo_matrix(
+            (np.array(coo.vals, dtype=float),
+             (np.array(coo.rows, dtype=int), np.array(coo.cols, dtype=int))),
+            shape=base.shape,
+        )
+        return (base + delta.tocsc()), z
+
 
 class AssembledPoint:
     """Iteration-invariant assembly state of one time/DC point."""
 
-    __slots__ = ("_kernel", "_base", "_z_base", "_first")
+    __slots__ = ("_kernel", "_base", "_z_base", "_first", "_backend")
 
-    def __init__(self, kernel: CompiledKernel, ctx: StampContext):
+    def __init__(self, kernel: CompiledKernel, ctx: StampContext, backend: str = "dense"):
+        if backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"AssembledPoint backend must be 'dense' or 'sparse', got '{backend}'"
+            )
         self._kernel = kernel
-        self._base = kernel.base_matrix(ctx)
+        self._backend = backend
+        if backend == "sparse":
+            self._base = kernel.base_matrix_sparse(ctx)
+        else:
+            self._base = kernel.base_matrix(ctx)
         self._z_base = kernel.rhs(ctx)
         self._first = True
 
@@ -534,9 +719,10 @@ class AssembledPoint:
             # even a cache lookup; keep the avoided-assembly accounting
             # identical to per-iteration base_matrix() calls.
             self._kernel.stats.base_hits += 1
-        A = self._base.copy()
         z = self._z_base.copy()
-        return self._kernel.stamp_nonlinear(A, z, ctx)
+        if self._backend == "sparse":
+            return self._kernel.stamp_nonlinear_sparse(self._base, z, ctx)
+        return self._kernel.stamp_nonlinear(self._base.copy(), z, ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -551,16 +737,34 @@ class LinearTransientStepper:
     once for the whole run.  Companion-model state (capacitor currents,
     inductor current/voltage) is kept in flat arrays and updated vectorized,
     mirroring ``Capacitor.update_state`` / ``Inductor.update_state``.
+
+    ``backend`` selects the factorisation substrate per unique ``(dt,
+    method)`` key: ``"dense"`` (``scipy.linalg.lu_factor``) or ``"sparse"``
+    (``scipy.sparse.linalg.splu`` on the kernel's CSC base matrix).  The
+    stepping loop, companion-state updates and reuse accounting are
+    identical for both.
     """
 
-    def __init__(self, kernel: CompiledKernel, *, method: str, gmin: float):
+    def __init__(
+        self,
+        kernel: CompiledKernel,
+        *,
+        method: str,
+        gmin: float,
+        backend: str = "dense",
+    ):
         if kernel.has_nonlinear:
             raise ValueError(
                 "the linear fast path cannot simulate nonlinear circuits"
             )
+        if backend not in ("dense", "sparse"):
+            raise ValueError(
+                f"stepper backend must be 'dense' or 'sparse', got '{backend}'"
+            )
         self.kernel = kernel
         self.method = method
         self.gmin = gmin
+        self.backend = backend
         self._solvers: Dict[tuple, LinearSolver] = {}
         self.lu_factorizations = 0
         self.lu_reuse_hits = 0
@@ -596,10 +800,13 @@ class LinearTransientStepper:
         key = (dt, self.method)
         solver = self._solvers.get(key)
         if solver is None:
-            base = self.kernel.base_matrix_for_key(
-                (dt, self.method, self.gmin, self._signature())
-            )
-            solver = LinearSolver(base)
+            base_key = (dt, self.method, self.gmin, self._signature())
+            if self.backend == "sparse":
+                solver = SparseLinearSolver(
+                    self.kernel.base_matrix_sparse_for_key(base_key)
+                )
+            else:
+                solver = LinearSolver(self.kernel.base_matrix_for_key(base_key))
             self._solvers[key] = solver
             self.lu_factorizations += 1
         else:

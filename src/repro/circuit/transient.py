@@ -36,7 +36,7 @@ from .dc import ConvergenceError, dc_operating_point, newton_solve
 from .elements import GROUND, StampContext, VoltageSource
 from .mna import assemble_legacy
 from .netlist import Circuit
-from .stamping import LinearTransientStepper
+from .stamping import LinearTransientStepper, resolve_backend
 
 __all__ = ["TransientResult", "TransientStats", "transient"]
 
@@ -54,6 +54,8 @@ class TransientStats:
     """
 
     solver: str = "newton"
+    #: Resolved linear-algebra backend ("dense" or "sparse").
+    backend: str = "dense"
     fast_path: bool = False
     num_time_points: int = 0
     newton_iterations: int = 0
@@ -159,6 +161,7 @@ def transient(
     vtol: float = 1e-6,
     include_breakpoints: bool = True,
     solver: str = "auto",
+    backend: str = "auto",
 ) -> TransientResult:
     """Run a transient analysis from ``t = 0`` to ``t_stop``.
 
@@ -208,6 +211,12 @@ def transient(
     circuit.prepare()
     kernel = circuit.kernel
     n = kernel.n
+    resolved_backend = resolve_backend(backend, n)
+    if solver == "legacy":
+        # The legacy baseline is dense end to end -- initial DC operating
+        # point included -- so benchmark comparisons against it never hide
+        # sparse solves inside the "legacy" timing.
+        resolved_backend = "dense"
 
     # Dispatch on the kernel's partitioning, not ``circuit.is_nonlinear()``:
     # a custom Element subclass may keep the conservative default partition
@@ -248,7 +257,7 @@ def transient(
             if idx != GROUND:
                 x[idx] = value
     else:
-        dc = dc_operating_point(circuit)
+        dc = dc_operating_point(circuit, backend=resolved_backend)
         x = np.array(dc.x, copy=True)
         for name, value in (initial_conditions or {}).items():
             idx = circuit.node_index(name)
@@ -259,7 +268,9 @@ def transient(
     solutions[0] = x
 
     if use_fast:
-        stats = _run_fast_path(circuit, times, x, solutions, method=method)
+        stats = _run_fast_path(
+            circuit, times, x, solutions, method=method, backend=resolved_backend
+        )
     else:
         stats = _run_newton_path(
             circuit,
@@ -270,8 +281,10 @@ def transient(
             max_newton=max_newton,
             vtol=vtol,
             legacy=solver == "legacy",
+            backend=resolved_backend,
         )
     stats.solver = solver
+    stats.backend = resolved_backend
     stats.num_time_points = len(times) - 1
     return TransientResult(
         circuit, times, solutions, newton_iterations=stats.newton_iterations, stats=stats
@@ -285,11 +298,14 @@ def _run_fast_path(
     solutions: np.ndarray,
     *,
     method: str,
+    backend: str = "dense",
 ) -> TransientStats:
     """Newton-free stepping for linear circuits (one LU per unique dt)."""
     kernel = circuit.kernel
     rhs_before = kernel.stats.rhs_builds
-    stepper = LinearTransientStepper(kernel, method=method, gmin=circuit.gmin)
+    stepper = LinearTransientStepper(
+        kernel, method=method, gmin=circuit.gmin, backend=backend
+    )
     stepper.initialize(x)
     prev_x = x
     for step_index in range(1, len(times)):
@@ -321,6 +337,7 @@ def _run_newton_path(
     max_newton: int,
     vtol: float,
     legacy: bool,
+    backend: str = "dense",
 ) -> TransientStats:
     """Damped-Newton stepping (nonlinear circuits, and forced baselines)."""
     kernel = circuit.kernel
@@ -359,6 +376,7 @@ def _run_newton_path(
                 prev_x=prev_x,
                 prev_state=prev_state,
                 assembler=assembler,
+                backend=backend,
             )
         except ConvergenceError:
             # Retry the point with backward Euler, which is more forgiving.
@@ -374,6 +392,7 @@ def _run_newton_path(
                 prev_x=prev_x,
                 prev_state=prev_state,
                 assembler=assembler,
+                backend=backend,
             )
             step_method = "be"
         total_newton += iters

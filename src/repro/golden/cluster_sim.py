@@ -125,12 +125,18 @@ def build_golden_cluster_circuit(
 
 
 class GoldenClusterAnalysis:
-    """Reference transistor-level noise analysis of a cluster."""
+    """Reference transistor-level noise analysis of a cluster.
+
+    ``solver_backend`` is forwarded to every :func:`transient` call
+    (``"auto"`` lets large extracted clusters take the sparse kernel while
+    the paper-sized ones keep dense LAPACK).
+    """
 
     method_name = "golden"
 
-    def __init__(self, library: CellLibrary):
+    def __init__(self, library: CellLibrary, *, solver_backend: str = "auto"):
         self.library = library
+        self.solver_backend = solver_backend
 
     def analyze(
         self,
@@ -151,7 +157,7 @@ class GoldenClusterAnalysis:
         receiver_node = f"{spec.victim.net}:{spec.num_segments}"
 
         start = time.perf_counter()
-        result = transient(circuit, t_stop=t_stop, dt=dt)
+        result = transient(circuit, t_stop=t_stop, dt=dt, backend=self.solver_backend)
         runtime = time.perf_counter() - start
 
         victim_waveform = result[victim_node]
@@ -183,6 +189,7 @@ class GoldenClusterAnalysis:
             runtime_seconds=runtime,
             waveforms=waveforms,
             details={
+                "solver_backend": stats.backend,
                 "num_unknowns": circuit.num_unknowns,
                 "newton_iterations": result.newton_iterations,
                 "dt": dt,

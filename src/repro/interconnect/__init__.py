@@ -12,8 +12,12 @@ from .moments import admittance_moments, elmore_delay, total_port_capacitance, t
 from .mor import ReducedMultiport, prima_reduce
 from .pimodel import CoupledPiModel, PiModel, reduce_to_coupled_pi
 from .rcnetwork import CoupledRCNetwork, RCElement, build_coupled_rc_network
+from .synth import make_driven_circuit, make_rc_ladder, make_rc_mesh
 
 __all__ = [
+    "make_rc_ladder",
+    "make_rc_mesh",
+    "make_driven_circuit",
     "WireSpec",
     "ParallelBusGeometry",
     "CoupledSegmentParasitics",

@@ -1,0 +1,132 @@
+"""Scalable synthetic interconnect generators for benchmarks and tests.
+
+The geometry-driven extractor (:func:`~repro.interconnect.rcnetwork.
+build_coupled_rc_network`) produces networks sized like the paper's noise
+clusters -- tens of nodes.  Exercising the sparse solver backend needs
+victims three orders of magnitude larger, with controllable structure:
+
+* :func:`make_rc_ladder` -- a series RC ladder (the canonical extracted-net
+  shape: tridiagonal MNA structure, the sparse best case);
+* :func:`make_rc_mesh` -- a 2-D resistive grid with ground capacitance per
+  node (power-grid / plate-like routing: bandwidth ~ ``cols``, a harder
+  sparsity pattern than the ladder);
+* :func:`make_driven_circuit` -- wraps either network into a ready-to-run
+  :class:`~repro.circuit.netlist.Circuit` with a Thevenin (saturated-ramp)
+  driver at the network's driver port and a holding resistor at the far end.
+
+All values default to plausible on-chip magnitudes (ohms per segment,
+femtofarads per node) so the resulting time constants sit in the
+picosecond range the rest of the library simulates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit.netlist import Circuit
+from ..circuit.sources import SaturatedRamp
+from ..units import fF, ps
+from .rcnetwork import CoupledRCNetwork
+
+__all__ = ["make_rc_ladder", "make_rc_mesh", "make_driven_circuit"]
+
+
+def make_rc_ladder(
+    num_nodes: int,
+    *,
+    segment_resistance: float = 120.0,
+    node_capacitance: float = fF(4),
+    coupling_capacitance: float = 0.0,
+    net: str = "vic",
+    name: Optional[str] = None,
+) -> CoupledRCNetwork:
+    """A series RC ladder with ``num_nodes`` non-driver nodes.
+
+    Nodes follow the extractor's ``<net>:<index>`` convention: the driver
+    port is ``<net>:0`` and the receiver port ``<net>:<num_nodes>``.  Each
+    of the ``num_nodes`` segments contributes ``segment_resistance`` in
+    series and ``node_capacitance`` to ground at its far node; a non-zero
+    ``coupling_capacitance`` additionally bridges each segment (the
+    fringing-cap pattern of the characterisation workloads).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be at least 1, got {num_nodes}")
+    network = CoupledRCNetwork(name or f"ladder_{num_nodes}")
+    for index in range(num_nodes):
+        a, b = f"{net}:{index}", f"{net}:{index + 1}"
+        network.add_resistor(a, b, segment_resistance, net=net)
+        network.add_capacitor(b, "0", node_capacitance, net=net)
+        if coupling_capacitance > 0.0:
+            network.add_capacitor(a, b, coupling_capacitance, net=net)
+    network.set_ports(net, f"{net}:0", f"{net}:{num_nodes}")
+    return network
+
+
+def make_rc_mesh(
+    rows: int,
+    cols: int,
+    *,
+    segment_resistance: float = 60.0,
+    node_capacitance: float = fF(2),
+    net: str = "mesh",
+    name: Optional[str] = None,
+) -> CoupledRCNetwork:
+    """A ``rows x cols`` resistive grid with ground capacitance per node.
+
+    Node ``<net>:r.c`` connects to its right and down neighbours through
+    ``segment_resistance``; every node carries ``node_capacitance`` to
+    ground.  The driver port is the top-left corner ``<net>:0.0`` and the
+    receiver port the opposite corner -- the longest path through the grid.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"mesh needs at least 1x1 nodes, got {rows}x{cols}")
+    network = CoupledRCNetwork(name or f"mesh_{rows}x{cols}")
+
+    def node(r: int, c: int) -> str:
+        return f"{net}:{r}.{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            network.add_capacitor(node(r, c), "0", node_capacitance, net=net)
+            if c + 1 < cols:
+                network.add_resistor(node(r, c), node(r, c + 1), segment_resistance, net=net)
+            if r + 1 < rows:
+                network.add_resistor(node(r, c), node(r + 1, c), segment_resistance, net=net)
+    network.set_ports(net, node(0, 0), node(rows - 1, cols - 1))
+    return network
+
+
+def make_driven_circuit(
+    network: CoupledRCNetwork,
+    *,
+    net: Optional[str] = None,
+    thevenin_resistance: float = 200.0,
+    holding_resistance: float = 5e4,
+    swing: float = 1.2,
+    delay: float = ps(50),
+    transition: float = ps(40),
+    gmin: float = 1e-12,
+) -> Circuit:
+    """Instantiate ``network`` into a circuit with a Thevenin ramp driver.
+
+    The driver (a :class:`~repro.circuit.sources.SaturatedRamp` of
+    amplitude ``swing`` behind ``thevenin_resistance``) attaches to the
+    ``net``'s driver port (default: the network's first net) and a holding
+    resistor ties the receiver port to ground, so the circuit is linear,
+    well-conditioned and fast-path eligible at any size.
+    """
+    nets = network.net_names
+    if not nets:
+        raise ValueError(f"network '{network.name}' has no port nets")
+    net = net if net is not None else nets[0]
+    if net not in network.driver_nodes:
+        raise KeyError(f"network '{network.name}' has no net {net!r} (nets: {nets})")
+
+    circuit = Circuit(f"driven_{network.name}", gmin=gmin)
+    circuit.add_voltage_source(
+        "VTH", "drv", "0", SaturatedRamp(0.0, swing, delay=delay, transition=transition)
+    )
+    circuit.add_resistor("RTH", "drv", network.driver_nodes[net], thevenin_resistance)
+    network.instantiate(circuit)
+    circuit.add_resistor("RHOLD", network.receiver_nodes[net], "0", holding_resistance)
+    return circuit

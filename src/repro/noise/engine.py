@@ -28,8 +28,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..circuit.mna import solve_linear_system
 from ..circuit.netlist import Circuit
-from ..circuit.stamping import LinearSolver
+from ..circuit.stamping import LinearSolver, SparseLinearSolver, resolve_backend
 from ..characterization.thevenin import TheveninDriverModel
 from ..interconnect.rcnetwork import CoupledRCNetwork
 from ..waveform import Waveform
@@ -140,28 +141,60 @@ class MacromodelNetwork:
 
     # ---------------------------------------------------------------- matrices
 
+    @staticmethod
+    def _nodal_coo(triples) -> Tuple[List[int], List[int], List[float]]:
+        """Two-terminal nodal stamps of ``(a, b, value)`` triples as COO.
+
+        The single authoritative expansion both the dense and the sparse
+        matrix builders scatter from -- one edit changes both, so the
+        backends cannot drift apart.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for a, b, value in triples:
+            if a >= 0:
+                rows.append(a)
+                cols.append(a)
+                vals.append(value)
+            if b >= 0:
+                rows.append(b)
+                cols.append(b)
+                vals.append(value)
+            if a >= 0 and b >= 0:
+                rows.extend((a, b))
+                cols.extend((b, a))
+                vals.extend((-value, -value))
+        return rows, cols, vals
+
     def build_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
         """Assemble the nodal conductance and capacitance matrices."""
         n = self.num_nodes
         G = np.zeros((n, n))
         C = np.zeros((n, n))
-        for a, b, g in self._conductances:
-            if a >= 0:
-                G[a, a] += g
-            if b >= 0:
-                G[b, b] += g
-            if a >= 0 and b >= 0:
-                G[a, b] -= g
-                G[b, a] -= g
-        for a, b, c in self._capacitances:
-            if a >= 0:
-                C[a, a] += c
-            if b >= 0:
-                C[b, b] += c
-            if a >= 0 and b >= 0:
-                C[a, b] -= c
-                C[b, a] -= c
+        for matrix, triples in ((G, self._conductances), (C, self._capacitances)):
+            rows, cols, vals = self._nodal_coo(triples)
+            np.add.at(matrix, (rows, cols), vals)
         return G, C
+
+    def build_matrices_sparse(self):
+        """Sparse (CSC) twins of :meth:`build_matrices`.
+
+        Assembled straight from the element triples -- the dense ``n x n``
+        arrays are never materialised, which is what lets the engine's
+        sparse backend handle ``reduction="full"`` macromodels with
+        thousands of RC nodes.
+        """
+        from scipy import sparse
+
+        n = self.num_nodes
+        matrices = []
+        for triples in (self._conductances, self._capacitances):
+            rows, cols, vals = self._nodal_coo(triples)
+            matrices.append(
+                sparse.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsc()
+            )
+        return matrices[0], matrices[1]
 
     def source_vector(self, t: float) -> np.ndarray:
         """Currents injected by the time-dependent sources at time ``t``."""
@@ -225,6 +258,7 @@ class DedicatedNoiseEngine:
         newton_tolerance: float = 1e-7,
         max_newton_iterations: int = 40,
         damping_limit: float = 1.0,
+        solver_backend: str = "auto",
     ):
         self.network = network
         self.gmin = gmin
@@ -234,15 +268,49 @@ class DedicatedNoiseEngine:
         #: Newton step so table-VCCS corners cannot throw the iterate far
         #: outside the characterised range.
         self.damping_limit = damping_limit
+        requested = resolve_backend(solver_backend, network.num_nodes)
+        #: Backend the engine actually runs.  On the sparse side G and C are
+        #: assembled as CSC straight from the element triples (never a dense
+        #: n x n array) and the constant trapezoidal system factorises with
+        #: scipy.sparse splu -- the win for reduction="full" macromodels
+        #: that keep thousands of RC nodes.  The Newton loop for table-VCCS
+        #: macromodels is dense-only (those networks are reduced and small),
+        #: so a network with nonlinear sources resolves to "dense" whatever
+        #: was requested -- the reported backend never claims a substrate
+        #: that did not run.
+        self.resolved_backend = (
+            "dense" if network.nonlinear_sources else requested
+        )
         self.statistics = EngineStatistics()
-        self._G, self._C = network.build_matrices()
         n = network.num_nodes
-        self._G[np.arange(n), np.arange(n)] += gmin
+        if self.resolved_backend == "sparse":
+            from scipy import sparse
+
+            G, C = network.build_matrices_sparse()
+            self._G = (G + gmin * sparse.identity(n, format="csc")).tocsc()
+            self._C = C
+        else:
+            self._G, self._C = network.build_matrices()
+            self._G[np.arange(n), np.arange(n)] += gmin
+
+    def _ensure_dense_for_nonlinear(self) -> None:
+        """Densify G/C when nonlinear sources appeared after construction.
+
+        The engine's Newton loop (DC and transient) is dense-only; a
+        sparse-built engine whose network gained nonlinear sources later
+        falls back to dense matrices *before* any Newton work runs, and
+        reports the demotion through ``resolved_backend``.
+        """
+        if self.network.nonlinear_sources and not isinstance(self._G, np.ndarray):
+            self._G = self._G.toarray()
+            self._C = self._C.toarray()
+            self.resolved_backend = "dense"
 
     # ---------------------------------------------------------------- DC solve
 
     def dc_solve(self, t: float = 0.0, v0: Optional[np.ndarray] = None) -> np.ndarray:
         """Quiescent operating point of the macromodel at time ``t``."""
+        self._ensure_dense_for_nonlinear()
         n = self.network.num_nodes
         v = np.zeros(n) if v0 is None else np.array(v0, dtype=float, copy=True)
         sources = self.network.source_vector(t)
@@ -255,7 +323,7 @@ class DedicatedNoiseEngine:
                 current, didv = func(t, float(v[node]))
                 residual[node] -= current
                 jacobian[node, node] -= didv
-            dv = np.linalg.solve(jacobian, -residual)
+            dv = solve_linear_system(jacobian, -residual)
             max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
             if max_dv > self.damping_limit:
                 dv *= self.damping_limit / max_dv
@@ -283,6 +351,7 @@ class DedicatedNoiseEngine:
         """
         if t_stop <= 0 or dt <= 0 or dt > t_stop:
             raise ValueError("invalid t_stop/dt combination")
+        self._ensure_dense_for_nonlinear()
         start_time = time.perf_counter()
 
         n = self.network.num_nodes
@@ -304,7 +373,10 @@ class DedicatedNoiseEngine:
         # reduce every time point to a back-substitution -- no Newton at all.
         linear_solver = None
         if not nonlinear:
-            linear_solver = LinearSolver(a_const)
+            if isinstance(a_const, np.ndarray):
+                linear_solver = LinearSolver(a_const)
+            else:
+                linear_solver = SparseLinearSolver(a_const)
             self.statistics.matrix_factorizations += 1
             self.statistics.fast_path_runs += 1
 

@@ -40,6 +40,7 @@ class MacromodelAnalysis:
         characterizer: Optional[LibraryCharacterizer] = None,
         reduction: str = "coupled_pi",
         vccs_grid: int = 17,
+        solver_backend: str = "auto",
     ):
         """
         Parameters
@@ -55,11 +56,21 @@ class MacromodelAnalysis:
             the macromodel (used by the reduction ablation benchmark).
         vccs_grid:
             Grid resolution of the VCCS load-surface characterisation.
+        solver_backend:
+            Linear-algebra backend requested of the dedicated engine
+            (``"auto"`` / ``"dense"`` / ``"sparse"``).  The engine's Newton
+            loop for table-VCCS macromodels is dense-only, so networks with
+            a non-linear victim model resolve to dense whatever is
+            requested (the result's ``details["solver_backend"]`` reports
+            what actually ran); the sparse substrate serves the *linear*
+            engine paths (injected-noise and Thevenin-iteration networks)
+            when they grow past the auto threshold.
         """
         self.library = library
         self.reduction = reduction
         self.characterizer = characterizer or LibraryCharacterizer(library, vccs_grid=vccs_grid)
         self.vccs_grid = vccs_grid
+        self.solver_backend = solver_backend
 
     # ------------------------------------------------------------------ build
 
@@ -120,7 +131,7 @@ class MacromodelAnalysis:
         receiver_node = wiring.receiver_nodes[spec.victim.net]
 
         start = time.perf_counter()
-        engine = DedicatedNoiseEngine(network)
+        engine = DedicatedNoiseEngine(network, solver_backend=self.solver_backend)
         waveforms = engine.simulate(t_stop, dt)
         runtime = time.perf_counter() - start
 
@@ -143,6 +154,7 @@ class MacromodelAnalysis:
             },
             details={
                 "engine_statistics": engine.statistics,
+                "solver_backend": engine.resolved_backend,
                 "reduction": self.reduction,
                 "num_unknowns": network.num_nodes,
                 "dt": dt,

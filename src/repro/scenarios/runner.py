@@ -94,6 +94,12 @@ def _analyze_scenario(scenario: Scenario, config: AnalysisConfig) -> ScenarioRes
     """Run one scenario; failures become structured per-scenario errors."""
     start = time.perf_counter()
     try:
+        if scenario.solver_backend is not None:
+            # Per-scenario backend override: the derived config keys its own
+            # session, so mixed-backend sweeps never share solver instances
+            # across backends (characterised models still flow through the
+            # persistent disk cache, which is backend-independent).
+            config = config.replace(solver_backend=scenario.solver_backend)
         session = _session_for(scenario, config)
         report = session.analyze(scenario.cluster, label=scenario.scenario_id)
     except Exception as exc:

@@ -29,6 +29,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..circuit.stamping import SOLVER_BACKENDS
 from ..noise.cluster import NoiseClusterSpec
 from ..technology.library import CellLibrary, build_default_library
 from ..technology.process import (
@@ -215,6 +216,11 @@ class Scenario:
     geometry_label: str = "nom"
     variation: Optional[ParameterVariation] = None
     sample_index: Optional[int] = None
+    #: Per-scenario circuit-solver backend override ("auto"/"dense"/
+    #: "sparse"); ``None`` inherits the sweep config's ``solver_backend``.
+    #: Lets one sweep mix backends -- e.g. dense oracle scenarios next to
+    #: sparse large-cluster scenarios -- for differential validation.
+    solver_backend: Optional[str] = None
 
     @property
     def corner_name(self) -> str:
@@ -223,12 +229,17 @@ class Scenario:
     def axes(self) -> Tuple[Tuple[str, str], ...]:
         """(axis, value) pairs identifying this scenario for aggregation."""
         sample = "nominal" if self.sample_index is None else f"mc{self.sample_index:03d}"
-        return (
+        axes = (
             ("technology", self.base_technology),
             ("corner", self.corner.name),
             ("geometry", self.geometry_label),
             ("sample", sample),
         )
+        if self.solver_backend is not None:
+            # Only an explicit override becomes an axis: default scenarios
+            # keep their historical axes (and aggregation keys) unchanged.
+            axes += (("backend", self.solver_backend),)
+        return axes
 
     def session_key(self) -> Tuple:
         """Hashable key of the library this scenario analyses against.
@@ -268,6 +279,9 @@ class ScenarioSpace:
     geometry: Sequence[GeometryVariant] = (GeometryVariant("nom"),)
     monte_carlo: Optional[MonteCarloModel] = None
     name: str = ""
+    #: Optional solver-backend override stamped onto every expanded
+    #: scenario; ``None`` (default) lets the sweep config decide.
+    solver_backend: Optional[str] = None
 
     def __post_init__(self):
         if not self.corners:
@@ -282,6 +296,14 @@ class ScenarioSpace:
         corner_names = [corner.name for corner in resolved]
         if len(set(corner_names)) != len(corner_names):
             raise ValueError("corner names must be unique")
+        if (
+            self.solver_backend is not None
+            and self.solver_backend not in SOLVER_BACKENDS
+        ):
+            raise ValueError(
+                f"unknown solver_backend {self.solver_backend!r}; "
+                f"valid: None or one of {SOLVER_BACKENDS}"
+            )
         get_technology(self.technology)
         self.corners = resolved
         self.geometry = tuple(self.geometry)
@@ -317,6 +339,7 @@ class ScenarioSpace:
                             corner=corner,
                             cluster=cluster,
                             geometry_label=variant.label,
+                            solver_backend=self.solver_backend,
                         )
                     )
                     continue
@@ -330,6 +353,7 @@ class ScenarioSpace:
                             geometry_label=variant.label,
                             variation=self.monte_carlo.sample(index),
                             sample_index=index,
+                            solver_backend=self.solver_backend,
                         )
                     )
         return scenarios

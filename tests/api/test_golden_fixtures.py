@@ -1,0 +1,104 @@
+"""Golden end-to-end fixture corpus: pinned cluster-report scalars.
+
+Three small-cluster analyses (the cmos130 quick accuracy-sweep set) are run
+end to end -- characterisation, model building, golden transistor-level
+simulation and the macromodel engine -- and their scalar summaries (peak,
+area, width per method) are compared against checked-in JSON fixtures.  Any
+numeric drift beyond tolerance fails, whatever layer it crept in from; the
+run is parametrized over both solver backends, so the corpus doubles as an
+end-to-end backend-independence gate.
+
+Regenerating after an *intended* numeric change::
+
+    REPRO_REGEN_FIXTURES=1 PYTHONPATH=src python -m pytest tests/api/test_golden_fixtures.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import AnalysisConfig, NoiseAnalysisSession
+from repro.experiments import accuracy_sweep_clusters
+from repro.technology import build_default_library
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "fixtures", "golden_clusters.json"
+)
+
+#: Methods pinned by the corpus (the accuracy reference and the paper's model).
+METHODS = ("golden", "macromodel")
+
+#: Relative drift allowed before the corpus fails.  Far above cross-platform
+#: BLAS jitter (~1e-12 on these metrics), far below any physical change.
+RTOL = 1e-6
+
+#: Scalar fields pinned per method result.
+SCALARS = ("peak", "area_v_ps", "width_ps")
+
+
+def _analyze(solver_backend):
+    cases = accuracy_sweep_clusters(technologies=("cmos130",), quick=True)
+    config = AnalysisConfig(
+        methods=METHODS, vccs_grid=13, check_nrc=False, solver_backend=solver_backend
+    )
+    session = NoiseAnalysisSession(build_default_library("cmos130"), config)
+    reports = session.analyze_many(
+        [case.spec for case in cases],
+        labels=[case.label for case in cases],
+        on_error="raise",
+    )
+    summary = {}
+    for report in reports:
+        summary[report.label] = {
+            method: {scalar: getattr(result, scalar) for scalar in SCALARS}
+            for method, result in report.results.items()
+        }
+    return summary
+
+
+def test_fixture_corpus_matches_or_regenerates():
+    """The dense-backend run must match the pinned corpus exactly-ish."""
+    summary = _analyze("dense")
+    if os.environ.get("REPRO_REGEN_FIXTURES"):
+        os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+        with open(FIXTURE_PATH, "w") as handle:
+            json.dump(
+                {"methods": list(METHODS), "clusters": summary}, handle, indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        pytest.skip(f"regenerated {FIXTURE_PATH}")
+
+    with open(FIXTURE_PATH) as handle:
+        pinned = json.load(handle)
+    assert sorted(pinned["clusters"]) == sorted(summary), (
+        "cluster corpus changed; regenerate with REPRO_REGEN_FIXTURES=1 if intended"
+    )
+    for label, methods in pinned["clusters"].items():
+        for method, scalars in methods.items():
+            for scalar, expected in scalars.items():
+                actual = summary[label][method][scalar]
+                assert actual == pytest.approx(expected, rel=RTOL), (
+                    f"{label} / {method} / {scalar} drifted: "
+                    f"pinned {expected!r}, got {actual!r} "
+                    "(regenerate with REPRO_REGEN_FIXTURES=1 if intended)"
+                )
+
+
+def test_sparse_backend_reproduces_the_corpus():
+    """Forcing the sparse backend end to end reproduces the pinned numbers.
+
+    This is the fixture-level backend-independence gate: every circuit solve
+    behind these reports (DC, golden transient, engine) runs on scipy.sparse
+    splu instead of dense LAPACK, and the pinned scalars must not move.
+    """
+    with open(FIXTURE_PATH) as handle:
+        pinned = json.load(handle)
+    summary = _analyze("sparse")
+    for label, methods in pinned["clusters"].items():
+        for method, scalars in methods.items():
+            for scalar, expected in scalars.items():
+                assert summary[label][method][scalar] == pytest.approx(
+                    expected, rel=RTOL
+                ), f"sparse backend drifted on {label} / {method} / {scalar}"

@@ -69,6 +69,7 @@ class TestAnalysisConfig:
             {"dt": ps(10), "t_stop": ps(5)},
             {"reduction": "nosuch"},
             {"vccs_grid": 2},
+            {"solver_backend": "gpu"},
             {"max_workers": 0},
             {"nrc_widths": ()},
             {"nrc_widths": (ps(100), -ps(50))},

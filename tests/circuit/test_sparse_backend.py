@@ -1,0 +1,357 @@
+"""Differential dense-vs-sparse verification suite.
+
+The dense kernel is the test oracle (it is itself pinned to the legacy
+element-by-element assembly by ``test_fastpath.py``); this suite drives the
+sparse backend against it on property-based random linear RC networks,
+MOSFET-loaded clusters, DC operating points, and the LU-reuse / cache
+invalidation paths.  Agreement is required at 1e-9 V everywhere -- the same
+bar the fast-vs-Newton cross-checks use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, SaturatedRamp, transient
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.mosfet import MOSFETParams
+from repro.circuit.stamping import (
+    SPARSE_AUTO_THRESHOLD,
+    CompiledKernel,
+    SparseLinearSolver,
+    resolve_backend,
+)
+from repro.interconnect import make_driven_circuit, make_rc_ladder, make_rc_mesh
+from repro.units import fF, ps
+
+#: Sparse and dense must agree to this tolerance on every path.
+MAX_DV = 1e-9
+
+_NMOS = MOSFETParams(polarity="n", vto=0.35, kp=3e-4, lambda_=0.06)
+_PMOS = MOSFETParams(polarity="p", vto=0.35, kp=1.2e-4, lambda_=0.08)
+
+
+# ---------------------------------------------------------------------------
+# Random-network builders (seed-deterministic, shared by both backends)
+# ---------------------------------------------------------------------------
+
+def random_linear_network(seed, num_nodes):
+    """A random connected linear RC network with a ramp driver.
+
+    A resistor backbone guarantees every node is conductively reachable
+    from the driven node; random extra resistors, ground caps and coupling
+    caps (drawn from the seeded rng) vary topology, conditioning and the
+    sparsity pattern.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"rand_{seed}_{num_nodes}")
+    circuit.add_voltage_source(
+        "VTH",
+        "drv",
+        "0",
+        SaturatedRamp(0.0, 1.2, delay=ps(rng.uniform(10, 60)), transition=ps(rng.uniform(20, 80))),
+    )
+    circuit.add_resistor("RTH", "drv", "n0", float(rng.uniform(50, 400)))
+    for i in range(1, num_nodes):
+        # Backbone: attach node i to a random earlier node.
+        parent = int(rng.integers(0, i))
+        circuit.add_resistor(f"RB{i}", f"n{parent}", f"n{i}", float(rng.uniform(20, 500)))
+    for i in range(num_nodes):
+        if rng.random() < 0.8:
+            circuit.add_capacitor(f"CG{i}", f"n{i}", "0", float(rng.uniform(0.5, 8.0)) * fF(1))
+    num_extra = int(rng.integers(0, max(1, num_nodes // 2)))
+    for k in range(num_extra):
+        a, b = rng.choice(num_nodes, size=2, replace=False)
+        kind = rng.random()
+        if kind < 0.5:
+            circuit.add_resistor(f"RX{k}", f"n{a}", f"n{b}", float(rng.uniform(100, 2e3)))
+        else:
+            circuit.add_capacitor(f"CX{k}", f"n{a}", f"n{b}", float(rng.uniform(0.2, 3.0)) * fF(1))
+    if rng.random() < 0.5:
+        circuit.add_vccs("GM", f"n{num_nodes - 1}", "0", "n0", "0", float(rng.uniform(1e-5, 5e-4)))
+    circuit.add_resistor("RHOLD", f"n{num_nodes - 1}", "0", 5e4)
+    return circuit
+
+
+def mosfet_loaded_cluster(seed, num_segments):
+    """A coupled two-net ladder with inverter receivers (forces Newton)."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(f"mos_{seed}_{num_segments}")
+    circuit.add_voltage_source("VDD", "vdd", "0", 1.2)
+    circuit.add_resistor("RHOLD_vic", "vic_0", "0", float(rng.uniform(200, 800)))
+    circuit.add_voltage_source(
+        "VTH",
+        "agg_src",
+        "0",
+        SaturatedRamp(0.0, 1.2, delay=ps(rng.uniform(20, 60)), transition=ps(rng.uniform(30, 80))),
+    )
+    circuit.add_resistor("RTH", "agg_src", "agg_0", float(rng.uniform(100, 400)))
+    for net in ("vic", "agg"):
+        for i in range(num_segments):
+            circuit.add_resistor(
+                f"R_{net}_{i}", f"{net}_{i}", f"{net}_{i + 1}", float(rng.uniform(40, 200))
+            )
+            circuit.add_capacitor(
+                f"Cg_{net}_{i}", f"{net}_{i + 1}", "0", float(rng.uniform(1, 5)) * fF(1)
+            )
+    for i in range(num_segments + 1):
+        circuit.add_capacitor(f"Cc_{i}", f"vic_{i}", f"agg_{i}", float(rng.uniform(0.5, 2.5)) * fF(1))
+    for net in ("vic", "agg"):
+        tail = f"{net}_{num_segments}"
+        circuit.add_mosfet(f"MN_{net}", f"{net}_out", tail, "0", _NMOS, w=1e-6)
+        circuit.add_mosfet(f"MP_{net}", f"{net}_out", tail, "vdd", _PMOS, w=2e-6)
+        circuit.add_capacitor(f"CL_{net}", f"{net}_out", "0", fF(2))
+    return circuit
+
+
+def _run_both(builder, *args, t_stop=ps(300), dt=ps(1), **kwargs):
+    dense = transient(builder(*args), t_stop=t_stop, dt=dt, backend="dense", **kwargs)
+    sparse = transient(builder(*args), t_stop=t_stop, dt=dt, backend="sparse", **kwargs)
+    assert dense.stats.backend == "dense"
+    assert sparse.stats.backend == "sparse"
+    return dense, sparse
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential tests
+# ---------------------------------------------------------------------------
+
+class TestPropertyBasedAgreement:
+    @given(seed=st.integers(0, 10_000), num_nodes=st.integers(3, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_random_linear_transient_agrees(self, seed, num_nodes):
+        dense, sparse = _run_both(random_linear_network, seed, num_nodes)
+        assert sparse.stats.fast_path  # linear networks stay Newton-free
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    @given(seed=st.integers(0, 10_000), num_nodes=st.integers(3, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_random_linear_dc_agrees(self, seed, num_nodes):
+        dense = dc_operating_point(random_linear_network(seed, num_nodes), backend="dense")
+        sparse = dc_operating_point(random_linear_network(seed, num_nodes), backend="sparse")
+        assert np.max(np.abs(dense.x - sparse.x)) < MAX_DV
+
+    @given(seed=st.integers(0, 10_000), num_segments=st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_mosfet_loaded_cluster_agrees(self, seed, num_segments):
+        dense, sparse = _run_both(
+            mosfet_loaded_cluster, seed, num_segments, t_stop=ps(200)
+        )
+        assert not sparse.stats.fast_path  # MOSFETs force the Newton path
+        assert sparse.stats.newton_iterations > 0
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    @given(seed=st.integers(0, 10_000), num_segments=st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_mosfet_cluster_dc_agrees(self, seed, num_segments):
+        dense = dc_operating_point(mosfet_loaded_cluster(seed, num_segments), backend="dense")
+        sparse = dc_operating_point(mosfet_loaded_cluster(seed, num_segments), backend="sparse")
+        assert np.max(np.abs(dense.x - sparse.x)) < MAX_DV
+
+
+class TestSynthesizedNetworks:
+    @pytest.mark.parametrize("num_nodes", [50, 600])
+    def test_ladder_agrees_across_the_auto_threshold(self, num_nodes):
+        dense, sparse = _run_both(
+            lambda n: make_driven_circuit(make_rc_ladder(n)), num_nodes, t_stop=ps(200)
+        )
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    def test_mesh_agrees(self):
+        dense, sparse = _run_both(
+            lambda: make_driven_circuit(make_rc_mesh(12, 12)), t_stop=ps(200)
+        )
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    def test_auto_selects_by_node_count(self):
+        small = transient(
+            make_driven_circuit(make_rc_ladder(20)), t_stop=ps(50), dt=ps(1)
+        )
+        assert small.stats.backend == "dense"
+        large = transient(
+            make_driven_circuit(make_rc_ladder(SPARSE_AUTO_THRESHOLD + 10)),
+            t_stop=ps(50),
+            dt=ps(1),
+        )
+        assert large.stats.backend == "sparse"
+        assert large.stats.fast_path
+
+    def test_resolve_backend_policy(self):
+        assert resolve_backend("dense", 10_000) == "dense"
+        assert resolve_backend("sparse", 3) == "sparse"
+        assert resolve_backend("auto", SPARSE_AUTO_THRESHOLD - 1) == "dense"
+        assert resolve_backend("auto", SPARSE_AUTO_THRESHOLD) == "sparse"
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("cusolver", 10)
+
+    def test_invalid_backend_rejected_at_entry(self):
+        circuit = make_driven_circuit(make_rc_ladder(3))
+        with pytest.raises(ValueError, match="backend"):
+            transient(circuit, t_stop=ps(10), dt=ps(1), backend="nosuch")
+
+
+# ---------------------------------------------------------------------------
+# LU reuse and invalidation
+# ---------------------------------------------------------------------------
+
+class TestSparseLUReuse:
+    def test_uniform_grid_factorizes_once(self):
+        result = transient(
+            make_driven_circuit(make_rc_ladder(40)),
+            t_stop=ps(300),
+            dt=ps(1),
+            backend="sparse",
+            include_breakpoints=False,
+        )
+        assert result.stats.backend == "sparse"
+        assert result.stats.matrix_factorizations == 1
+        assert result.stats.lu_reuse_hits == result.stats.num_time_points - 1
+        assert result.stats.newton_iterations == 0
+
+    def test_sparse_base_cache_is_hit_across_runs(self):
+        circuit = make_driven_circuit(make_rc_ladder(30))
+        transient(circuit, t_stop=ps(100), dt=ps(1), backend="sparse")
+        kernel = circuit.kernel
+        builds = kernel.stats.base_builds
+        # Same dt/method on the same prepared circuit: no new sparse base.
+        transient(circuit, t_stop=ps(100), dt=ps(1), backend="sparse")
+        assert circuit.kernel is kernel
+        assert kernel.stats.base_builds == builds
+
+    def test_newton_point_reuses_sparse_base_within_a_time_point(self):
+        circuit = mosfet_loaded_cluster(3, 4)
+        result = transient(circuit, t_stop=ps(50), dt=ps(1), backend="sparse")
+        # Newton runs several iterations per point; all but the first per
+        # point are served from the cached sparse base.
+        assert result.stats.assemblies_avoided > 0
+
+
+class TestSparseInvalidation:
+    """The PR-2 setter-invalidation contract must cover the sparse caches.
+
+    Both the dense and sparse base-matrix caches live on the compiled
+    kernel, and ``Circuit.invalidate()`` (triggered by the linear-value
+    setters) drops the kernel wholesale -- these tests pin that contract
+    for the sparse side, results included.
+    """
+
+    def test_value_mutation_drops_sparse_factorizations(self):
+        circuit = Circuit("div")
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        r2 = circuit.add_resistor("R2", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", fF(1))
+        first = transient(circuit, t_stop=ps(200), dt=ps(1), backend="sparse")
+        assert first["out"].values[-1] == pytest.approx(0.5, rel=1e-3)
+        stale_kernel = circuit.kernel
+        assert stale_kernel._sparse_base_cache  # a sparse base was cached
+
+        r2.resistance = 3e3
+        assert not circuit.is_prepared  # the setter invalidated the kernel
+        second = transient(circuit, t_stop=ps(200), dt=ps(1), backend="sparse")
+        assert circuit.kernel is not stale_kernel
+        assert second["out"].values[-1] == pytest.approx(0.75, rel=1e-3)
+
+    def test_capacitance_mutation_drops_sparse_factorizations(self):
+        circuit = make_driven_circuit(make_rc_ladder(10))
+        transient(circuit, t_stop=ps(50), dt=ps(1), backend="sparse")
+        assert circuit.kernel._sparse_base_cache
+        circuit["ladder_10.C1"].capacitance = fF(40)
+        assert not circuit.is_prepared
+        # Re-running matches a freshly built mutated circuit, not the stale LU.
+        rerun = transient(circuit, t_stop=ps(100), dt=ps(1), backend="sparse")
+        fresh_net = make_rc_ladder(10)
+        fresh = make_driven_circuit(fresh_net)
+        fresh["ladder_10.C1"].capacitance = fF(40)
+        fresh_run = transient(fresh, t_stop=ps(100), dt=ps(1), backend="sparse")
+        assert np.max(np.abs(rerun.solutions - fresh_run.solutions)) < MAX_DV
+
+    def test_topology_change_drops_sparse_factorizations(self):
+        circuit = make_driven_circuit(make_rc_ladder(10))
+        transient(circuit, t_stop=ps(50), dt=ps(1), backend="sparse")
+        circuit.add_resistor("REXTRA", "vic:5", "0", 1e3)
+        assert not circuit.is_prepared
+        result = transient(circuit, t_stop=ps(50), dt=ps(1), backend="sparse")
+        assert np.all(np.isfinite(result.solutions))
+
+
+class TestSparseSolverUnit:
+    def test_sparse_solver_matches_dense_solve(self):
+        from scipy import sparse
+
+        rng = np.random.default_rng(11)
+        A = np.diag(rng.uniform(1.0, 2.0, 12))
+        A[0, 5] = A[5, 0] = 0.3
+        z = rng.uniform(-1, 1, 12)
+        solver = SparseLinearSolver(sparse.csc_matrix(A))
+        np.testing.assert_allclose(solver.solve(z), np.linalg.solve(A, z), atol=1e-12)
+
+    def test_singular_sparse_matrix_raises(self):
+        from scipy import sparse
+
+        from repro.circuit.stamping import SingularMatrixError
+
+        singular = sparse.csc_matrix((3, 3))
+        with pytest.raises(SingularMatrixError):
+            SparseLinearSolver(singular)
+
+    def test_sparse_base_matches_dense_base(self):
+        circuit = mosfet_loaded_cluster(5, 3)
+        circuit.prepare()
+        kernel: CompiledKernel = circuit.kernel
+        key = (float(ps(1)), "trap", circuit.gmin, tuple(False for _ in kernel.dynamic_elements))
+        dense = kernel.base_matrix_for_key(key)
+        sparse_base = kernel.base_matrix_sparse_for_key(key)
+        np.testing.assert_allclose(sparse_base.toarray(), dense, atol=1e-15)
+
+
+class TestDedicatedEngineBackend:
+    """The dedicated engine's sparse path (linear macromodel networks)."""
+
+    def _linear_network(self, num_nodes):
+        from repro.noise.engine import MacromodelNetwork
+
+        network = MacromodelNetwork(f"lin_{num_nodes}")
+        for i in range(num_nodes):
+            network.add_resistance(f"m{i}", f"m{i + 1}", 100.0)
+            network.add_capacitance(f"m{i + 1}", "0", fF(3))
+        network.add_holding_resistor("m0", 300.0, 0.0)
+        network.add_current_source("m0", lambda t: 1e-4 if t > ps(20) else 0.0)
+        return network
+
+    @pytest.mark.parametrize("num_nodes", [20, 550])
+    def test_linear_engine_sparse_matches_dense(self, num_nodes):
+        from repro.noise.engine import DedicatedNoiseEngine
+
+        dense = DedicatedNoiseEngine(self._linear_network(num_nodes), solver_backend="dense")
+        sparse = DedicatedNoiseEngine(self._linear_network(num_nodes), solver_backend="sparse")
+        assert dense.resolved_backend == "dense"
+        assert sparse.resolved_backend == "sparse"
+        wd = dense.simulate(ps(200), ps(2), observe=["m0"])["m0"]
+        ws = sparse.simulate(ps(200), ps(2), observe=["m0"])["m0"]
+        assert np.max(np.abs(wd.values - ws.values)) < MAX_DV
+        assert sparse.statistics.fast_path_runs == 1
+
+    def test_nonlinear_network_demotes_to_dense(self):
+        # The engine's table-VCCS Newton loop is dense-only: requesting
+        # sparse on a nonlinear network must *report* dense, not lie.
+        from repro.noise.engine import DedicatedNoiseEngine
+
+        network = self._linear_network(10)
+        network.add_nonlinear_source("m5", lambda t, v: (1e-5 * v, 1e-5))
+        engine = DedicatedNoiseEngine(network, solver_backend="sparse")
+        assert engine.resolved_backend == "dense"
+        waveforms = engine.simulate(ps(100), ps(2))
+        assert all(np.all(np.isfinite(w.values)) for w in waveforms.values())
+
+    def test_nonlinear_source_added_after_construction_densifies(self):
+        from repro.noise.engine import DedicatedNoiseEngine
+
+        network = self._linear_network(12)
+        engine = DedicatedNoiseEngine(network, solver_backend="sparse")
+        assert engine.resolved_backend == "sparse"
+        network.add_nonlinear_source("m5", lambda t, v: (1e-5 * v, 1e-5))
+        waveforms = engine.simulate(ps(100), ps(2))
+        assert engine.resolved_backend == "dense"  # honest post-hoc report
+        assert all(np.all(np.isfinite(w.values)) for w in waveforms.values())

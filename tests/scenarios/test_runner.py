@@ -165,3 +165,48 @@ class TestErrorCollection:
         assert "ERROR broken/tt" in report.text()
         by_corner = report.by_axis("corner")
         assert by_corner["tt"].errors == 1 and by_corner["tt"].count == 2
+
+
+class TestSolverBackendMixing:
+    def test_mixed_backend_sweep_is_backend_independent(self, base):
+        """One sweep mixing forced-dense and forced-sparse scenarios.
+
+        The two backends must produce identical scalar metrics for the same
+        underlying scenario, and the explicit override must surface as a
+        ("backend", ...) axis on the results.
+        """
+        space = ScenarioSpace(base=base, corners=("tt",))
+        (nominal,) = space.expand()
+        scenarios = [
+            dataclasses.replace(nominal, scenario_id=f"{nominal.scenario_id}/{b}",
+                                solver_backend=b)
+            for b in ("dense", "sparse")
+        ]
+        reset_worker_sessions()
+        report = SweepRunner(CONFIG, num_workers=1).run(scenarios)
+        assert not report.errors
+        dense, sparse = report.results
+        assert ("backend", "dense") in dense.axes
+        assert ("backend", "sparse") in sparse.axes
+        assert dense.peaks["macromodel"] == pytest.approx(
+            sparse.peaks["macromodel"], rel=1e-9
+        )
+        assert dense.areas_v_ps["macromodel"] == pytest.approx(
+            sparse.areas_v_ps["macromodel"], rel=1e-9
+        )
+
+    def test_space_level_backend_stamps_every_scenario(self, base):
+        space = ScenarioSpace(base=base, corners=("tt", "ff"), solver_backend="dense")
+        scenarios = space.expand()
+        assert all(s.solver_backend == "dense" for s in scenarios)
+        assert all(("backend", "dense") in s.axes() for s in scenarios)
+
+    def test_default_scenarios_keep_historical_axes(self, base):
+        space = ScenarioSpace(base=base, corners=("tt",))
+        (scenario,) = space.expand()
+        assert scenario.solver_backend is None
+        assert scenario.axes()[-1] == ("sample", "nominal")
+
+    def test_space_rejects_unknown_backend(self, base):
+        with pytest.raises(ValueError, match="solver_backend"):
+            ScenarioSpace(base=base, corners=("tt",), solver_backend="gpu")
