@@ -24,6 +24,10 @@ import json
 import sys
 
 
+class MetricError(Exception):
+    """A gated metric is missing or unusable in a benchmark record."""
+
+
 def read_metric(path, dotted):
     """Read ``a.b.c`` from the JSON document at ``path``."""
     with open(path) as handle:
@@ -33,9 +37,16 @@ def read_metric(path, dotted):
         try:
             value = value[part]
         except (KeyError, TypeError):
-            raise KeyError(f"{path}: no metric {dotted!r} (failed at {part!r})")
+            if isinstance(value, dict):
+                available = ", ".join(sorted(value)) or "<empty object>"
+            else:
+                available = f"a {type(value).__name__}, not an object"
+            raise MetricError(
+                f"{path}: no metric {dotted!r} -- {part!r} not found "
+                f"(available here: {available})"
+            )
     if not isinstance(value, (int, float)) or isinstance(value, bool):
-        raise TypeError(f"{path}: metric {dotted!r} is not a number: {value!r}")
+        raise MetricError(f"{path}: metric {dotted!r} is not a number: {value!r}")
     return float(value)
 
 
@@ -61,7 +72,7 @@ def main(argv=None):
     try:
         baseline = read_metric(args.baseline, args.metric)
         current = read_metric(args.current, args.metric)
-    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+    except (OSError, json.JSONDecodeError, MetricError) as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 2
 

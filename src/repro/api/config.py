@@ -50,6 +50,17 @@ class AnalysisConfig:
         rejection curve.
     nrc_widths:
         Optional glitch widths (seconds) at which the NRC is characterised.
+    reduction_order:
+        Block-Arnoldi iteration count of the ``method="reduced"`` analysis
+        path (matched moments per injection site; see
+        :data:`repro.reduction.DEFAULT_REDUCTION_ORDER`).  Higher orders
+        tighten the reduced model at the cost of more states.
+    reduction_threshold:
+        Macromodel node count at which ``method="reduced"`` starts
+        projecting instead of handing the cluster to the dedicated engine
+        directly.  ``None`` (default) selects
+        :data:`repro.reduction.REDUCTION_AUTO_THRESHOLD`; ``0`` forces
+        reduction for every cluster.
     solver_backend:
         Linear-algebra backend of every circuit solve the session performs
         (golden transistor-level transients, DC operating points, the
@@ -73,6 +84,8 @@ class AnalysisConfig:
     dt: Optional[float] = None
     t_stop: Optional[float] = None
     reduction: str = "coupled_pi"
+    reduction_order: int = 12
+    reduction_threshold: Optional[int] = None
     vccs_grid: int = 17
     solver_backend: str = "auto"
     check_nrc: bool = True
@@ -100,6 +113,15 @@ class AnalysisConfig:
         if self.reduction not in _VALID_REDUCTIONS:
             raise ValueError(
                 f"unknown reduction {self.reduction!r}; valid: {_VALID_REDUCTIONS}"
+            )
+        if self.reduction_order < 1:
+            raise ValueError(
+                f"reduction_order must be at least 1, got {self.reduction_order}"
+            )
+        if self.reduction_threshold is not None and self.reduction_threshold < 0:
+            raise ValueError(
+                "reduction_threshold must be None or non-negative, "
+                f"got {self.reduction_threshold}"
             )
         if self.vccs_grid < 3:
             raise ValueError(f"vccs_grid must be at least 3, got {self.vccs_grid}")
@@ -154,7 +176,8 @@ class AnalysisConfig:
         )
         return (
             f"AnalysisConfig(methods={list(self.methods)}, {window[0]}, {window[1]}, "
-            f"reduction={self.reduction!r}, vccs_grid={self.vccs_grid}, "
+            f"reduction={self.reduction!r}, reduction_order={self.reduction_order}, "
+            f"vccs_grid={self.vccs_grid}, "
             f"solver_backend={self.solver_backend!r}, "
             f"check_nrc={self.check_nrc}, max_workers={self.max_workers}, "
             f"cache_dir={self.cache_dir!r})"

@@ -4,7 +4,8 @@ The four analysis backends the paper compares are published in the method
 registry here, with the same names the old ``ClusterNoiseAnalyzer`` string
 dispatch understood (``golden``, ``macromodel``, ``superposition``,
 ``iterative_thevenin``), so specs and scripts written against the old facade
-resolve to the same engines through the registry.
+resolve to the same engines through the registry.  ``reduced`` adds the
+PRIMA reduced-order path of :mod:`repro.reduction` on top of that set.
 
 Importing this module registers the builtins; :mod:`repro.api.registry`
 triggers that import lazily the first time the registry is queried.
@@ -44,6 +45,25 @@ def _macromodel(context: MethodContext) -> AnalysisMethod:
         reduction=context.config.reduction,
         vccs_grid=context.config.vccs_grid,
         solver_backend=context.config.solver_backend,
+    )
+
+
+@register_method(
+    "reduced",
+    description="PRIMA/Krylov reduced-order macromodel of the full cluster "
+    "wiring, with the table-VCCS victim evaluated through the projection "
+    "basis; large clusters collapse to a few dozen states.",
+)
+def _reduced(context: MethodContext) -> AnalysisMethod:
+    from ..reduction.analysis import ReducedClusterAnalysis
+
+    return ReducedClusterAnalysis(
+        context.library,
+        characterizer=context.characterizer,
+        vccs_grid=context.config.vccs_grid,
+        solver_backend=context.config.solver_backend,
+        reduction_order=context.config.reduction_order,
+        reduction_threshold=context.config.reduction_threshold,
     )
 
 

@@ -29,6 +29,7 @@ from .stamping import (
     SOLVER_BACKENDS,
     SPARSE_AUTO_THRESHOLD,
     CompiledKernel,
+    DescriptorSystem,
     KernelStats,
     LinearSolver,
     SparseLinearSolver,
@@ -45,7 +46,7 @@ from .sources import (
     SourceWaveform,
     TriangularGlitch,
 )
-from .transient import TransientResult, TransientStats, transient
+from .transient import TransientResult, TransientStats, build_time_axis, transient
 
 __all__ = [
     "GROUND",
@@ -77,8 +78,10 @@ __all__ = [
     "DCSolution",
     "ConvergenceError",
     "transient",
+    "build_time_axis",
     "TransientResult",
     "TransientStats",
+    "DescriptorSystem",
     "assemble",
     "assemble_legacy",
     "solve_linear_system",

@@ -80,6 +80,7 @@ __all__ = [
     "SingularMatrixError",
     "KernelStats",
     "CompiledKernel",
+    "DescriptorSystem",
     "AssembledPoint",
     "LinearSolver",
     "SparseLinearSolver",
@@ -277,6 +278,42 @@ class KernelStats:
             self.rhs_builds - earlier.rhs_builds,
             self.nonlinear_stamps - earlier.nonlinear_stamps,
         )
+
+
+@dataclass
+class DescriptorSystem:
+    """Linear MNA descriptor form ``G x + C dx/dt = B u(t)`` of one kernel.
+
+    ``G`` and ``C`` are scipy.sparse CSC matrices over the full unknown
+    vector (node voltages plus source branch currents), assembled straight
+    from the compiled COO stamps -- the dense ``n x n`` arrays are never
+    materialised.  ``B`` maps the independent sources onto the equations
+    (one column per source) and :meth:`input_vector` evaluates their values
+    at a time point, so ``B @ input_vector(t)`` reproduces the kernel's
+    linear right-hand side exactly.  This is the handoff format of the
+    model-order-reduction subsystem (:mod:`repro.reduction`).
+    """
+
+    G: object
+    C: object
+    B: np.ndarray
+    sources: List[Element]
+    num_unknowns: int
+    num_nodes: int
+    gmin: float
+
+    @property
+    def num_inputs(self) -> int:
+        return self.B.shape[1]
+
+    def input_vector(
+        self, t: float, *, dt: Optional[float] = None, method: str = "trap"
+    ) -> np.ndarray:
+        """Source values ``u(t)``; ``dt=None`` evaluates the DC values."""
+        ctx = StampContext(
+            x=np.zeros(0), time=t, dt=dt, method=method, gmin=self.gmin
+        )
+        return np.array([element.value(ctx) for element in self.sources])
 
 
 def _defining_class(cls: type, name: str) -> Optional[type]:
@@ -689,6 +726,83 @@ class CompiledKernel:
             shape=base.shape,
         )
         return (base + delta.tocsc()), z
+
+    # ----------------------------------------------------------- descriptor
+
+    def descriptor_system(self, *, gmin: float = 0.0) -> DescriptorSystem:
+        """Export the kernel as a sparse ``G x + C dx/dt = B u(t)`` system.
+
+        Only strictly linear RC(+sources) circuits have this form: ``G``
+        carries the static stamps (resistors, controlled sources, voltage
+        source topology rows) plus the ``gmin`` node diagonal, ``C`` the
+        capacitor stamps, and ``B`` one column per independent source.
+        Nonlinear elements, inductors and custom dynamic elements have no
+        descriptor representation here and raise :class:`ValueError` with
+        the offending element names.
+        """
+        if not _HAVE_SCIPY_SPARSE:  # pragma: no cover - scipy-less installs
+            raise RuntimeError("scipy.sparse is required for descriptor export")
+        offending = list(self.nonlinear_elements) + list(self._inductors) + list(
+            self._other_dynamic
+        )
+        if offending:
+            names = ", ".join(e.name for e in offending[:5])
+            raise ValueError(
+                f"circuit '{self.circuit.name}' has no linear RC descriptor "
+                f"form: unsupported elements {names}"
+            )
+        for element in self.source_elements:
+            if not isinstance(element, (VoltageSource, CurrentSource)):
+                raise ValueError(
+                    f"source element '{element.name}' "
+                    f"({type(element).__name__}) cannot be mapped onto a "
+                    "descriptor input column"
+                )
+
+        n = self.n
+        rows = [self._static_rows]
+        cols = [self._static_cols]
+        vals = [self._static_vals]
+        if gmin > 0.0 and self.num_nodes:
+            idx = np.arange(self.num_nodes)
+            rows.append(idx)
+            cols.append(idx)
+            vals.append(np.full(self.num_nodes, gmin))
+        G = _sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        ).tocsc()
+
+        # Capacitor stamps from the compiled flat arrays; entries on the
+        # ground scratch slot ``n`` are dropped (ground row/col elimination).
+        a, b, c = self._cap_a, self._cap_b, self._cap_c
+        crows = np.concatenate([a, b, a, b])
+        ccols = np.concatenate([a, b, b, a])
+        cvals = np.concatenate([c, c, -c, -c])
+        keep = (crows < n) & (ccols < n)
+        C = _sparse.coo_matrix(
+            (cvals[keep], (crows[keep], ccols[keep])), shape=(n, n)
+        ).tocsc()
+
+        B = np.zeros((n, len(self.source_elements)))
+        for j, element in enumerate(self.source_elements):
+            if isinstance(element, VoltageSource):
+                B[element.branch_indices[0], j] = 1.0
+            else:
+                na, nb = element.nodes
+                if na != GROUND:
+                    B[na, j] -= 1.0
+                if nb != GROUND:
+                    B[nb, j] += 1.0
+        return DescriptorSystem(
+            G=G,
+            C=C,
+            B=B,
+            sources=list(self.source_elements),
+            num_unknowns=n,
+            num_nodes=self.num_nodes,
+            gmin=gmin,
+        )
 
 
 class AssembledPoint:

@@ -38,7 +38,7 @@ from .mna import assemble_legacy
 from .netlist import Circuit
 from .stamping import LinearTransientStepper, resolve_backend
 
-__all__ = ["TransientResult", "TransientStats", "transient"]
+__all__ = ["TransientResult", "TransientStats", "build_time_axis", "transient"]
 
 _SOLVERS = ("auto", "fast", "newton", "legacy")
 
@@ -148,6 +148,35 @@ def _collect_breakpoints(circuit: Circuit, t_stop: float) -> List[float]:
     return sorted(points)
 
 
+def build_time_axis(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    *,
+    include_breakpoints: bool = True,
+) -> np.ndarray:
+    """The simulation time axis: a uniform grid plus source breakpoints.
+
+    Shared between :func:`transient` and the reduced-order transient driver
+    (:mod:`repro.reduction.circuit`), so full and reduced runs of the same
+    circuit integrate over identical time points and can be compared
+    point-for-point.
+    """
+    num_steps = int(round(t_stop / dt))
+    times = list(np.linspace(0.0, t_stop, num_steps + 1))
+    if include_breakpoints:
+        breakpoints = _collect_breakpoints(circuit, t_stop)
+        if breakpoints:
+            merged = np.unique(np.concatenate([np.array(times), np.array(breakpoints)]))
+            # Drop points that are pathologically close to an existing one.
+            keep = [merged[0]]
+            for t in merged[1:]:
+                if t - keep[-1] > dt * 1e-6:
+                    keep.append(t)
+            times = keep
+    return np.asarray(times, dtype=float)
+
+
 def transient(
     circuit: Circuit,
     t_stop: float,
@@ -231,19 +260,9 @@ def transient(
     use_fast = solver == "fast" or (solver == "auto" and not nonlinear)
 
     # --- time axis ----------------------------------------------------------
-    num_steps = int(round(t_stop / dt))
-    times = list(np.linspace(0.0, t_stop, num_steps + 1))
-    if include_breakpoints:
-        breakpoints = _collect_breakpoints(circuit, t_stop)
-        if breakpoints:
-            merged = np.unique(np.concatenate([np.array(times), np.array(breakpoints)]))
-            # Drop points that are pathologically close to an existing one.
-            keep = [merged[0]]
-            for t in merged[1:]:
-                if t - keep[-1] > dt * 1e-6:
-                    keep.append(t)
-            times = keep
-    times = np.asarray(times, dtype=float)
+    times = build_time_axis(
+        circuit, t_stop, dt, include_breakpoints=include_breakpoints
+    )
 
     # --- initial condition ----------------------------------------------------
     if x0 is not None:

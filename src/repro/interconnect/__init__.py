@@ -3,21 +3,31 @@
 This package is the stand-in for the parasitic extractor and the network
 reduction engine the paper relies on: parallel-bus geometries are turned
 into distributed coupled RC networks, whose driving-point behaviour can be
-reduced to a coupled pi ("S-model") representation by moment matching, or to
-a PRIMA-style projection-based multiport.
+reduced to a coupled pi ("S-model") representation by moment matching.
+Projection-based (PRIMA/Krylov) reduction lives in :mod:`repro.reduction`,
+which consumes these networks through their matrices and port maps.
 """
 
 from .geometry import CoupledSegmentParasitics, ParallelBusGeometry, WireSpec
 from .moments import admittance_moments, elmore_delay, total_port_capacitance, transfer_moments
-from .mor import ReducedMultiport, prima_reduce
 from .pimodel import CoupledPiModel, PiModel, reduce_to_coupled_pi
 from .rcnetwork import CoupledRCNetwork, RCElement, build_coupled_rc_network
-from .synth import make_driven_circuit, make_rc_ladder, make_rc_mesh
+from .synth import (
+    make_coupled_pair,
+    make_driven_circuit,
+    make_rc_ladder,
+    make_rc_mesh,
+    make_rc_tree,
+    make_victim_aggressor_circuit,
+)
 
 __all__ = [
     "make_rc_ladder",
     "make_rc_mesh",
+    "make_rc_tree",
+    "make_coupled_pair",
     "make_driven_circuit",
+    "make_victim_aggressor_circuit",
     "WireSpec",
     "ParallelBusGeometry",
     "CoupledSegmentParasitics",
@@ -31,6 +41,4 @@ __all__ = [
     "PiModel",
     "CoupledPiModel",
     "reduce_to_coupled_pi",
-    "ReducedMultiport",
-    "prima_reduce",
 ]

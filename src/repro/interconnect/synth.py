@@ -10,9 +10,16 @@ victims three orders of magnitude larger, with controllable structure:
 * :func:`make_rc_mesh` -- a 2-D resistive grid with ground capacitance per
   node (power-grid / plate-like routing: bandwidth ~ ``cols``, a harder
   sparsity pattern than the ladder);
-* :func:`make_driven_circuit` -- wraps either network into a ready-to-run
-  :class:`~repro.circuit.netlist.Circuit` with a Thevenin (saturated-ramp)
-  driver at the network's driver port and a holding resistor at the far end.
+* :func:`make_rc_tree` -- a balanced RC routing tree (clock/fanout
+  topology, the widest pole spread of the set);
+* :func:`make_coupled_pair` -- victim and aggressor ladders coupled rung by
+  rung, the scalable version of the paper's two-wire noise cluster;
+* :func:`make_driven_circuit` -- wraps a single-net network into a
+  ready-to-run :class:`~repro.circuit.netlist.Circuit` with a Thevenin
+  (saturated-ramp) driver at the network's driver port and a holding
+  resistor at the far end;
+* :func:`make_victim_aggressor_circuit` -- the two-net equivalent: ramped
+  aggressor, quietly-held victim, glitch observable at the victim ports.
 
 All values default to plausible on-chip magnitudes (ohms per segment,
 femtofarads per node) so the resulting time constants sit in the
@@ -28,7 +35,14 @@ from ..circuit.sources import SaturatedRamp
 from ..units import fF, ps
 from .rcnetwork import CoupledRCNetwork
 
-__all__ = ["make_rc_ladder", "make_rc_mesh", "make_driven_circuit"]
+__all__ = [
+    "make_rc_ladder",
+    "make_rc_mesh",
+    "make_rc_tree",
+    "make_coupled_pair",
+    "make_driven_circuit",
+    "make_victim_aggressor_circuit",
+]
 
 
 def make_rc_ladder(
@@ -96,6 +110,79 @@ def make_rc_mesh(
     return network
 
 
+def make_rc_tree(
+    num_nodes: int,
+    *,
+    branching: int = 2,
+    segment_resistance: float = 100.0,
+    node_capacitance: float = fF(3),
+    net: str = "tree",
+    name: Optional[str] = None,
+) -> CoupledRCNetwork:
+    """An RC routing tree with ``num_nodes`` non-driver nodes.
+
+    Node ``<net>:k`` (``k >= 1``) hangs off its heap parent
+    ``<net>:(k-1)//branching`` through ``segment_resistance`` and carries
+    ``node_capacitance`` to ground -- a balanced ``branching``-ary clock- or
+    fanout-tree topology (``branching=1`` degenerates to the ladder).  The
+    driver port is the root ``<net>:0``; the receiver port is the last node
+    ``<net>:<num_nodes>``, one of the deepest leaves.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be at least 1, got {num_nodes}")
+    if branching < 1:
+        raise ValueError(f"branching must be at least 1, got {branching}")
+    network = CoupledRCNetwork(name or f"tree_{num_nodes}")
+    for index in range(1, num_nodes + 1):
+        parent = (index - 1) // branching
+        network.add_resistor(
+            f"{net}:{parent}", f"{net}:{index}", segment_resistance, net=net
+        )
+        network.add_capacitor(f"{net}:{index}", "0", node_capacitance, net=net)
+    network.set_ports(net, f"{net}:0", f"{net}:{num_nodes}")
+    return network
+
+
+def make_coupled_pair(
+    num_nodes: int,
+    *,
+    segment_resistance: float = 120.0,
+    node_capacitance: float = fF(4),
+    coupling_capacitance: float = fF(2),
+    victim_net: str = "vic",
+    aggressor_net: str = "agg",
+    name: Optional[str] = None,
+) -> CoupledRCNetwork:
+    """Two parallel RC ladders coupled rung by rung (the crosstalk pair).
+
+    The victim and aggressor ladders follow :func:`make_rc_ladder`'s node
+    convention, with ``coupling_capacitance`` bridging every same-index node
+    pair -- the distributed coupling structure of the paper's two-wire noise
+    clusters, scalable to thousands of nodes.  Both nets get driver/receiver
+    ports (``<net>:0`` / ``<net>:<num_nodes>``).
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be at least 1, got {num_nodes}")
+    if coupling_capacitance < 0.0:
+        raise ValueError("coupling_capacitance must be non-negative")
+    network = CoupledRCNetwork(name or f"pair_{num_nodes}")
+    for local_net in (victim_net, aggressor_net):
+        for index in range(num_nodes):
+            a, b = f"{local_net}:{index}", f"{local_net}:{index + 1}"
+            network.add_resistor(a, b, segment_resistance, net=local_net)
+            network.add_capacitor(b, "0", node_capacitance, net=local_net)
+        network.set_ports(local_net, f"{local_net}:0", f"{local_net}:{num_nodes}")
+    if coupling_capacitance > 0.0:
+        for index in range(1, num_nodes + 1):
+            network.add_capacitor(
+                f"{victim_net}:{index}",
+                f"{aggressor_net}:{index}",
+                coupling_capacitance,
+                net=victim_net,
+            )
+    return network
+
+
 def make_driven_circuit(
     network: CoupledRCNetwork,
     *,
@@ -129,4 +216,52 @@ def make_driven_circuit(
     circuit.add_resistor("RTH", "drv", network.driver_nodes[net], thevenin_resistance)
     network.instantiate(circuit)
     circuit.add_resistor("RHOLD", network.receiver_nodes[net], "0", holding_resistance)
+    return circuit
+
+
+def make_victim_aggressor_circuit(
+    network: CoupledRCNetwork,
+    *,
+    victim_net: str = "vic",
+    aggressor_net: str = "agg",
+    aggressor_resistance: float = 200.0,
+    victim_resistance: float = 500.0,
+    holding_resistance: float = 5e4,
+    swing: float = 1.2,
+    delay: float = ps(50),
+    transition: float = ps(40),
+    gmin: float = 1e-12,
+) -> Circuit:
+    """Instantiate a coupled pair into the canonical crosstalk circuit.
+
+    The aggressor net gets a saturated-ramp Thevenin driver; the victim net
+    is held quiet by ``victim_resistance`` to ground at its driver port and
+    ``holding_resistance`` at its receiver, so the voltage observed on the
+    victim is purely the coupled glitch.  Works with any network exposing
+    both port nets (typically :func:`make_coupled_pair`).
+    """
+    for required in (victim_net, aggressor_net):
+        if required not in network.driver_nodes:
+            raise KeyError(
+                f"network '{network.name}' has no net {required!r} "
+                f"(nets: {network.net_names})"
+            )
+    circuit = Circuit(f"xtalk_{network.name}", gmin=gmin)
+    circuit.add_voltage_source(
+        "VAGG", "agg_drv", "0",
+        SaturatedRamp(0.0, swing, delay=delay, transition=transition),
+    )
+    circuit.add_resistor(
+        "RAGG", "agg_drv", network.driver_nodes[aggressor_net], aggressor_resistance
+    )
+    network.instantiate(circuit)
+    circuit.add_resistor(
+        "RVIC", network.driver_nodes[victim_net], "0", victim_resistance
+    )
+    circuit.add_resistor(
+        "RHOLD_V", network.receiver_nodes[victim_net], "0", holding_resistance
+    )
+    circuit.add_resistor(
+        "RHOLD_A", network.receiver_nodes[aggressor_net], "0", holding_resistance
+    )
     return circuit

@@ -205,6 +205,16 @@ class MacromodelNetwork:
         return vector
 
     @property
+    def time_sources(self) -> List[Tuple[int, TimeSource]]:
+        """Node-index / callable pairs of the time-dependent current sources.
+
+        This is the per-source view of :meth:`source_vector`; the reduced
+        engine uses it to project each injection site onto its Krylov basis
+        once instead of rebuilding an ``n``-sized vector every step.
+        """
+        return list(self._sources)
+
+    @property
     def nonlinear_sources(self) -> List[Tuple[int, NonlinearSource]]:
         return list(self._nonlinear)
 

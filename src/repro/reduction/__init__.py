@@ -1,0 +1,47 @@
+"""Model-order reduction as a first-class analysis path.
+
+PRIMA/Krylov macromodels for large RC interconnect clusters: a block-Arnoldi
+congruence projector (:mod:`~repro.reduction.prima`), a reduced transient
+path for linear circuits (:mod:`~repro.reduction.circuit`), a reduced-order
+macromodel engine with nonlinear victim feedback
+(:mod:`~repro.reduction.engine`), the ``method="reduced"`` noise analysis
+(:mod:`~repro.reduction.analysis`) and the port-driven multiport front end
+(:mod:`~repro.reduction.multiport`).
+"""
+
+from .prima import (
+    DEFAULT_REDUCTION_ORDER,
+    REDUCTION_AUTO_THRESHOLD,
+    ReducedSystem,
+    StabilityReport,
+    check_reduced_system,
+    prima_project,
+    prima_reduce_system,
+)
+from .circuit import (
+    ReducedLinearCircuit,
+    ReducedTransientResult,
+    ReductionStats,
+    reduce_circuit,
+)
+from .engine import ReducedOrderEngine
+from .analysis import ReducedClusterAnalysis
+from .multiport import ReducedMultiport, prima_reduce
+
+__all__ = [
+    "ReducedOrderEngine",
+    "ReducedClusterAnalysis",
+    "DEFAULT_REDUCTION_ORDER",
+    "REDUCTION_AUTO_THRESHOLD",
+    "ReducedSystem",
+    "StabilityReport",
+    "check_reduced_system",
+    "prima_project",
+    "prima_reduce_system",
+    "ReducedLinearCircuit",
+    "ReducedTransientResult",
+    "ReductionStats",
+    "reduce_circuit",
+    "ReducedMultiport",
+    "prima_reduce",
+]

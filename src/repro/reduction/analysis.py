@@ -1,0 +1,171 @@
+"""The ``method="reduced"`` noise analysis: PRIMA macromodels end to end.
+
+Large noise clusters keep their full distributed RC wiring (no coupled-pi
+collapse), but the resulting thousand-node macromodel is PRIMA-projected
+before simulation: the linear interconnect shrinks to a few dozen reduced
+states while the nonlinear victim-driver table VCCS is evaluated exactly
+through its basis row (see :mod:`repro.reduction.engine`).  Small clusters
+are not worth a Krylov factorisation -- below ``reduction_threshold`` nodes
+the analysis hands the unreduced network to the dedicated engine, mirroring
+the sparse backend's auto-threshold policy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..characterization.characterizer import LibraryCharacterizer
+from ..noise.builder import ClusterModelBuilder
+from ..noise.cluster import NoiseClusterSpec
+from ..noise.engine import DedicatedNoiseEngine, MacromodelNetwork
+from ..noise.results import NoiseAnalysisResult
+from ..technology.library import CellLibrary
+from .engine import ReducedOrderEngine
+from .prima import DEFAULT_REDUCTION_ORDER, REDUCTION_AUTO_THRESHOLD
+
+__all__ = ["ReducedClusterAnalysis"]
+
+
+class ReducedClusterAnalysis:
+    """Noise analysis of full-wiring clusters through PRIMA reduction."""
+
+    method_name = "reduced"
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        *,
+        characterizer: Optional[LibraryCharacterizer] = None,
+        vccs_grid: int = 17,
+        solver_backend: str = "auto",
+        reduction_order: int = DEFAULT_REDUCTION_ORDER,
+        reduction_threshold: Optional[int] = None,
+    ):
+        """
+        Parameters
+        ----------
+        library / characterizer / vccs_grid:
+            As for :class:`~repro.noise.macromodel.MacromodelAnalysis`.
+        solver_backend:
+            Backend handed to the dedicated engine when a cluster falls
+            below the reduction threshold (the reduced path itself works on
+            dense order-sized matrices).
+        reduction_order:
+            Block-Arnoldi iterations; the reduced state count is at most
+            ``reduction_order`` times the number of injection sites.
+        reduction_threshold:
+            Macromodel node count at which projection starts to pay for
+            itself; ``None`` selects :data:`REDUCTION_AUTO_THRESHOLD`, and
+            ``0`` forces reduction for every cluster (used by the
+            differential test-suite).
+        """
+        self.library = library
+        self.characterizer = characterizer or LibraryCharacterizer(
+            library, vccs_grid=vccs_grid
+        )
+        self.vccs_grid = vccs_grid
+        self.solver_backend = solver_backend
+        self.reduction_order = reduction_order
+        self.reduction_threshold = (
+            REDUCTION_AUTO_THRESHOLD if reduction_threshold is None else reduction_threshold
+        )
+
+    # ------------------------------------------------------------------ build
+
+    def build_network(self, builder: ClusterModelBuilder) -> MacromodelNetwork:
+        """Assemble the full-wiring macromodel network for a cluster."""
+        spec = builder.spec
+        wiring = builder.wiring_network("full")
+        network = MacromodelNetwork(f"{spec.name}_reduced")
+        network.import_rc_network(wiring)
+        for aggressor in spec.aggressors:
+            thevenin = builder.aggressor_thevenin(aggressor)
+            network.add_thevenin_driver(
+                wiring.driver_nodes[aggressor.net],
+                thevenin,
+                extra_delay=aggressor.switch_time,
+            )
+        vccs = builder.victim_vccs()
+        victim_node = wiring.driver_nodes[spec.victim.net]
+        network.add_nonlinear_source(victim_node, vccs.current)
+        return network
+
+    # ---------------------------------------------------------------- analyse
+
+    def analyze(
+        self,
+        spec: NoiseClusterSpec,
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+        builder: Optional[ClusterModelBuilder] = None,
+    ) -> NoiseAnalysisResult:
+        """Run the reduced-order analysis of one noise cluster.
+
+        As in the macromodel analysis, the reported runtime covers only the
+        model evaluation -- including the Krylov projection, which is paid
+        per cluster -- and not the shared library characterisation.
+        """
+        builder = builder or ClusterModelBuilder(
+            self.library, spec, characterizer=self.characterizer, vccs_grid=self.vccs_grid
+        )
+        builder.victim_surface()
+        for aggressor in spec.aggressors:
+            builder.aggressor_thevenin(aggressor)
+        wiring = builder.wiring_network("full")
+        network = self.build_network(builder)
+
+        default_t_stop, default_dt = builder.simulation_window(dt)
+        t_stop = t_stop if t_stop is not None else default_t_stop
+        dt = dt if dt is not None else default_dt
+
+        victim_node = wiring.driver_nodes[spec.victim.net]
+        receiver_node = wiring.receiver_nodes[spec.victim.net]
+        observe = [victim_node, receiver_node] + [
+            wiring.driver_nodes[a.net] for a in spec.aggressors
+        ]
+
+        reduce = network.num_nodes >= self.reduction_threshold
+        start = time.perf_counter()
+        if reduce:
+            engine = ReducedOrderEngine(network, reduction_order=self.reduction_order)
+            waveforms = engine.simulate(t_stop, dt, observe=observe)
+            order = engine.order
+            backend = "reduced"
+        else:
+            engine = DedicatedNoiseEngine(network, solver_backend=self.solver_backend)
+            waveforms = engine.simulate(t_stop, dt, observe=observe)
+            order = network.num_nodes
+            backend = engine.resolved_backend
+        runtime = time.perf_counter() - start
+
+        victim_waveform = waveforms[victim_node]
+        metrics = victim_waveform.glitch_metrics(baseline=builder.victim_quiet_level())
+
+        label = f"order={order}" if reduce else "direct"
+        return NoiseAnalysisResult(
+            method=f"{self.method_name}({label})",
+            victim_waveform=victim_waveform,
+            metrics=metrics,
+            runtime_seconds=runtime,
+            waveforms={
+                "victim_driving_point": victim_waveform,
+                "victim_receiver": waveforms.get(receiver_node, victim_waveform),
+                **{
+                    f"aggressor:{a.net}": waveforms[wiring.driver_nodes[a.net]]
+                    for a in spec.aggressors
+                    if wiring.driver_nodes[a.net] in waveforms
+                },
+            },
+            details={
+                "engine_statistics": engine.statistics,
+                "solver_backend": backend,
+                "reduced": reduce,
+                "reduction_order": self.reduction_order,
+                "num_states": order if reduce else network.num_nodes,
+                "num_unknowns": network.num_nodes,
+                "dt": dt,
+                "t_stop": t_stop,
+            },
+        )

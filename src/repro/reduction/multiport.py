@@ -1,31 +1,18 @@
-"""Projection-based model order reduction (PRIMA-style).
+"""Port-driven PRIMA multiports for coupled RC wiring networks.
 
-Besides the coupled pi model, the library provides a passive
-projection-based reduction of the coupled interconnect, in the spirit of
-PRIMA.  The reduced model is not realised as an RC circuit (a general
-congruence-reduced system has no simple RC realisation); instead it is kept
-as a descriptor state-space multiport that can be queried for its admittance
-moments and frequency response, and used to verify how many moments the pi
-model misses.  This is the "network reduction for crosstalk analysis"
-substrate cited by the paper ([5], [8]).
-
-Formulation
------------
-The port-voltage-driven bordered MNA system of the wiring is
+This is the network-level front end of the reduction core: a
+:class:`~repro.interconnect.rcnetwork.CoupledRCNetwork` with driving-point
+ports is written in the port-voltage-driven bordered MNA form
 
     A0 x + A1 dx/dt = P e(t),     i(t) = P' x
 
 with ``x = [node voltages; port currents]``, ``e`` the port voltages and
-``i`` the port currents (see :mod:`repro.interconnect.moments`).  A block
-Arnoldi iteration on ``(A0 + s0 A1)^{-1} A1`` with starting block
-``(A0 + s0 A1)^{-1} P`` produces an orthonormal basis ``V``; the reduced
-system is obtained by congruence:
-
-    A0r = V' A0 V,   A1r = V' A1 V,   Pr = V' P.
-
-Congruence preserves passivity of the symmetric positive semi-definite RC
-matrices and matches ``2q`` moments about the expansion point ``s0`` for a
-basis of ``q`` block iterations.
+``i`` the port currents (the same formulation as
+:mod:`repro.interconnect.moments`), and congruence-projected with
+:func:`~repro.reduction.prima.prima_project`.  The reduced model is kept as
+a descriptor multiport that can be queried for admittance moments and
+frequency response -- the "network reduction for crosstalk analysis"
+substrate cited by the paper ([5], [8]).
 """
 
 from __future__ import annotations
@@ -35,7 +22,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .rcnetwork import CoupledRCNetwork
+from ..interconnect.rcnetwork import CoupledRCNetwork
+from .prima import prima_project
 
 __all__ = ["ReducedMultiport", "prima_reduce"]
 
@@ -112,7 +100,6 @@ def prima_reduce(
         conditioned for floating RC nets.
     """
     A0, A1, P = _bordered(network)
-    num_ports = P.shape[1]
 
     if s0 is None:
         # Rough time-constant estimate: total resistance * total capacitance.
@@ -121,37 +108,11 @@ def prima_reduce(
         tau = max(total_r * total_c, 1e-15)
         s0 = 1.0 / tau
 
-    shifted = A0 + s0 * A1
-    solve = np.linalg.solve
-
-    # Block Arnoldi with modified Gram-Schmidt orthogonalisation.
-    blocks: List[np.ndarray] = []
-    r = solve(shifted, P)
-    q_block, _ = np.linalg.qr(r)
-    blocks.append(q_block)
-    for _ in range(1, num_block_iterations):
-        r = solve(shifted, A1 @ blocks[-1])
-        # Orthogonalise against all previous blocks.
-        for previous in blocks:
-            r = r - previous @ (previous.T @ r)
-        norms = np.linalg.norm(r, axis=0)
-        keep = norms > 1e-14 * max(norms.max(), 1.0)
-        if not np.any(keep):
-            break
-        q_block, _ = np.linalg.qr(r[:, keep])
-        blocks.append(q_block)
-
-    V = np.hstack(blocks)
-    # A final orthonormalisation pass for numerical hygiene.
-    V, _ = np.linalg.qr(V)
-
-    a0r = V.T @ A0 @ V
-    a1r = V.T @ A1 @ V
-    pr = V.T @ P
+    V = prima_project(A0, A1, P, order=num_block_iterations, s0=s0)
     return ReducedMultiport(
-        a0=a0r,
-        a1=a1r,
-        p=pr,
+        a0=V.T @ A0 @ V,
+        a1=V.T @ A1 @ V,
+        p=V.T @ P,
         ports=network.port_nodes(),
         s0=s0,
         projection=V,

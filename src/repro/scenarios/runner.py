@@ -100,6 +100,9 @@ def _analyze_scenario(scenario: Scenario, config: AnalysisConfig) -> ScenarioRes
             # across backends (characterised models still flow through the
             # persistent disk cache, which is backend-independent).
             config = config.replace(solver_backend=scenario.solver_backend)
+        if scenario.reduction_order is not None:
+            # Same pattern for the PRIMA-order axis of method="reduced".
+            config = config.replace(reduction_order=scenario.reduction_order)
         session = _session_for(scenario, config)
         report = session.analyze(scenario.cluster, label=scenario.scenario_id)
     except Exception as exc:

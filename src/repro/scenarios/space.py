@@ -221,6 +221,11 @@ class Scenario:
     #: Lets one sweep mix backends -- e.g. dense oracle scenarios next to
     #: sparse large-cluster scenarios -- for differential validation.
     solver_backend: Optional[str] = None
+    #: Per-scenario PRIMA order override for ``method="reduced"``; ``None``
+    #: inherits the sweep config's ``reduction_order``.  Makes the reduction
+    #: order a sweepable accuracy/cost axis (see
+    #: :attr:`ScenarioSpace.reduction_orders`).
+    reduction_order: Optional[int] = None
 
     @property
     def corner_name(self) -> str:
@@ -239,6 +244,8 @@ class Scenario:
             # Only an explicit override becomes an axis: default scenarios
             # keep their historical axes (and aggregation keys) unchanged.
             axes += (("backend", self.solver_backend),)
+        if self.reduction_order is not None:
+            axes += (("reduction_order", str(self.reduction_order)),)
         return axes
 
     def session_key(self) -> Tuple:
@@ -282,6 +289,11 @@ class ScenarioSpace:
     #: Optional solver-backend override stamped onto every expanded
     #: scenario; ``None`` (default) lets the sweep config decide.
     solver_backend: Optional[str] = None
+    #: Optional PRIMA-order axis for ``method="reduced"`` sweeps: each value
+    #: expands into its own scenario (crossed with corners, geometry and
+    #: Monte-Carlo), so one sweep characterises the accuracy/cost knee of
+    #: the reduction.  ``None`` keeps the config's single order.
+    reduction_orders: Optional[Sequence[int]] = None
 
     def __post_init__(self):
         if not self.corners:
@@ -304,6 +316,17 @@ class ScenarioSpace:
                 f"unknown solver_backend {self.solver_backend!r}; "
                 f"valid: None or one of {SOLVER_BACKENDS}"
             )
+        if self.reduction_orders is not None:
+            orders = tuple(int(order) for order in self.reduction_orders)
+            if not orders:
+                raise ValueError("reduction_orders must be None or non-empty")
+            if any(order < 1 for order in orders):
+                raise ValueError(
+                    f"reduction orders must be at least 1, got {orders}"
+                )
+            if len(set(orders)) != len(orders):
+                raise ValueError("reduction orders must be unique")
+            self.reduction_orders = orders
         get_technology(self.technology)
         self.corners = resolved
         self.geometry = tuple(self.geometry)
@@ -312,7 +335,8 @@ class ScenarioSpace:
 
     def __len__(self) -> int:
         samples = self.monte_carlo.num_samples if self.monte_carlo else 1
-        return len(self.corners) * len(self.geometry) * samples
+        orders = len(self.reduction_orders) if self.reduction_orders else 1
+        return len(self.corners) * len(self.geometry) * orders * samples
 
     def resolved_corners(self) -> Tuple[ProcessCorner, ...]:
         """The corner axis as :class:`ProcessCorner` objects.
@@ -327,35 +351,45 @@ class ScenarioSpace:
     def expand(self) -> List[Scenario]:
         """All scenarios of the space, in deterministic axis-major order."""
         scenarios: List[Scenario] = []
+        order_axis: Tuple[Optional[int], ...] = (
+            tuple(self.reduction_orders) if self.reduction_orders else (None,)
+        )
         for corner in self.resolved_corners():
             for variant in self.geometry:
                 cluster = variant.apply_to(self.base)
-                prefix = f"{self.name}/{self.technology}/{corner.name}/{variant.label}"
-                if self.monte_carlo is None:
-                    scenarios.append(
-                        Scenario(
-                            scenario_id=prefix,
-                            base_technology=self.technology,
-                            corner=corner,
-                            cluster=cluster,
-                            geometry_label=variant.label,
-                            solver_backend=self.solver_backend,
-                        )
+                for order in order_axis:
+                    prefix = (
+                        f"{self.name}/{self.technology}/{corner.name}/{variant.label}"
                     )
-                    continue
-                for index in range(self.monte_carlo.num_samples):
-                    scenarios.append(
-                        Scenario(
-                            scenario_id=f"{prefix}/mc{index:03d}",
-                            base_technology=self.technology,
-                            corner=corner,
-                            cluster=cluster,
-                            geometry_label=variant.label,
-                            variation=self.monte_carlo.sample(index),
-                            sample_index=index,
-                            solver_backend=self.solver_backend,
+                    if order is not None:
+                        prefix += f"/q{order}"
+                    if self.monte_carlo is None:
+                        scenarios.append(
+                            Scenario(
+                                scenario_id=prefix,
+                                base_technology=self.technology,
+                                corner=corner,
+                                cluster=cluster,
+                                geometry_label=variant.label,
+                                solver_backend=self.solver_backend,
+                                reduction_order=order,
+                            )
                         )
-                    )
+                        continue
+                    for index in range(self.monte_carlo.num_samples):
+                        scenarios.append(
+                            Scenario(
+                                scenario_id=f"{prefix}/mc{index:03d}",
+                                base_technology=self.technology,
+                                corner=corner,
+                                cluster=cluster,
+                                geometry_label=variant.label,
+                                variation=self.monte_carlo.sample(index),
+                                sample_index=index,
+                                solver_backend=self.solver_backend,
+                                reduction_order=order,
+                            )
+                        )
         return scenarios
 
     def describe(self) -> str:
@@ -366,7 +400,13 @@ class ScenarioSpace:
             if self.monte_carlo
             else ""
         )
+        orders = (
+            ", reduction orders " + "/".join(str(o) for o in self.reduction_orders)
+            if self.reduction_orders
+            else ""
+        )
         return (
             f"ScenarioSpace '{self.name}' on {self.technology}: "
-            f"corners {corners}, geometry {geometry}{mc} -> {len(self)} scenarios"
+            f"corners {corners}, geometry {geometry}{orders}{mc} "
+            f"-> {len(self)} scenarios"
         )

@@ -76,6 +76,38 @@ class TestGateErrors:
         current.write_text(json.dumps({"summary": {}}))
         assert run_gate(baseline_path, current) == 2
 
+    def test_missing_key_message_lists_available_keys(self, tmp_path, baseline_path, capsys):
+        # A summary without the gated key must produce a clear, single-line
+        # error naming the missing key and what the record actually holds --
+        # not a KeyError traceback.
+        current = tmp_path / "current.json"
+        current.write_text(
+            json.dumps({"summary": {"other_metric": 1.0, "runtime_seconds": 2.0}})
+        )
+        assert run_gate(baseline_path, current) == 2
+        err = capsys.readouterr().err
+        assert "ERROR:" in err
+        assert "linear_speedup_geomean" in err
+        assert "other_metric" in err and "runtime_seconds" in err
+        # MetricError str() must not carry KeyError's extra quoting.
+        assert 'ERROR: "' not in err
+
+    def test_metric_path_into_non_object(self, tmp_path, baseline_path, capsys):
+        # Dotted path descends into a scalar: say so instead of KeyError.
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"summary": 3.0}))
+        assert run_gate(baseline_path, current) == 2
+        err = capsys.readouterr().err
+        assert "not an object" in err
+
+    def test_read_metric_raises_metric_error(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps({"summary": {"a": 1.0}}))
+        with pytest.raises(check_regression.MetricError, match="available here: a"):
+            check_regression.read_metric(str(path), "summary.missing")
+        with pytest.raises(check_regression.MetricError, match="not a number"):
+            check_regression.read_metric(str(path), "summary")
+
     def test_missing_file_is_a_config_error(self, tmp_path, baseline_path):
         assert run_gate(baseline_path, tmp_path / "nope.json") == 2
 

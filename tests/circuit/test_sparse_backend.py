@@ -22,7 +22,14 @@ from repro.circuit.stamping import (
     SparseLinearSolver,
     resolve_backend,
 )
-from repro.interconnect import make_driven_circuit, make_rc_ladder, make_rc_mesh
+from repro.interconnect import (
+    make_coupled_pair,
+    make_driven_circuit,
+    make_rc_ladder,
+    make_rc_mesh,
+    make_rc_tree,
+    make_victim_aggressor_circuit,
+)
 from repro.units import fF, ps
 
 #: Sparse and dense must agree to this tolerance on every path.
@@ -161,6 +168,20 @@ class TestSynthesizedNetworks:
     def test_mesh_agrees(self):
         dense, sparse = _run_both(
             lambda: make_driven_circuit(make_rc_mesh(12, 12)), t_stop=ps(200)
+        )
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    def test_tree_agrees(self):
+        dense, sparse = _run_both(
+            lambda: make_driven_circuit(make_rc_tree(300, branching=3)),
+            t_stop=ps(200),
+        )
+        assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
+
+    def test_coupled_pair_agrees(self):
+        dense, sparse = _run_both(
+            lambda: make_victim_aggressor_circuit(make_coupled_pair(150)),
+            t_stop=ps(200),
         )
         assert np.max(np.abs(dense.solutions - sparse.solutions)) < MAX_DV
 

@@ -13,11 +13,11 @@ from repro.interconnect import (
     admittance_moments,
     build_coupled_rc_network,
     elmore_delay,
-    prima_reduce,
     reduce_to_coupled_pi,
     total_port_capacitance,
     transfer_moments,
 )
+from repro.reduction import prima_reduce
 from repro.technology import get_technology
 from repro.units import fF, to_fF
 

@@ -45,6 +45,25 @@ def serial_report(small_space, tmp_path_factory):
     return config, SweepRunner(config, num_workers=1).run(small_space)
 
 
+class TestReducedMethodSweep:
+    def test_reduction_order_axis_runs_end_to_end(self, base, tmp_path):
+        reset_worker_sessions()
+        config = dataclasses.replace(
+            CONFIG,
+            methods=("reduced",),
+            reduction_threshold=0,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        space = ScenarioSpace(base=base, corners=("tt",), reduction_orders=(6, 10))
+        report = SweepRunner(config, num_workers=1).run(space)
+        assert len(report) == 2 and not report.errors
+        for result in report:
+            assert result.ok and result.peaks["reduced"] != 0.0
+        by_order = report.by_axis("reduction_order")
+        assert set(by_order) == {"6", "10"}
+        assert all(stats.count == 1 for stats in by_order.values())
+
+
 class TestSerialRun:
     def test_results_complete_and_ordered(self, small_space, serial_report):
         _, report = serial_report

@@ -142,6 +142,39 @@ class TestScenarioSpace:
             ScenarioSpace(base=base, technology="nosuch")
 
 
+class TestReductionAxis:
+    def test_orders_multiply_the_space(self, base):
+        space = ScenarioSpace(
+            base=base,
+            corners=("tt", "ss"),
+            reduction_orders=(4, 8, 12),
+            monte_carlo=MonteCarloModel(num_samples=2, seed=5),
+        )
+        scenarios = space.expand()
+        assert len(scenarios) == len(space) == 2 * 3 * 2
+        ids = [scenario.scenario_id for scenario in scenarios]
+        assert len(set(ids)) == len(ids)
+        assert {s.reduction_order for s in scenarios} == {4, 8, 12}
+
+    def test_order_appears_in_id_and_axes(self, base):
+        space = ScenarioSpace(base=base, corners=("tt",), reduction_orders=(8,))
+        scenario = space.expand()[0]
+        assert "/q8" in scenario.scenario_id
+        assert ("reduction_order", "8") in scenario.axes()
+        assert "reduction orders 8" in space.describe()
+
+    def test_no_axis_when_unset(self, base):
+        scenario = ScenarioSpace(base=base, corners=("tt",)).expand()[0]
+        assert scenario.reduction_order is None
+        assert all(name != "reduction_order" for name, _ in scenario.axes())
+        assert "/q" not in scenario.scenario_id
+
+    @pytest.mark.parametrize("orders", [(), (0,), (8, 8)])
+    def test_validation(self, base, orders):
+        with pytest.raises(ValueError):
+            ScenarioSpace(base=base, corners=("tt",), reduction_orders=orders)
+
+
 class TestScenario:
     def test_scenarios_are_picklable(self, base):
         space = ScenarioSpace(
