@@ -40,6 +40,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import faults
 from repro.api import AnalysisConfig
 from repro.experiments import figure1_cluster
 from repro.scenarios import (
@@ -91,6 +92,54 @@ def run_phase(label, scenarios, config, num_workers):
     return row, report
 
 
+def time_fault_overhead(scenarios, config):
+    """Cost of the armed fault-tolerance machinery on a fault-free sweep.
+
+    Times serial warm-cache sweeps (best of 2 each) with the machinery off
+    (``degradation=False``, no fault plan) and on (degradation ladder armed
+    plus an installed fault plan that never matches -- the honest worst
+    case of idle fault hooks on the hot path).  The ratio is gated in CI:
+    resilience must cost the fault-free path at most a few percent.
+    """
+
+    def best_of(repeats, run_config, plan=None):
+        best = float("inf")
+        for _ in range(repeats):
+            reset_worker_sessions()
+            start = time.perf_counter()
+            if plan is not None:
+                with faults.plan_active(plan):
+                    SweepRunner(run_config).run(scenarios)
+            else:
+                SweepRunner(run_config).run(scenarios)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    idle_plan = faults.FaultPlan(
+        [
+            faults.FaultSpec(
+                site="solve", kind="singular", match="no-such-scenario/*"
+            )
+        ]
+    )
+    plain = best_of(2, config.replace(degradation=False))
+    tolerant = best_of(2, config, plan=idle_plan)
+    speedup = plain / tolerant
+    print(
+        f"fault overhead   plain={plain:.2f} s  armed={tolerant:.2f} s  "
+        f"ratio={speedup:.3f} (1.0 = free)"
+    )
+    return {
+        "plain_seconds": plain,
+        "tolerant_seconds": tolerant,
+        # Ratios above 1.0 are timing noise; cap the gated value so a lucky
+        # baseline cannot make the CI regression gate stricter than the
+        # intended "at most 5% slower than free".
+        "fault_overhead_speedup": min(speedup, 1.0),
+        "raw_ratio": speedup,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke configuration")
@@ -133,6 +182,7 @@ def main(argv=None):
         cold_config = config.replace(cache_dir=cold_dir)
         row, _ = run_phase(f"workers{top}_cold", scenarios, cold_config, top)
         rows.append(row)
+        overhead = time_fault_overhead(scenarios, config)
     finally:
         shutil.rmtree(warm_dir, ignore_errors=True)
         shutil.rmtree(cold_dir, ignore_errors=True)
@@ -164,6 +214,8 @@ def main(argv=None):
             by_phase["serial_cold"]["seconds"] / by_phase["serial_warm"]["seconds"]
         ),
         "deterministic": not any("non-deterministic" in f for f in failures),
+        "fault_overhead": overhead,
+        "fault_overhead_speedup": overhead["fault_overhead_speedup"],
         "worst_case": {
             "scenario_id": worst.scenario_id,
             "peak": worst.peaks["macromodel"],

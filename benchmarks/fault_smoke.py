@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI fault-smoke: a worker pool under injected crashes, hangs and singulars.
+
+Runs a five-corner sweep twice -- once fault-free and serial (the golden
+numbers), once on two spawned worker processes under a deterministic
+:mod:`repro.faults` plan that
+
+* kills the worker (``os._exit``) on every attempt of one corner,
+* wedges the worker on another (caught by the stall detector),
+* kills the worker exactly once on a third (cross-process ledger budget),
+* injects a budgeted singular dense factorisation on a fourth
+  (absorbed by the in-core stepping or the degradation ladder),
+
+and gates the fault-tolerance contract:
+
+* the sweep completes without raising and loses zero scenarios;
+* exactly the two unrecoverable corners are quarantined;
+* every healthy scenario reproduces the fault-free peaks bit-identically;
+* the report's ``SweepHealth`` actually records the recovery work.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fault_smoke.py [--output report.json]
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import faults
+from repro.api import AnalysisConfig
+from repro.experiments import figure1_cluster
+from repro.scenarios import ScenarioSpace, SweepRunner, reset_worker_sessions
+
+#: Corner -> injected fault (the other corners must come through untouched).
+CRASH_ALWAYS = "ff"
+HANG = "ss"
+CRASH_ONCE = "sf"
+SINGULAR = "tt"
+CLEAN = "fs"
+
+
+def build_plan(ledger_dir):
+    return {
+        "ledger_dir": ledger_dir,
+        "faults": [
+            {"site": "scenario", "kind": "crash", "match": f"*/{CRASH_ALWAYS}/*"},
+            {
+                "site": "scenario",
+                "kind": "hang",
+                "match": f"*/{HANG}/*",
+                "hang_seconds": 300.0,
+            },
+            {
+                "site": "scenario",
+                "kind": "crash",
+                "match": f"*/{CRASH_ONCE}/*",
+                "max_trips": 1,
+            },
+            {
+                "site": "solve",
+                "kind": "singular",
+                "match": f"*/{SINGULAR}/*",
+                "max_trips": 2,
+            },
+        ],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, help="optional JSON report path")
+    args = parser.parse_args(argv)
+
+    space = ScenarioSpace(
+        base=figure1_cluster(length_um=200.0, num_segments=3),
+        technology="cmos130",
+        corners=("tt", "ff", "ss", "fs", "sf"),
+    )
+    ids = [scenario.scenario_id for scenario in space.expand()]
+    by_corner = {sid.split("/")[-2]: sid for sid in ids}
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-fault-smoke-")
+    ledger_dir = tempfile.mkdtemp(prefix="repro-fault-ledger-")
+    config = AnalysisConfig(
+        methods=("macromodel",), vccs_grid=5, check_nrc=False, dt=4e-12,
+        cache_dir=cache_dir,
+    )
+    failures = []
+    try:
+        reset_worker_sessions()
+        baseline = SweepRunner(config).run(space)
+        if baseline.errors:
+            failures.append("fault-free baseline sweep has errors")
+
+        os.environ[faults.FAULT_PLAN_ENV] = json.dumps(build_plan(ledger_dir))
+        try:
+            runner = SweepRunner(
+                config,
+                num_workers=2,
+                shard_size=1,
+                mp_context=multiprocessing.get_context("spawn"),
+                max_retries=1,
+                shard_timeout_s=10.0,
+                retry_backoff_s=0.05,
+            )
+            report = runner.run(space)
+        finally:
+            del os.environ[faults.FAULT_PLAN_ENV]
+            faults.clear_plan()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(ledger_dir, ignore_errors=True)
+
+    print(report.text())
+    health = report.health
+
+    # Gate 1: zero lost scenarios, input order preserved.
+    got = [result.scenario_id for result in report.results]
+    if got != ids:
+        failures.append(f"scenarios lost or reordered: expected {ids}, got {got}")
+
+    # Gate 2: exactly the unrecoverable corners are quarantined.
+    expected_quarantine = {by_corner[CRASH_ALWAYS], by_corner[HANG]}
+    if set(health.quarantined) != expected_quarantine:
+        failures.append(
+            f"quarantine mismatch: expected {sorted(expected_quarantine)}, "
+            f"got {sorted(health.quarantined)}"
+        )
+
+    # Gate 3: recovered and untouched scenarios are ok and bit-identical to
+    # the fault-free run (the singular corner is allowed to be merely ok --
+    # a degradation-ladder rung may legitimately produce different last-ulp
+    # numbers on another backend).
+    for corner in (CRASH_ONCE, CLEAN):
+        sid = by_corner[corner]
+        result = report.result(sid)
+        if not result.ok:
+            failures.append(f"{sid} failed under faults: {result.error}")
+        elif result.peaks != baseline.result(sid).peaks:
+            failures.append(f"{sid} peaks differ from the fault-free run")
+    recovered = report.result(by_corner[CRASH_ONCE])
+    if recovered.ok and recovered.attempts < 2:
+        failures.append(
+            f"{recovered.scenario_id} should have needed a retry "
+            f"(attempts={recovered.attempts})"
+        )
+    singular = report.result(by_corner[SINGULAR])
+    if not singular.ok:
+        failures.append(
+            f"{singular.scenario_id} did not survive the singular fault: "
+            f"{singular.error}"
+        )
+
+    # Gate 4: the health record shows the machinery actually engaged.
+    if health.worker_crashes < 1:
+        failures.append("health.worker_crashes not recorded")
+    if health.pool_rebuilds < 1:
+        failures.append("health.pool_rebuilds not recorded")
+    if health.timeouts < 1:
+        failures.append("health.timeouts not recorded (stall detector idle)")
+    if not health.events:
+        failures.append("health.events is empty")
+    if not health.faults_seen:
+        failures.append("health.faults_seen is False despite injected faults")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                {
+                    "benchmark": "fault_smoke",
+                    "scenarios": ids,
+                    "health": health.to_dict(),
+                    "failures": failures,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(args.output)}")
+
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"fault smoke OK: {len(ids)} scenarios, "
+        f"{len(health.quarantined)} quarantined, "
+        f"{health.pool_rebuilds} pool rebuilds, {health.retries} retries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,14 @@ class AnalysisConfig:
         scipy.sparse ``splu`` for large systems and dense LAPACK for small
         ones (see :data:`repro.circuit.stamping.SPARSE_AUTO_THRESHOLD`);
         ``"dense"`` / ``"sparse"`` force one side everywhere.
+    degradation:
+        Whether batch executors (the scenario sweep runner) route clusters
+        through the numerical degradation ladder
+        (:mod:`repro.resilience`): on a numerical failure or a rejected
+        result the cluster is retried on progressively more conservative
+        configurations (``reduced -> sparse -> dense``) instead of erroring
+        out.  ``True`` by default; turn off for baselines that must observe
+        raw first-try failures.
     max_workers:
         Default parallelism of ``analyze_many``/``run_design``; 1 runs
         sequentially.
@@ -88,6 +96,7 @@ class AnalysisConfig:
     reduction_threshold: Optional[int] = None
     vccs_grid: int = 17
     solver_backend: str = "auto"
+    degradation: bool = True
     check_nrc: bool = True
     nrc_widths: Optional[Tuple[float, ...]] = None
     max_workers: int = 1
@@ -179,6 +188,7 @@ class AnalysisConfig:
             f"reduction={self.reduction!r}, reduction_order={self.reduction_order}, "
             f"vccs_grid={self.vccs_grid}, "
             f"solver_backend={self.solver_backend!r}, "
+            f"degradation={self.degradation}, "
             f"check_nrc={self.check_nrc}, max_workers={self.max_workers}, "
             f"cache_dir={self.cache_dir!r})"
         )

@@ -10,6 +10,7 @@ aggregates the cluster reports of a batch (``analyze_many``) or design run
 
 from __future__ import annotations
 
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -18,7 +19,24 @@ from ..noise.cluster import NoiseClusterSpec
 from ..noise.engine import EngineStatistics
 from ..noise.results import NoiseAnalysisResult, format_comparison_table
 
-__all__ = ["ClusterError", "ClusterReport", "SessionReport"]
+__all__ = ["ClusterError", "ClusterReport", "SessionReport", "exception_chain"]
+
+
+def exception_chain(exc: BaseException) -> Tuple[str, ...]:
+    """``("Type: message", ...)`` for ``exc`` and its cause/context chain.
+
+    Walks ``__cause__`` first (explicit ``raise ... from``), falling back to
+    ``__context__``, with cycle protection -- the same order tracebacks
+    print the chain.  The first entry is the outermost exception.
+    """
+    entries: List[str] = []
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        entries.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return tuple(entries)
 
 
 @dataclass(frozen=True)
@@ -39,6 +57,21 @@ class ClusterError:
     #: failure happened; empty when the failure preceded method dispatch
     #: (characterisation, model building, NRC lookup).
     method: str = ""
+    #: ``"Type: message"`` entries of the exception and its ``__cause__`` /
+    #: ``__context__`` chain, outermost first.  A ``SingularMatrixError``
+    #: wrapped in a builder failure stays diagnosable from the report alone.
+    cause_chain: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, method: str = "") -> "ClusterError":
+        """Build the structured record from a live exception (with chain)."""
+        return cls(
+            exception_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=_traceback.format_exc(),
+            method=method or getattr(exc, "_repro_active_method", ""),
+            cause_chain=exception_chain(exc),
+        )
 
     def summary(self) -> str:
         where = f" in method '{self.method}'" if self.method else ""
@@ -62,6 +95,10 @@ class ClusterReport:
     #: ``results`` is then empty -- a cluster either completes every
     #: requested method or reports the failure, never a partial answer.
     error: Optional[ClusterError] = None
+    #: One line per rejected attempt when the numerical degradation ladder
+    #: (:func:`repro.resilience.resilient_analyze`) produced this report
+    #: from a lower rung; empty for a first-try result.
+    degradation: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:

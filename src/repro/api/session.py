@@ -21,7 +21,6 @@ and every example/benchmark driver -- by registering a factory.
 from __future__ import annotations
 
 import time
-import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -149,6 +148,32 @@ class NoiseAnalysisSession:
             runtime_seconds=runtime,
         )
 
+    def analyze_resilient(
+        self,
+        spec: NoiseClusterSpec,
+        *,
+        dt: Optional[float] = None,
+        t_stop: Optional[float] = None,
+        check_nrc: Optional[bool] = None,
+        label: Optional[str] = None,
+    ) -> ClusterReport:
+        """:meth:`analyze` behind the numerical degradation ladder.
+
+        A cluster that dies of a numerical failure (singular factorisation,
+        non-convergent Newton) or fails a result screen is retried on
+        progressively more conservative configurations
+        (``reduced -> sparse -> dense``, see :mod:`repro.resilience`);
+        derived rung sessions share this session's characterizer, so
+        retries never re-characterise.  The accepted report carries the
+        rejected attempts in :attr:`ClusterReport.degradation`.
+        """
+        from ..resilience import resilient_analyze
+
+        report, _ = resilient_analyze(
+            self, spec, label=label, dt=dt, t_stop=t_stop, check_nrc=check_nrc
+        )
+        return report
+
     # ------------------------------------------------------------------ batch
 
     def warm_characterization(
@@ -263,12 +288,7 @@ class NoiseAnalysisSession:
                     spec=specs[index],
                     results={},
                     runtime_seconds=time.perf_counter() - start,
-                    error=ClusterError(
-                        exception_type=type(exc).__name__,
-                        message=str(exc),
-                        traceback_text=traceback.format_exc(),
-                        method=getattr(exc, "_repro_active_method", ""),
-                    ),
+                    error=ClusterError.from_exception(exc),
                 )
 
         if parallel:

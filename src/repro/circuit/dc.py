@@ -41,6 +41,10 @@ class DCSolution:
     x: np.ndarray
     iterations: int
     gmin: float
+    #: Which strategy converged: "newton" (plain), "gmin-stepping" or
+    #: "source-stepping" -- surfaces *how hard* the operating point was,
+    #: which the degradation ladder and reports use as a conditioning hint.
+    strategy: str = "newton"
 
     def voltage(self, node_name: str) -> float:
         """Voltage of the named node (0.0 for ground)."""
@@ -216,7 +220,9 @@ def dc_operating_point(
                 if gmin_value <= target_gmin:
                     break
                 gmin_value = max(gmin_value / 10.0, target_gmin)
-            return DCSolution(circuit, x, total_iterations, target_gmin)
+            return DCSolution(
+                circuit, x, total_iterations, target_gmin, strategy="gmin-stepping"
+            )
         except (ConvergenceError, SingularMatrixError):
             pass
 
@@ -236,7 +242,9 @@ def dc_operating_point(
                     backend=backend,
                 )
                 total_iterations += iters
-            return DCSolution(circuit, x, total_iterations, target_gmin)
+            return DCSolution(
+                circuit, x, total_iterations, target_gmin, strategy="source-stepping"
+            )
         except (ConvergenceError, SingularMatrixError):
             pass
 

@@ -22,6 +22,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import faults
 from .elements import StampContext
 from .netlist import Circuit
 from .stamping import SingularMatrixError
@@ -80,6 +81,12 @@ def solve_linear_system(A, z: np.ndarray) -> np.ndarray:
         from .stamping import SparseLinearSolver
 
         return SparseLinearSolver(A).solve(z)
+    # Injected "singular" faults emulate a failing *dense* factorisation
+    # (the sparse backend's pivoting survives the same system), which is
+    # exactly the situation the degradation ladder's sparse rung recovers
+    # from end to end.
+    if faults.fire("solve") == "singular":
+        raise SingularMatrixError("injected singular matrix [fault plan]")
     try:
         x = np.linalg.solve(A, z)
     except np.linalg.LinAlgError as exc:

@@ -63,6 +63,10 @@ class TransientStats:
     lu_reuse_hits: int = 0
     matrix_factorizations: int = 0
     rhs_builds: int = 0
+    #: One entry per time point rescued by a retry rung (backward Euler,
+    #: then damped backward Euler), e.g. ``"t=1.2e-10: be"`` -- the
+    #: transient-level analogue of DC gmin/source stepping.
+    recoveries: List[str] = field(default_factory=list)
 
 
 def _quantize_dt(dt: float) -> float:
@@ -373,6 +377,16 @@ def _run_newton_path(
     prev_state = state0
     prev_x = x
     total_newton = 0
+    recoveries: List[str] = []
+
+    # Per-point retry rungs after plain (trapezoidal) Newton fails:
+    # backward Euler is more forgiving near sharp transitions, and a
+    # heavily damped backward Euler with a larger budget globalises the
+    # iteration when full steps oscillate.
+    retry_rungs = (
+        ("be", 2, 1.0),
+        ("be-damped", 4, 0.1),
+    )
 
     for step_index in range(1, len(times)):
         t = float(times[step_index])
@@ -398,21 +412,29 @@ def _run_newton_path(
                 backend=backend,
             )
         except ConvergenceError:
-            # Retry the point with backward Euler, which is more forgiving.
-            x_new, iters = newton_solve(
-                circuit,
-                prev_x,
-                gmin=circuit.gmin,
-                max_iterations=max_newton * 2,
-                vtol=vtol,
-                time=t,
-                dt=step_dt,
-                method="be",
-                prev_x=prev_x,
-                prev_state=prev_state,
-                assembler=assembler,
-                backend=backend,
-            )
+            for rung_index, (rung, budget_scale, damping) in enumerate(retry_rungs):
+                try:
+                    x_new, iters = newton_solve(
+                        circuit,
+                        prev_x,
+                        gmin=circuit.gmin,
+                        max_iterations=max_newton * budget_scale,
+                        vtol=vtol,
+                        damping_limit=damping,
+                        time=t,
+                        dt=step_dt,
+                        method="be",
+                        prev_x=prev_x,
+                        prev_state=prev_state,
+                        assembler=assembler,
+                        backend=backend,
+                    )
+                except ConvergenceError:
+                    if rung_index == len(retry_rungs) - 1:
+                        raise
+                    continue
+                recoveries.append(f"t={t:.4e}: {rung}")
+                break
             step_method = "be"
         total_newton += iters
 
@@ -442,4 +464,5 @@ def _run_newton_path(
         assemblies_avoided=delta.base_hits,
         matrix_factorizations=total_newton,  # one dense solve per iteration
         rhs_builds=delta.rhs_builds,
+        recoveries=recoveries,
     )

@@ -1,0 +1,337 @@
+"""Deterministic fault injection for the fault-tolerance test surface.
+
+Every recovery path in the sweep runner and the numerical degradation
+ladder exists because workers segfault, scenarios hang and matrices go
+singular in production -- but none of those events occur naturally in a
+clean test environment.  This module makes them *reproducible*: a
+:class:`FaultPlan` names exactly which fault fires at which site for which
+scenario, so the crash-recovery tests and the CI ``fault-smoke`` job
+exercise the real recovery machinery instead of trusting it on faith.
+
+Activation
+----------
+* programmatic: :func:`install_plan` / :func:`clear_plan` /
+  the :func:`plan_active` context manager (same-process tests);
+* environment: ``REPRO_FAULT_PLAN`` holds either the plan JSON itself
+  (first non-space character ``{``) or a path to a JSON file.  Environment
+  activation is what reaches *worker processes*: the sweep runner's pool
+  workers inherit the parent environment under every start method.
+
+Plan format::
+
+    {
+      "ledger_dir": "/tmp/ledger",          # optional, see "trip budgets"
+      "faults": [
+        {"site": "scenario", "match": "*/mc001", "kind": "crash"},
+        {"site": "scenario", "match": "*/mc004", "kind": "hang",
+         "hang_seconds": 120},
+        {"site": "solve",    "match": "*/mc002", "kind": "singular",
+         "max_trips": 1},
+        {"site": "metrics",  "match": "*/mc003", "kind": "nan"}
+      ]
+    }
+
+Sites are fixed hook points (cheap ``None`` checks when no plan is
+active):
+
+``scenario``
+    Entry of a scenario analysis in the sweep worker.  Kinds ``crash``
+    (``os._exit``, simulating a segfault / OOM kill), ``hang``
+    (``time.sleep``) and ``error`` (raise :class:`InjectedFault`).
+``solve``
+    Inside :func:`repro.circuit.mna.solve_linear_system`.  Kind
+    ``singular`` makes the solver raise a ``SingularMatrixError``, which
+    drives the numerical degradation ladder exactly like a genuinely
+    singular system.
+``metrics``
+    After a scenario's metrics are collected.  Kind ``nan`` poisons the
+    scalar metrics with NaN, which must be caught by the runner's
+    non-finite screen.
+
+Scenario attribution: deep sites (``solve``) have no scenario id of their
+own; the runner surrounds each analysis with :func:`scenario_context` and
+deep hooks match against that ambient id.  Matching uses
+:func:`fnmatch.fnmatch` on the scenario id, so plans survive re-sharding,
+retries and any worker count -- the *scenario* is the deterministic unit,
+not the process or the call count.
+
+Trip budgets: ``max_trips`` bounds how often a fault fires.  Without a
+``ledger_dir`` the count is per-process (enough for same-process ladder
+tests); with one, each trip atomically creates a file in the shared
+directory (``O_CREAT | O_EXCL``), so the budget holds *across worker
+processes and crashes* -- a ``crash`` fault with ``max_trips: 1`` records
+its trip before exiting and therefore crashes exactly one attempt, letting
+the retry succeed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import fnmatch
+import hashlib
+import json
+import os
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "current_scenario",
+    "fire",
+    "install_plan",
+    "plan_active",
+    "scenario_context",
+]
+
+#: Environment variable carrying the plan JSON (or a path to it).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+FAULT_SITES: Tuple[str, ...] = ("scenario", "solve", "metrics")
+FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "error", "singular", "nan")
+
+#: Which kinds make sense at which site.
+_SITE_KINDS = {
+    "scenario": ("crash", "hang", "error"),
+    "solve": ("singular", "crash", "hang"),
+    "metrics": ("nan",),
+}
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``kind="error"`` fault (a generic injected failure)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: fire ``kind`` at ``site`` for scenarios matching ``match``."""
+
+    site: str
+    kind: str
+    #: ``fnmatch`` pattern against the scenario id ("*" matches everything).
+    match: str = "*"
+    #: How long a ``hang`` fault sleeps (seconds).
+    hang_seconds: float = 3600.0
+    #: Maximum number of times this fault fires (``None`` = unlimited).
+    max_trips: Optional[int] = None
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; valid: {FAULT_SITES}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; valid: {FAULT_KINDS}")
+        if self.kind not in _SITE_KINDS[self.site]:
+            raise ValueError(
+                f"fault kind {self.kind!r} is not valid at site {self.site!r} "
+                f"(valid there: {_SITE_KINDS[self.site]})"
+            )
+        if not self.match:
+            raise ValueError("fault match pattern must be non-empty")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        if self.max_trips is not None and self.max_trips < 1:
+            raise ValueError("max_trips must be None or at least 1")
+
+    def matches(self, site: str, scenario_id: str) -> bool:
+        return site == self.site and fnmatch.fnmatch(scenario_id, self.match)
+
+    def token(self) -> str:
+        """Stable identifier of this fault (ledger file prefix)."""
+        raw = f"{self.site}|{self.kind}|{self.match}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` plus the trip bookkeeping."""
+
+    def __init__(
+        self,
+        faults: Sequence[FaultSpec],
+        *,
+        ledger_dir: Optional[str] = None,
+    ):
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self.ledger_dir = ledger_dir
+        self._local_trips: Dict[str, int] = {}
+        if ledger_dir:
+            os.makedirs(ledger_dir, exist_ok=True)
+
+    # ------------------------------------------------------------- construction
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        faults = [FaultSpec(**spec) for spec in payload.get("faults", [])]
+        return cls(faults, ledger_dir=payload.get("ledger_dir"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``$REPRO_FAULT_PLAN``, or ``None``."""
+        raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not raw:
+            return None
+        if raw.startswith("{"):
+            return cls.from_json(raw)
+        with open(raw) as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {
+            "faults": [
+                {
+                    "site": spec.site,
+                    "kind": spec.kind,
+                    "match": spec.match,
+                    "hang_seconds": spec.hang_seconds,
+                    "max_trips": spec.max_trips,
+                }
+                for spec in self.faults
+            ]
+        }
+        if self.ledger_dir:
+            payload["ledger_dir"] = self.ledger_dir
+        return payload
+
+    # -------------------------------------------------------------------- trips
+
+    def _claim_trip(self, spec: FaultSpec) -> bool:
+        """Reserve one trip of ``spec``; False when the budget is spent.
+
+        The claim happens *before* the fault executes, so even a ``crash``
+        fault that never returns has its trip on record.
+        """
+        if spec.max_trips is None:
+            return True
+        token = spec.token()
+        if self.ledger_dir:
+            for trip in range(spec.max_trips):
+                path = os.path.join(self.ledger_dir, f"{token}.trip{trip}")
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except OSError as exc:  # pragma: no cover - racy branch
+                    if exc.errno != errno.EEXIST:
+                        raise
+                    continue
+                os.close(fd)
+                return True
+            return False
+        used = self._local_trips.get(token, 0)
+        if used >= spec.max_trips:
+            return False
+        self._local_trips[token] = used + 1
+        return True
+
+    # --------------------------------------------------------------------- fire
+
+    def fire(self, site: str, scenario_id: str) -> Optional[str]:
+        """Evaluate the plan at a fault site; returns the kind that fired.
+
+        ``crash`` and ``hang`` execute their side effect here; ``error``
+        raises :class:`InjectedFault`; caller-interpreted kinds
+        (``singular``, ``nan``) are returned for the hook site to act on.
+        """
+        for spec in self.faults:
+            if not spec.matches(site, scenario_id):
+                continue
+            if not self._claim_trip(spec):
+                continue
+            if spec.kind == "crash":
+                # A hard exit, bypassing every exception handler and atexit
+                # hook -- the closest portable stand-in for a segfault or an
+                # OOM kill.
+                os._exit(13)
+            if spec.kind == "hang":
+                time.sleep(spec.hang_seconds)
+                return "hang"
+            if spec.kind == "error":
+                raise InjectedFault(
+                    f"injected fault at site {site!r} for scenario "
+                    f"{scenario_id!r} [fault plan]"
+                )
+            return spec.kind
+        return None
+
+
+# --------------------------------------------------------------------- runtime
+
+#: Sentinel distinguishing "not resolved yet" from "no plan".
+_UNSET = object()
+_plan = _UNSET
+
+#: Ambient scenario id for deep fault sites (set by the sweep runner).
+_scenario_id: ContextVar[str] = ContextVar("repro_fault_scenario", default="")
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` in this process (overrides the environment)."""
+    global _plan
+    _plan = plan
+
+
+def clear_plan() -> None:
+    """Deactivate fault injection; the environment is re-read on next use."""
+    global _plan
+    _plan = _UNSET
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently active plan (environment resolved lazily, once)."""
+    global _plan
+    if _plan is _UNSET:
+        _plan = FaultPlan.from_env()
+    return _plan  # type: ignore[return-value]
+
+
+@contextlib.contextmanager
+def plan_active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager installing ``plan`` for the duration of a test."""
+    global _plan
+    previous = _plan
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        _plan = previous
+
+
+def current_scenario() -> str:
+    """The scenario id the current analysis runs under ("" outside one)."""
+    return _scenario_id.get()
+
+
+@contextlib.contextmanager
+def scenario_context(scenario_id: str) -> Iterator[None]:
+    """Tag the current (thread of) execution with a scenario id."""
+    token = _scenario_id.set(scenario_id)
+    try:
+        yield
+    finally:
+        _scenario_id.reset(token)
+
+
+def fire(site: str, scenario_id: Optional[str] = None) -> Optional[str]:
+    """Hook entry point: evaluate the active plan at ``site``.
+
+    Returns the kind that fired (``None`` when nothing did).  Costs one
+    global read and a ``None`` check when fault injection is inactive, so
+    hot paths (the linear-solver hook) can call it unconditionally.
+    """
+    plan = _plan
+    if plan is _UNSET:
+        plan = active_plan()
+    if plan is None:
+        return None
+    key = scenario_id if scenario_id is not None else _scenario_id.get()
+    return plan.fire(site, key)  # type: ignore[union-attr]

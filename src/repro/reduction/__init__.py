@@ -15,6 +15,7 @@ from .prima import (
     ReducedSystem,
     StabilityReport,
     check_reduced_system,
+    default_shift,
     prima_project,
     prima_reduce_system,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ReducedSystem",
     "StabilityReport",
     "check_reduced_system",
+    "default_shift",
     "prima_project",
     "prima_reduce_system",
     "ReducedLinearCircuit",

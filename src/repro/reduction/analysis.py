@@ -22,7 +22,11 @@ from ..noise.engine import DedicatedNoiseEngine, MacromodelNetwork
 from ..noise.results import NoiseAnalysisResult
 from ..technology.library import CellLibrary
 from .engine import ReducedOrderEngine
-from .prima import DEFAULT_REDUCTION_ORDER, REDUCTION_AUTO_THRESHOLD
+from .prima import (
+    DEFAULT_REDUCTION_ORDER,
+    REDUCTION_AUTO_THRESHOLD,
+    check_reduced_system,
+)
 
 __all__ = ["ReducedClusterAnalysis"]
 
@@ -127,9 +131,14 @@ class ReducedClusterAnalysis:
         ]
 
         reduce = network.num_nodes >= self.reduction_threshold
+        stability = None
         start = time.perf_counter()
         if reduce:
             engine = ReducedOrderEngine(network, reduction_order=self.reduction_order)
+            # Passivity/stability diagnostics of the projected model; the
+            # degradation ladder screens on this (an unstable reduced model
+            # triggers the sparse-direct fallback) and reports surface it.
+            stability = check_reduced_system(engine.reduced)
             waveforms = engine.simulate(t_stop, dt, observe=observe)
             order = engine.order
             backend = "reduced"
@@ -161,6 +170,7 @@ class ReducedClusterAnalysis:
             details={
                 "engine_statistics": engine.statistics,
                 "solver_backend": backend,
+                "stability": stability,
                 "reduced": reduce,
                 "reduction_order": self.reduction_order,
                 "num_states": order if reduce else network.num_nodes,

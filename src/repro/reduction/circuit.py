@@ -25,7 +25,12 @@ from ..circuit.netlist import Circuit
 from ..circuit.elements import GROUND
 from ..circuit.stamping import LinearSolver
 from ..circuit.transient import build_time_axis, _quantize_dt
-from .prima import DEFAULT_REDUCTION_ORDER, ReducedSystem, prima_reduce_system
+from .prima import (
+    DEFAULT_REDUCTION_ORDER,
+    ReducedSystem,
+    default_shift,
+    prima_reduce_system,
+)
 
 
 def _sparse_diag(values: np.ndarray):
@@ -53,6 +58,9 @@ class ReductionStats:
     num_time_points: int = 0
     matrix_factorizations: int = 0
     lu_reuse_hits: int = 0
+    #: Numerical fallbacks taken during the run (e.g. the shifted-expansion
+    #: DC initialisation when ``Gr`` alone is singular).
+    recoveries: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -149,7 +157,20 @@ class ReducedLinearCircuit:
         # (With it, the capacitor companion current starts at exactly zero,
         # which the two-term recurrence relies on for its induction base.)
         u_dc = descriptor.input_vector(0.0, dt=None)
-        x_hat = np.linalg.solve(Gr, Br @ u_dc)
+        recoveries: List[str] = []
+        try:
+            x_hat = np.linalg.solve(Gr, Br @ u_dc)
+            if not np.all(np.isfinite(x_hat)):
+                raise np.linalg.LinAlgError("non-finite reduced DC solution")
+        except np.linalg.LinAlgError:
+            # The PRIMA shift fallback, generalized to the transient path:
+            # a floating reduced net leaves Gr singular at DC, but the
+            # shifted pencil about the network's corner frequency is
+            # invertible and its solution limits to the right quasi-static
+            # initial state as the shift stays far below 1/dt.
+            s_dc = default_shift(Gr, Cr)
+            x_hat = np.linalg.solve(Gr + s_dc * Cr, Br @ u_dc)
+            recoveries.append(f"dc-init: shifted expansion at s0={s_dc:.3e}")
 
         # Source values at every step (same dt-aware evaluation the full
         # simulator uses), then the per-step drive term in reduced coords.
@@ -194,6 +215,7 @@ class ReducedLinearCircuit:
             num_time_points=len(times) - 1,
             matrix_factorizations=factorizations,
             lu_reuse_hits=reuse_hits,
+            recoveries=recoveries,
         )
         return ReducedTransientResult(
             circuit=self.circuit,

@@ -38,6 +38,7 @@ __all__ = [
     "ReducedSystem",
     "StabilityReport",
     "check_reduced_system",
+    "default_shift",
     "prima_project",
     "prima_reduce_system",
 ]
@@ -175,18 +176,25 @@ def _factorize(shifted) -> Callable[[np.ndarray], np.ndarray]:
     return lambda block: inverse @ block
 
 
-def _default_shift(G, C) -> float:
+def default_shift(G, C) -> float:
     """A representative ``1/tau`` when the unshifted ``G`` is singular.
 
     The trace ratio of ``G`` and ``C`` estimates the segment-scale corner
     frequency of the network; it only has to land within a few orders of
-    magnitude to make ``G + s0 C`` invertible and well scaled.
+    magnitude to make ``G + s0 C`` invertible and well scaled.  Shared by
+    the Krylov projection and the reduced transient's DC-initialisation
+    fallback (:mod:`repro.reduction.circuit`), so every shifted-expansion
+    retry in the reduction stack picks the same expansion point.
     """
     trace_g = float(np.abs(G.diagonal()).sum())
     trace_c = float(np.abs(C.diagonal()).sum())
     if trace_c <= 0.0:
         return 0.0
     return max(trace_g, 1e-30) / trace_c
+
+
+#: Backwards-compatible private alias (pre-export name).
+_default_shift = default_shift
 
 
 def prima_project(
@@ -228,7 +236,7 @@ def prima_project(
             raise
         # G alone is singular (e.g. a floating net): retry about a
         # representative corner frequency instead of DC.
-        s0 = _default_shift(G, C)
+        s0 = default_shift(G, C)
         solve = _factorize(G + s0 * C)
         r = _seed(solve)
 

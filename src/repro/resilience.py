@@ -1,0 +1,250 @@
+"""Numerical degradation ladder for per-cluster analysis.
+
+One pathological cluster must never cost a sweep its answer.  When a
+cluster's analysis dies of a *numerical* failure -- a singular or
+ill-conditioned factorisation, a Newton iteration that never converges --
+or produces a result the screens reject (non-finite metrics, an unstable
+or non-passive reduced model, methods that disagree wildly), this module
+retries the cluster on progressively more conservative configurations
+instead of giving up:
+
+``reduced`` -> ``sparse`` -> ``dense``
+
+* the **primary** rung is the session's own configuration;
+* the **sparse** rung disables PRIMA projection (the most common source of
+  instability at low orders) and forces the exact sparse direct solver;
+* the **dense** rung additionally abandons sparse LU for dense LAPACK,
+  the slowest but numerically sturdiest substrate in the repo.
+
+Rung configs are *derived* from the session config -- the method list is
+never changed, only how those methods evaluate -- so a report produced by a
+lower rung keys its results exactly like a first-try report and downstream
+aggregation needs no special cases.  Every attempt that fails is recorded
+as a :class:`DegradationEvent` carrying the rung name and the trigger, so
+reports show *why* a number came from a lower rung.
+
+Infrastructure failures (a worker crash, a hang) are out of scope here --
+the sweep runner's shard retry machinery owns those.  This module only
+reacts to failures that re-running the same configuration would reproduce
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from .api.config import AnalysisConfig
+from .api.report import ClusterReport, exception_chain
+
+if TYPE_CHECKING:
+    from .api.session import NoiseAnalysisSession
+    from .noise.cluster import NoiseClusterSpec
+
+__all__ = [
+    "DegradationEvent",
+    "DegradationLog",
+    "build_ladder",
+    "is_numerical_failure",
+    "resilient_analyze",
+    "screen_report",
+]
+
+#: Reduction threshold that no realistic cluster reaches: "never project".
+_NO_REDUCTION = 10**9
+
+#: Methods disagreeing by more than this relative spread on the peak are
+#: treated as a failed cross-check (one of them is numerically off).
+DEFAULT_MAX_RELATIVE_SPREAD = 0.5
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One failed attempt on the ladder: which rung, why it was rejected."""
+
+    rung: str
+    trigger: str  #: "exception" or "screen"
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.rung}: {self.trigger}: {self.detail}"
+
+
+@dataclass
+class DegradationLog:
+    """Ordered record of every rejected attempt for one cluster."""
+
+    events: List[DegradationEvent] = field(default_factory=list)
+    #: Name of the rung that finally produced the accepted report.
+    accepted_rung: str = ""
+
+    def record(self, rung: str, trigger: str, detail: str) -> None:
+        self.events.append(DegradationEvent(rung, trigger, detail))
+
+    @property
+    def degraded(self) -> bool:
+        """True when the accepted result did not come from the first try."""
+        return bool(self.events)
+
+    def describe(self) -> Tuple[str, ...]:
+        """Picklable one-line-per-event summary (rides on sweep results)."""
+        return tuple(event.describe() for event in self.events)
+
+
+def is_numerical_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` (or anything in its cause chain) is a numeric failure.
+
+    Only these failures are worth a lower rung: a crash that is *not*
+    numerical (a missing cell, a malformed spec) would reproduce identically
+    on every configuration, so the ladder re-raises it immediately.
+    """
+    from .circuit.dc import ConvergenceError
+    from .circuit.stamping import SingularMatrixError
+
+    numeric_types = (
+        SingularMatrixError,
+        ConvergenceError,
+        np.linalg.LinAlgError,
+        FloatingPointError,
+        ZeroDivisionError,
+    )
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, numeric_types):
+            return True
+        current = current.__cause__ or current.__context__
+    return False
+
+
+def build_ladder(config: AnalysisConfig) -> List[Tuple[str, AnalysisConfig]]:
+    """The (name, config) rungs the ladder tries, most capable first.
+
+    Rungs whose derived config collapses onto an earlier one are dropped
+    (e.g. a session already forcing the dense backend with no reduced
+    method has a one-rung ladder), so every rung is a genuinely different
+    evaluation.
+    """
+    uses_reduction = "reduced" in config.methods
+    candidates = [("primary", config)]
+    sparse_changes = {"solver_backend": "sparse"}
+    dense_changes = {"solver_backend": "dense"}
+    if uses_reduction:
+        # Keep the method (and therefore the result keys) but push the
+        # projection threshold out of reach: the "reduced" analysis then
+        # hands every cluster to the direct engine.
+        sparse_changes["reduction_threshold"] = _NO_REDUCTION
+        dense_changes["reduction_threshold"] = _NO_REDUCTION
+    candidates.append(("sparse", config.replace(**sparse_changes)))
+    candidates.append(("dense", config.replace(**dense_changes)))
+
+    ladder: List[Tuple[str, AnalysisConfig]] = []
+    seen = set()
+    for name, rung_config in candidates:
+        if rung_config in seen:
+            continue
+        seen.add(rung_config)
+        ladder.append((name, rung_config))
+    return ladder
+
+
+def screen_report(
+    report: ClusterReport,
+    *,
+    max_relative_spread: float = DEFAULT_MAX_RELATIVE_SPREAD,
+) -> Optional[str]:
+    """Inspect a completed report for results that should not be trusted.
+
+    Returns a human-readable trigger string when the report fails a screen
+    (the ladder then retries on the next rung), ``None`` when it is sound.
+    Screens, in order of severity:
+
+    * any non-finite scalar metric (NaN/Inf peak, area or width);
+    * a reduced-model :class:`~repro.reduction.prima.StabilityReport`
+      (``details["stability"]``) flagging instability or passivity loss;
+    * a relative peak spread across methods above ``max_relative_spread``
+      (only evaluated when at least two methods ran and the largest peak
+      is meaningfully non-zero).
+    """
+    peaks = {}
+    for name, result in report.results.items():
+        values = (result.peak, result.area_v_ps, result.width_ps)
+        if not all(np.isfinite(v) for v in values):
+            return (
+                f"non-finite metrics from method '{name}' "
+                f"(peak={result.peak!r}, area={result.area_v_ps!r}, "
+                f"width={result.width_ps!r})"
+            )
+        peaks[name] = result.peak
+        stability = result.details.get("stability")
+        if stability is not None and not (stability.passive and stability.stable):
+            return f"reduced model of method '{name}' failed: {stability.summary()}"
+
+    if len(peaks) >= 2:
+        largest = max(abs(p) for p in peaks.values())
+        if largest > 1e-6:  # ignore spread between near-zero glitches
+            spread = (max(peaks.values()) - min(peaks.values())) / largest
+            if spread > max_relative_spread:
+                pretty = ", ".join(f"{n}={p:+.4f}" for n, p in peaks.items())
+                return (
+                    f"method peaks disagree by {spread:.0%} "
+                    f"(> {max_relative_spread:.0%}): {pretty}"
+                )
+    return None
+
+
+def resilient_analyze(
+    session: "NoiseAnalysisSession",
+    spec: "NoiseClusterSpec",
+    *,
+    label: Optional[str] = None,
+    dt: Optional[float] = None,
+    t_stop: Optional[float] = None,
+    check_nrc: Optional[bool] = None,
+    max_relative_spread: float = DEFAULT_MAX_RELATIVE_SPREAD,
+) -> Tuple[ClusterReport, DegradationLog]:
+    """Analyse one cluster, walking the degradation ladder on failure.
+
+    Lower rungs run in sessions *derived* from ``session`` -- same library,
+    same (shared) characterizer, different :class:`AnalysisConfig` -- so a
+    retry never pays for re-characterisation, only for re-simulation.
+
+    Raises the original exception when the failure is not numerical, or
+    when the last rung fails too.  A last-rung report that merely fails a
+    *screen* is still returned (flagged in the log): a screened dense
+    result is more useful to the sweep's error accounting than no result.
+    """
+    from .api.session import NoiseAnalysisSession
+
+    ladder = build_ladder(session.config)
+    log = DegradationLog()
+    for position, (rung, rung_config) in enumerate(ladder):
+        last = position == len(ladder) - 1
+        rung_session = (
+            session
+            if rung_config is session.config
+            else NoiseAnalysisSession(
+                session.library, rung_config, characterizer=session.characterizer
+            )
+        )
+        try:
+            report = rung_session.analyze(
+                spec, label=label, dt=dt, t_stop=t_stop, check_nrc=check_nrc
+            )
+        except Exception as exc:
+            if last or not is_numerical_failure(exc):
+                raise
+            log.record(rung, "exception", " <- ".join(exception_chain(exc)))
+            continue
+        trigger = screen_report(report, max_relative_spread=max_relative_spread)
+        if trigger is not None:
+            log.record(rung, "screen", trigger)
+            if not last:
+                continue
+        log.accepted_rung = rung
+        report.degradation = log.describe()
+        return report, log
+    raise AssertionError("unreachable: the ladder always returns or raises")

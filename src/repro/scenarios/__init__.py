@@ -34,7 +34,7 @@ Quick start::
     print(report.text())
 """
 
-from .report import AxisStats, ScenarioResult, SweepReport
+from .report import AxisStats, ScenarioResult, SweepHealth, SweepReport
 from .runner import SweepRunner, reset_worker_sessions
 from .space import (
     GeometryVariant,
@@ -52,6 +52,7 @@ __all__ = [
     "ScenarioSpace",
     "ScenarioResult",
     "AxisStats",
+    "SweepHealth",
     "SweepReport",
     "SweepRunner",
     "reset_worker_sessions",

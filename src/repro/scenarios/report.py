@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ScenarioResult", "AxisStats", "SweepReport"]
+__all__ = ["ScenarioResult", "AxisStats", "SweepHealth", "SweepReport"]
 
 
 @dataclass
@@ -38,6 +38,19 @@ class ScenarioResult:
     widths_ps: Dict[str, float] = field(default_factory=dict)
     nrc_fails: Dict[str, bool] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+    #: The scenario's library key (``str(Scenario.session_key())``) -- the
+    #: context needed to rebuild the failing session from the report alone.
+    session_key: str = ""
+    #: ``"Type: message"`` chain of the failure (outermost first); mirrors
+    #: :attr:`repro.api.report.ClusterError.cause_chain`.
+    error_chain: Tuple[str, ...] = ()
+    #: How many executions this scenario consumed (1 = first try).
+    attempts: int = 1
+    #: Degradation-ladder events when the result came from a lower rung.
+    degradation: Tuple[str, ...] = ()
+    #: True when the fault-tolerant runner gave up on this scenario after
+    #: repeated worker crashes/timeouts (``ok`` is then also False).
+    quarantined: bool = False
 
     def axis_value(self, axis: str) -> Optional[str]:
         for name, value in self.axes:
@@ -74,6 +87,90 @@ class AxisStats:
         )
 
 
+@dataclass
+class SweepHealth:
+    """Fault-tolerance bookkeeping of one sweep run.
+
+    Everything the retry/recovery machinery did -- shard retries and
+    bisection splits, pool rebuilds after worker crashes, stall timeouts,
+    quarantined scenarios, degradation-ladder fallbacks, non-finite
+    screens -- lives here, so a sweep that *survived* faults still shows
+    exactly what it survived.
+    """
+
+    #: Shard resubmissions after a failure (splits not included).
+    retries: int = 0
+    #: Bisection splits of multi-scenario shards during fault isolation.
+    shard_splits: int = 0
+    #: Times the worker pool was torn down and rebuilt.
+    pool_rebuilds: int = 0
+    #: Stall windows in which no shard completed within ``shard_timeout_s``.
+    timeouts: int = 0
+    #: Pool-breaking worker deaths observed (segfault/OOM-kill class).
+    worker_crashes: int = 0
+    #: Scenario ids abandoned after exhausting ``max_retries``.
+    quarantined: List[str] = field(default_factory=list)
+    #: Scenario ids whose result came from a degradation-ladder rung.
+    degraded_scenarios: List[str] = field(default_factory=list)
+    #: Degradation trigger summary -> occurrence count.
+    fallback_triggers: Dict[str, int] = field(default_factory=dict)
+    #: Scenario ids rejected by the non-finite metrics screen.
+    nonfinite_scenarios: List[str] = field(default_factory=list)
+    #: Worker-recycling limit in force (None = workers live forever).
+    max_tasks_per_child: Optional[int] = None
+    #: Human-readable event log, in order of occurrence.
+    events: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.events.append(message)
+
+    @property
+    def faults_seen(self) -> bool:
+        """Whether any fault-handling machinery actually engaged."""
+        return bool(
+            self.retries
+            or self.shard_splits
+            or self.pool_rebuilds
+            or self.timeouts
+            or self.worker_crashes
+            or self.quarantined
+            or self.degraded_scenarios
+            or self.nonfinite_scenarios
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "retries": self.retries,
+            "shard_splits": self.shard_splits,
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "quarantined": list(self.quarantined),
+            "degraded_scenarios": list(self.degraded_scenarios),
+            "fallback_triggers": dict(self.fallback_triggers),
+            "nonfinite_scenarios": list(self.nonfinite_scenarios),
+            "max_tasks_per_child": self.max_tasks_per_child,
+            "events": list(self.events),
+        }
+
+    def describe(self) -> List[str]:
+        lines = [
+            "sweep health: "
+            f"{self.retries} retries, {self.shard_splits} shard splits, "
+            f"{self.pool_rebuilds} pool rebuilds, {self.timeouts} timeouts, "
+            f"{self.worker_crashes} worker crashes"
+        ]
+        if self.quarantined:
+            lines.append(f"  quarantined: {', '.join(self.quarantined)}")
+        if self.degraded_scenarios:
+            lines.append(f"  degraded: {', '.join(self.degraded_scenarios)}")
+        if self.nonfinite_scenarios:
+            lines.append(f"  non-finite: {', '.join(self.nonfinite_scenarios)}")
+        for trigger, count in self.fallback_triggers.items():
+            lines.append(f"  fallback x{count}: {trigger}")
+        return lines
+
+
 class SweepReport:
     """Everything a sweep run produced, plus the aggregation helpers."""
 
@@ -86,6 +183,7 @@ class SweepReport:
         num_workers: int,
         num_shards: int = 0,
         cache_stats: Optional[Dict[str, int]] = None,
+        health: Optional[SweepHealth] = None,
     ):
         self.results: List[ScenarioResult] = list(results)
         self.methods = tuple(methods)
@@ -96,6 +194,9 @@ class SweepReport:
         #: (hits / misses / stores / corrupt_dropped) plus the number of
         #: actual characterisation runs ("characterizations").
         self.cache_stats: Dict[str, int] = dict(cache_stats or {})
+        #: Fault-tolerance bookkeeping of the run (always present for runs
+        #: through :class:`~repro.scenarios.runner.SweepRunner`).
+        self.health: SweepHealth = health if health is not None else SweepHealth()
 
     # -------------------------------------------------------------- basics
 
@@ -220,6 +321,7 @@ class SweepReport:
             "num_workers": self.num_workers,
             "num_shards": self.num_shards,
             "cache_stats": dict(self.cache_stats),
+            "health": self.health.to_dict(),
             "worst_case": worst,
             "by_corner": {
                 value: {
@@ -278,6 +380,8 @@ class SweepReport:
                 f"{cache.get('disk_stores', 0)} stored, "
                 f"{cache.get('corrupt_dropped', 0)} corrupt dropped"
             )
+        if self.health.faults_seen:
+            lines.extend(self.health.describe())
         for result in self.errors:
             lines.append(f"  ERROR {result.scenario_id}: {result.error}")
         return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Sharded multiprocess execution of scenario sweeps.
+"""Fault-tolerant sharded multiprocess execution of scenario sweeps.
 
 The :class:`SweepRunner` takes the scenarios of a
 :class:`~repro.scenarios.space.ScenarioSpace`, groups them by the library
@@ -20,20 +20,49 @@ Worker economics:
   through the filesystem, which is what makes a warm parallel sweep
   dramatically faster than a cold serial one.
 
-A failing scenario never aborts the sweep: the failure is captured as a
-structured error on its :class:`~repro.scenarios.report.ScenarioResult`.
+Fault tolerance (the part a million-cluster sweep cannot live without):
+
+* a failing scenario never aborts the sweep -- the failure is captured as
+  a structured error on its :class:`~repro.scenarios.report.ScenarioResult`,
+  and with ``AnalysisConfig.degradation`` on, numerical failures first walk
+  the :mod:`repro.resilience` ladder (``reduced -> sparse -> dense``);
+* a *dying worker* (segfault, OOM kill -- anything that breaks the pool)
+  never aborts it either: shards are submitted as individual futures, a
+  broken pool is torn down and rebuilt, failed multi-scenario shards are
+  bisected to isolate the killer, and singleton suspects are re-run in
+  isolation (sole in-flight work) so blame is unambiguous before a
+  scenario is quarantined;
+* a *hung* scenario is caught by the stall detector: when no shard
+  completes within ``shard_timeout_s``, the pool is killed and the
+  in-flight shards re-enter the same bisect/isolate cycle;
+* retries back off exponentially (``retry_backoff_s`` base, capped), and
+  ``max_tasks_per_child`` recycles workers to bound leak accumulation.
+
+Everything the recovery machinery does is recorded in the report's
+:class:`~repro.scenarios.report.SweepHealth`.  Retried scenarios re-run
+bit-identical computations (Monte-Carlo draws are seeded per sample), so a
+sweep that survived faults reports the same numbers for its healthy
+scenarios as a fault-free run at any worker count.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
+import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..api.config import AnalysisConfig
+from ..api.report import exception_chain
 from ..api.session import NoiseAnalysisSession
-from .report import ScenarioResult, SweepReport
+from .report import ScenarioResult, SweepHealth, SweepReport
 from .space import Scenario, ScenarioSpace
 
 __all__ = ["SweepRunner", "reset_worker_sessions"]
@@ -45,6 +74,9 @@ _WORKER_SESSIONS: Dict[Tuple, NoiseAnalysisSession] = {}
 #: creates one distinct library per sample; unbounded growth would hold
 #: every characterised model of the whole sweep in one process).
 _MAX_WORKER_SESSIONS = 32
+
+#: Upper bound of the exponential retry backoff (seconds).
+_MAX_BACKOFF_S = 30.0
 
 
 def reset_worker_sessions() -> None:
@@ -90,21 +122,59 @@ def _worker_cache_totals() -> Dict[str, int]:
     return totals
 
 
+def _nonfinite_entries(result: ScenarioResult) -> List[str]:
+    """``"method.metric=value"`` entries for every non-finite scalar metric."""
+    entries = []
+    for label, metrics in (
+        ("peak", result.peaks),
+        ("area_v_ps", result.areas_v_ps),
+        ("width_ps", result.widths_ps),
+    ):
+        for method, value in metrics.items():
+            if not math.isfinite(value):
+                entries.append(f"{method}.{label}={value!r}")
+    return entries
+
+
 def _analyze_scenario(scenario: Scenario, config: AnalysisConfig) -> ScenarioResult:
     """Run one scenario; failures become structured per-scenario errors."""
     start = time.perf_counter()
+    session_key = str(scenario.session_key())
+    degradation: Tuple[str, ...] = ()
     try:
-        if scenario.solver_backend is not None:
-            # Per-scenario backend override: the derived config keys its own
-            # session, so mixed-backend sweeps never share solver instances
-            # across backends (characterised models still flow through the
-            # persistent disk cache, which is backend-independent).
-            config = config.replace(solver_backend=scenario.solver_backend)
-        if scenario.reduction_order is not None:
-            # Same pattern for the PRIMA-order axis of method="reduced".
-            config = config.replace(reduction_order=scenario.reduction_order)
-        session = _session_for(scenario, config)
-        report = session.analyze(scenario.cluster, label=scenario.scenario_id)
+        with faults.scenario_context(scenario.scenario_id):
+            faults.fire("scenario")
+            if scenario.solver_backend is not None:
+                # Per-scenario backend override: the derived config keys its
+                # own session, so mixed-backend sweeps never share solver
+                # instances across backends (characterised models still flow
+                # through the persistent disk cache, which is
+                # backend-independent).
+                config = config.replace(solver_backend=scenario.solver_backend)
+            if scenario.reduction_order is not None:
+                # Same pattern for the PRIMA-order axis of method="reduced".
+                config = config.replace(reduction_order=scenario.reduction_order)
+            session = _session_for(scenario, config)
+            if config.degradation:
+                report = session.analyze_resilient(
+                    scenario.cluster, label=scenario.scenario_id
+                )
+                degradation = report.degradation
+            else:
+                report = session.analyze(scenario.cluster, label=scenario.scenario_id)
+            result = ScenarioResult(
+                scenario_id=scenario.scenario_id,
+                axes=scenario.axes(),
+                peaks={name: r.peak for name, r in report.results.items()},
+                areas_v_ps={name: r.area_v_ps for name, r in report.results.items()},
+                widths_ps={name: r.width_ps for name, r in report.results.items()},
+                nrc_fails={name: c.fails for name, c in report.nrc_checks.items()},
+                runtime_seconds=time.perf_counter() - start,
+                session_key=session_key,
+                degradation=degradation,
+            )
+            if faults.fire("metrics") == "nan":
+                result.peaks = {name: float("nan") for name in result.peaks}
     except Exception as exc:
         return ScenarioResult(
             scenario_id=scenario.scenario_id,
@@ -112,17 +182,27 @@ def _analyze_scenario(scenario: Scenario, config: AnalysisConfig) -> ScenarioRes
             ok=False,
             error=f"{type(exc).__name__}: {exc}",
             traceback_text=traceback.format_exc(),
+            error_chain=exception_chain(exc),
+            session_key=session_key,
+            degradation=degradation,
             runtime_seconds=time.perf_counter() - start,
         )
-    return ScenarioResult(
-        scenario_id=scenario.scenario_id,
-        axes=scenario.axes(),
-        peaks={name: result.peak for name, result in report.results.items()},
-        areas_v_ps={name: result.area_v_ps for name, result in report.results.items()},
-        widths_ps={name: result.width_ps for name, result in report.results.items()},
-        nrc_fails={name: check.fails for name, check in report.nrc_checks.items()},
-        runtime_seconds=time.perf_counter() - start,
-    )
+    # Non-finite screen: a NaN/Inf metric must never reach worst-case
+    # aggregation as a "successful" number -- it would either poison the
+    # max() or silently vanish from it.
+    bad = _nonfinite_entries(result)
+    if bad:
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id,
+            axes=scenario.axes(),
+            ok=False,
+            error=f"NonFiniteMetrics: {', '.join(bad)}",
+            error_chain=(f"NonFiniteMetrics: {', '.join(bad)}",),
+            session_key=session_key,
+            degradation=degradation,
+            runtime_seconds=time.perf_counter() - start,
+        )
+    return result
 
 
 def _run_shard(
@@ -142,6 +222,21 @@ def _run_shard(
     return results, delta
 
 
+@dataclass
+class _WorkItem:
+    """One schedulable unit: a shard plus its fault-handling state."""
+
+    shard: Tuple[Tuple[int, Scenario], ...]
+    #: Failed attempts charged to this item (isolated singletons only --
+    #: blame in a shared pool crash is ambiguous, so only failures observed
+    #: while the item was the sole in-flight work count toward quarantine).
+    failures: int = 0
+    #: How many times this shard has been submitted to a pool.
+    submits: int = 0
+    #: True while the item runs alone for unambiguous fault attribution.
+    isolated: bool = False
+
+
 class SweepRunner:
     """Shard a scenario sweep across worker processes and aggregate it.
 
@@ -154,7 +249,8 @@ class SweepRunner:
         happens here, thread parallelism inside a worker rarely pays).
     num_workers:
         Worker process count; 1 runs everything in this process (no pool,
-        no pickling -- the mode unit tests and baselines use).
+        no pickling -- the mode unit tests and baselines use).  The
+        fault-tolerance machinery below only applies to pooled runs.
     shard_size:
         Scenarios per shard.  Defaults to spreading the sweep over roughly
         four shards per worker (bounds scheduling overhead while keeping
@@ -162,6 +258,23 @@ class SweepRunner:
     mp_context:
         Optional :mod:`multiprocessing` context (e.g. a "spawn" context)
         forwarded to the pool.
+    max_retries:
+        Failed *isolated* attempts a scenario may accumulate before it is
+        quarantined (its result becomes a structured
+        ``quarantined`` error).  Pool-level failures while other work was
+        in flight are not charged -- attribution there is ambiguous.
+    shard_timeout_s:
+        Stall detector: when no shard completes for this long, the pool is
+        assumed wedged (a hung scenario, a deadlocked worker), killed and
+        rebuilt, and the in-flight shards re-enter the retry cycle.
+        ``None`` (default) disables the detector.
+    retry_backoff_s:
+        Base of the capped exponential backoff between failure rounds
+        (``retry_backoff_s * 2**round``, capped at 30 s).
+    max_tasks_per_child:
+        Recycle each worker process after this many shards (Python 3.11+,
+        spawn/forkserver start methods).  Bounds the damage of slow leaks
+        in long sweeps; ``None`` keeps workers alive for the whole run.
     """
 
     def __init__(
@@ -171,15 +284,37 @@ class SweepRunner:
         num_workers: int = 1,
         shard_size: Optional[int] = None,
         mp_context=None,
+        max_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
+        retry_backoff_s: float = 0.5,
+        max_tasks_per_child: Optional[int] = None,
     ):
         self.config = config or AnalysisConfig()
         if num_workers < 1:
             raise ValueError(f"num_workers must be at least 1, got {num_workers}")
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if shard_timeout_s is not None and not shard_timeout_s > 0:
+            raise ValueError(
+                f"shard_timeout_s must be None or positive, got {shard_timeout_s}"
+            )
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be non-negative, got {retry_backoff_s}"
+            )
+        if max_tasks_per_child is not None and max_tasks_per_child < 1:
+            raise ValueError(
+                f"max_tasks_per_child must be None or >= 1, got {max_tasks_per_child}"
+            )
         self.num_workers = num_workers
         self.shard_size = shard_size
         self.mp_context = mp_context
+        self.max_retries = max_retries
+        self.shard_timeout_s = shard_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self.max_tasks_per_child = max_tasks_per_child
 
     # ---------------------------------------------------------------- shards
 
@@ -206,6 +341,57 @@ class SweepRunner:
             for start in range(0, len(grouped), size)
         ]
 
+    # ------------------------------------------------------------------ pool
+
+    def _new_pool(self, health: SweepHealth) -> ProcessPoolExecutor:
+        kwargs = {}
+        ctx = self.mp_context
+        if self.max_tasks_per_child is not None:
+            start_method = getattr(ctx, "_name", None) if ctx is not None else None
+            if sys.version_info < (3, 11):
+                health.note("max_tasks_per_child ignored: requires Python 3.11+")
+            elif start_method == "fork":
+                health.note(
+                    "max_tasks_per_child ignored: incompatible with the fork "
+                    "start method"
+                )
+            else:
+                kwargs["max_tasks_per_child"] = self.max_tasks_per_child
+                if ctx is None:
+                    # max_tasks_per_child requires spawn/forkserver, but the
+                    # platform default context may be fork.
+                    ctx = multiprocessing.get_context("spawn")
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers, mp_context=ctx, **kwargs
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on (possibly hung) workers.
+
+        ``shutdown(cancel_futures=True)`` alone is not enough: a worker
+        stuck in a hung scenario never picks up the poison pill, and an
+        interrupted sweep (KeyboardInterrupt) must not leave live worker
+        processes behind.  Killing after the shutdown request reaps both.
+        """
+        try:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+        except Exception:  # pragma: no cover - defensive against impl changes
+            processes = []
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+        for process in processes:
+            process.join(timeout=5.0)
+
+    def _backoff(self, failure_round: int, health: SweepHealth) -> None:
+        if self.retry_backoff_s <= 0:
+            return
+        delay = min(self.retry_backoff_s * (2.0 ** failure_round), _MAX_BACKOFF_S)
+        health.note(f"backing off {delay:.2f}s before retry round {failure_round + 1}")
+        time.sleep(delay)
+
     # ------------------------------------------------------------------- run
 
     def run(
@@ -216,38 +402,215 @@ class SweepRunner:
         ``scenarios`` is a :class:`ScenarioSpace` (expanded here) or an
         already-expanded scenario sequence.  Results keep the input order
         regardless of sharding; the same scenarios with the same seeds
-        produce the same report numbers at any worker count.
+        produce the same report numbers at any worker count -- retries and
+        recoveries included, because a retried scenario re-runs the exact
+        same computation.
         """
         if isinstance(scenarios, ScenarioSpace):
             scenarios = scenarios.expand()
         scenarios = list(scenarios)
         start = time.perf_counter()
         shards = self._make_shards(scenarios)
+        health = SweepHealth(max_tasks_per_child=self.max_tasks_per_child)
         cache_stats: Dict[str, int] = {}
-        indexed_results: List[Tuple[int, ScenarioResult]] = []
+        collected: Dict[int, ScenarioResult] = {}
 
         if self.num_workers == 1 or len(scenarios) <= 1:
             for shard in shards:
                 results, delta = _run_shard((shard, self.config))
-                indexed_results.extend(results)
+                for index, result in results:
+                    collected[index] = result
                 for key, value in delta.items():
                     cache_stats[key] = cache_stats.get(key, 0) + value
         else:
-            with ProcessPoolExecutor(
-                max_workers=self.num_workers, mp_context=self.mp_context
-            ) as pool:
-                payloads = [(shard, self.config) for shard in shards]
-                for results, delta in pool.map(_run_shard, payloads):
-                    indexed_results.extend(results)
-                    for key, value in delta.items():
-                        cache_stats[key] = cache_stats.get(key, 0) + value
+            self._run_parallel(shards, collected, cache_stats, health)
 
-        indexed_results.sort(key=lambda pair: pair[0])
+        # Structural guarantee: every scenario produces a result.  A hole
+        # here would be a runner bug -- surface it as a visible error result
+        # instead of crashing the aggregation (or silently dropping work).
+        for index, scenario in enumerate(scenarios):
+            if index not in collected:  # pragma: no cover - defensive
+                health.note(f"scenario {scenario.scenario_id} lost by the runner")
+                collected[index] = ScenarioResult(
+                    scenario_id=scenario.scenario_id,
+                    axes=scenario.axes(),
+                    ok=False,
+                    error="InternalError: scenario produced no result",
+                    session_key=str(scenario.session_key()),
+                )
+
+        ordered = [collected[index] for index in sorted(collected)]
+        for result in ordered:
+            if result.degradation:
+                health.degraded_scenarios.append(result.scenario_id)
+                for event in result.degradation:
+                    key = event[:160]
+                    health.fallback_triggers[key] = (
+                        health.fallback_triggers.get(key, 0) + 1
+                    )
+            if result.error.startswith("NonFiniteMetrics"):
+                health.nonfinite_scenarios.append(result.scenario_id)
+
         return SweepReport(
-            [result for _, result in indexed_results],
+            ordered,
             methods=self.config.methods,
             elapsed_seconds=time.perf_counter() - start,
             num_workers=self.num_workers,
             num_shards=len(shards),
             cache_stats=cache_stats,
+            health=health,
         )
+
+    # -------------------------------------------------------------- parallel
+
+    def _run_parallel(
+        self,
+        shards: List[Tuple[Tuple[int, Scenario], ...]],
+        collected: Dict[int, ScenarioResult],
+        cache_stats: Dict[str, int],
+        health: SweepHealth,
+    ) -> None:
+        """The fault-tolerant pooled execution loop.
+
+        Shards ride on individual futures.  Completions are harvested with
+        ``wait(..., FIRST_COMPLETED)`` so every finished shard resets the
+        stall timer; a broken pool or a stall tears the pool down, requeues
+        the in-flight work (bisecting multi-scenario shards, sending
+        singletons to the isolation queue) and rebuilds.  Isolated
+        singletons run as the sole in-flight work, so a failure there is
+        unambiguously theirs; ``max_retries`` such failures quarantine the
+        scenario.
+        """
+        pending: Deque[_WorkItem] = deque(_WorkItem(shard) for shard in shards)
+        suspects: Deque[_WorkItem] = deque()
+        futures: Dict[Future, _WorkItem] = {}
+        failure_round = 0
+        pool = self._new_pool(health)
+
+        def submit(item: _WorkItem) -> None:
+            item.submits += 1
+            futures[pool.submit(_run_shard, (item.shard, self.config))] = item
+
+        def collect(
+            item: _WorkItem,
+            results: List[Tuple[int, ScenarioResult]],
+            delta: Dict[str, int],
+        ) -> None:
+            for index, result in results:
+                result.attempts = item.submits
+                collected[index] = result
+            for key, value in delta.items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+
+        def requeue(item: _WorkItem, cause: str) -> None:
+            shard = item.shard
+            if len(shard) > 1:
+                # Bisect to isolate the killer scenario.  No blame charged:
+                # the innocent half must not inherit the failure count.
+                mid = len(shard) // 2
+                health.shard_splits += 1
+                health.note(f"split shard of {len(shard)} after failure ({cause})")
+                pending.append(
+                    _WorkItem(shard[:mid], failures=item.failures, submits=item.submits)
+                )
+                pending.append(
+                    _WorkItem(shard[mid:], failures=item.failures, submits=item.submits)
+                )
+                return
+            ((index, scenario),) = shard
+            health.retries += 1
+            if item.isolated:
+                # The failure happened while this was the only in-flight
+                # work -- unambiguously this scenario's fault.
+                item.failures += 1
+                if item.failures > self.max_retries:
+                    health.quarantined.append(scenario.scenario_id)
+                    health.note(
+                        f"quarantined {scenario.scenario_id} after "
+                        f"{item.failures} isolated failures ({cause})"
+                    )
+                    collected[index] = ScenarioResult(
+                        scenario_id=scenario.scenario_id,
+                        axes=scenario.axes(),
+                        ok=False,
+                        error=(
+                            f"Quarantined: {item.failures} isolated failed "
+                            f"attempts; last cause: {cause}"
+                        ),
+                        error_chain=(f"Quarantined: {cause}",),
+                        session_key=str(scenario.session_key()),
+                        attempts=item.submits,
+                        quarantined=True,
+                    )
+                    return
+            else:
+                health.note(
+                    f"suspect {scenario.scenario_id} after pool failure ({cause})"
+                )
+            item.isolated = False
+            suspects.append(item)
+
+        def handle_pool_failure(cause: str) -> None:
+            nonlocal pool, failure_round
+            # Harvest stragglers that did complete, requeue the rest.
+            for future, item in list(futures.items()):
+                try:
+                    results, delta = future.result(timeout=0)
+                except Exception:
+                    requeue(item, cause)
+                else:
+                    collect(item, results, delta)
+            futures.clear()
+            self._kill_pool(pool)
+            health.pool_rebuilds += 1
+            pool = self._new_pool(health)
+            self._backoff(failure_round, health)
+            failure_round += 1
+
+        try:
+            while pending or suspects or futures:
+                while pending:
+                    submit(pending.popleft())
+                if not futures and suspects:
+                    # Isolation phase: one suspect at a time, nothing else
+                    # in flight, so the next failure has exactly one owner.
+                    item = suspects.popleft()
+                    item.isolated = True
+                    submit(item)
+                done, _ = wait(
+                    list(futures),
+                    timeout=self.shard_timeout_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    health.timeouts += 1
+                    health.note(
+                        "stall: no shard completed within "
+                        f"{self.shard_timeout_s}s; killing the pool"
+                    )
+                    handle_pool_failure(
+                        f"no completion within shard_timeout_s={self.shard_timeout_s}"
+                    )
+                    continue
+                broken: Optional[str] = None
+                for future in done:
+                    item = futures.pop(future)
+                    try:
+                        results, delta = future.result()
+                    except Exception as exc:
+                        broken = f"{type(exc).__name__}: {exc}"
+                        requeue(item, broken)
+                    else:
+                        collect(item, results, delta)
+                if broken is not None:
+                    if any(
+                        isinstance(f.exception(), BrokenProcessPool)
+                        for f in done
+                        if f.exception() is not None
+                    ):
+                        health.worker_crashes += 1
+                    handle_pool_failure(broken)
+        finally:
+            # Always reap the pool -- a KeyboardInterrupt mid-sweep must not
+            # leave orphaned worker processes running.
+            self._kill_pool(pool)

@@ -1,0 +1,536 @@
+"""Fault-tolerant sweep execution, fault injection and the degradation ladder.
+
+The centrepiece test spawns a *real* worker pool and injects real faults --
+``os._exit`` worker kills, a hung scenario, a crash with a cross-process
+trip budget -- then asserts the sweep completes, quarantines exactly the
+faulty scenarios and reproduces the fault-free numbers bit-identically for
+every healthy scenario.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import faults
+from repro.api import AnalysisConfig, NoiseAnalysisSession
+from repro.api.report import ClusterError, exception_chain
+from repro.experiments import figure1_cluster
+from repro.resilience import (
+    DegradationLog,
+    build_ladder,
+    is_numerical_failure,
+    resilient_analyze,
+    screen_report,
+)
+from repro.scenarios import ScenarioSpace, SweepRunner
+from repro.scenarios.runner import reset_worker_sessions
+from repro.technology import build_default_library, get_technology
+
+CONFIG = AnalysisConfig(methods=("macromodel",), vccs_grid=5, check_nrc=False, dt=4e-12)
+
+
+def small_space(corners=("tt", "ff")):
+    return ScenarioSpace(
+        base=figure1_cluster(length_um=200.0, num_segments=3),
+        technology="cmos130",
+        corners=corners,
+    )
+
+
+def scenario_ids(space):
+    return [scenario.scenario_id for scenario in space.expand()]
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.FaultSpec(site="nope", kind="crash")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSpec(site="scenario", kind="meltdown")
+        with pytest.raises(ValueError, match="not valid at site"):
+            faults.FaultSpec(site="metrics", kind="crash")
+        with pytest.raises(ValueError, match="hang_seconds"):
+            faults.FaultSpec(site="scenario", kind="hang", hang_seconds=0.0)
+        with pytest.raises(ValueError, match="max_trips"):
+            faults.FaultSpec(site="scenario", kind="error", max_trips=0)
+        with pytest.raises(ValueError, match="match pattern"):
+            faults.FaultSpec(site="scenario", kind="error", match="")
+
+    def test_matching_is_fnmatch_on_scenario_id(self):
+        spec = faults.FaultSpec(site="scenario", kind="error", match="*/ff/*")
+        assert spec.matches("scenario", "cluster/cmos130/ff/nom")
+        assert not spec.matches("scenario", "cluster/cmos130/tt/nom")
+        assert not spec.matches("solve", "cluster/cmos130/ff/nom")
+
+    def test_token_is_stable(self):
+        a = faults.FaultSpec(site="scenario", kind="error", match="x*")
+        b = faults.FaultSpec(site="scenario", kind="error", match="x*")
+        assert a.token() == b.token()
+        assert a.token() != faults.FaultSpec(site="solve", kind="singular").token()
+
+
+class TestFaultPlan:
+    def test_error_kind_raises_injected_fault(self):
+        plan = faults.FaultPlan([faults.FaultSpec(site="scenario", kind="error")])
+        with pytest.raises(faults.InjectedFault):
+            plan.fire("scenario", "anything")
+
+    def test_caller_interpreted_kinds_are_returned(self):
+        plan = faults.FaultPlan(
+            [
+                faults.FaultSpec(site="solve", kind="singular", match="a*"),
+                faults.FaultSpec(site="metrics", kind="nan"),
+            ]
+        )
+        assert plan.fire("solve", "a1") == "singular"
+        assert plan.fire("solve", "b1") is None
+        assert plan.fire("metrics", "a1") == "nan"
+
+    def test_local_trip_budget(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="solve", kind="singular", max_trips=2)]
+        )
+        assert plan.fire("solve", "s") == "singular"
+        assert plan.fire("solve", "s") == "singular"
+        assert plan.fire("solve", "s") is None
+
+    def test_ledger_trip_budget_is_shared(self, tmp_path):
+        # Two plan instances with one ledger stand in for two worker
+        # processes: the budget must hold across both.
+        payload = {
+            "ledger_dir": str(tmp_path / "ledger"),
+            "faults": [
+                {"site": "solve", "kind": "singular", "max_trips": 2},
+            ],
+        }
+        plan_a = faults.FaultPlan.from_dict(payload)
+        plan_b = faults.FaultPlan.from_dict(payload)
+        assert plan_a.fire("solve", "s") == "singular"
+        assert plan_b.fire("solve", "s") == "singular"
+        assert plan_a.fire("solve", "s") is None
+        assert plan_b.fire("solve", "s") is None
+
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="scenario", kind="hang", hang_seconds=5.0)],
+            ledger_dir=None,
+        )
+        clone = faults.FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_from_env_inline_and_file(self, tmp_path, monkeypatch):
+        payload = json.dumps(
+            {"faults": [{"site": "metrics", "kind": "nan", "match": "x"}]}
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, payload)
+        plan = faults.FaultPlan.from_env()
+        assert plan is not None and plan.faults[0].kind == "nan"
+
+        path = tmp_path / "plan.json"
+        path.write_text(payload)
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(path))
+        plan = faults.FaultPlan.from_env()
+        assert plan is not None and plan.faults[0].match == "x"
+
+        monkeypatch.delenv(faults.FAULT_PLAN_ENV)
+        assert faults.FaultPlan.from_env() is None
+
+    def test_plan_active_restores_previous_state(self):
+        plan = faults.FaultPlan([faults.FaultSpec(site="metrics", kind="nan")])
+        faults.clear_plan()
+        with faults.plan_active(plan):
+            assert faults.fire("metrics", "s") == "nan"
+        faults.install_plan(None)
+        assert faults.fire("metrics", "s") is None
+        faults.clear_plan()
+
+    def test_scenario_context_feeds_deep_sites(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="solve", kind="singular", match="deep/*")]
+        )
+        with faults.plan_active(plan):
+            assert faults.fire("solve") is None
+            with faults.scenario_context("deep/one"):
+                assert faults.current_scenario() == "deep/one"
+                assert faults.fire("solve") == "singular"
+            assert faults.current_scenario() == ""
+
+
+# ---------------------------------------------------------------------------
+# Exception chains
+
+
+class TestExceptionChains:
+    def _chained(self):
+        try:
+            try:
+                raise ValueError("inner detail")
+            except ValueError as inner:
+                raise RuntimeError("outer failure") from inner
+        except RuntimeError as outer:
+            return outer
+
+    def test_exception_chain_outermost_first(self):
+        chain = exception_chain(self._chained())
+        assert chain == ("RuntimeError: outer failure", "ValueError: inner detail")
+
+    def test_cluster_error_from_exception(self):
+        exc = self._chained()
+        error = ClusterError.from_exception(exc)
+        assert error.exception_type == "RuntimeError"
+        assert error.message == "outer failure"
+        assert error.cause_chain == exception_chain(exc)
+
+    def test_is_numerical_failure_walks_the_chain(self):
+        from repro.circuit.mna import SingularMatrixError
+
+        try:
+            try:
+                raise SingularMatrixError("singular")
+            except SingularMatrixError as inner:
+                raise RuntimeError("wrapped") from inner
+        except RuntimeError as outer:
+            assert is_numerical_failure(outer)
+        assert not is_numerical_failure(KeyError("nope"))
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+
+
+class TestLadder:
+    def test_build_ladder_rungs(self):
+        rungs = build_ladder(CONFIG)
+        assert [name for name, _ in rungs] == ["primary", "sparse", "dense"]
+        assert rungs[1][1].solver_backend == "sparse"
+        assert rungs[2][1].solver_backend == "dense"
+
+    def test_build_ladder_dedups_collapsed_rungs(self):
+        dense_config = CONFIG.replace(solver_backend="dense")
+        rungs = build_ladder(dense_config)
+        assert [name for name, _ in rungs] == ["primary", "sparse"]
+
+    def test_build_ladder_disables_reduction_on_fallback_rungs(self):
+        config = CONFIG.replace(methods=("reduced",))
+        rungs = dict(build_ladder(config))
+        assert rungs["sparse"].reduction_threshold >= 10**9
+        assert rungs["dense"].reduction_threshold >= 10**9
+        # Result keys (the method list) survive the fallback.
+        assert rungs["sparse"].methods == ("reduced",)
+
+    def test_screen_report_triggers(self):
+        from types import SimpleNamespace
+
+        def result(peak, area=1.0, width=1.0, stability=None):
+            return SimpleNamespace(
+                peak=peak,
+                area_v_ps=area,
+                width_ps=width,
+                details={"stability": stability},
+            )
+
+        ok = SimpleNamespace(results={"m": result(0.3)})
+        assert screen_report(ok) is None
+
+        nan = SimpleNamespace(results={"m": result(float("nan"))})
+        assert "non-finite" in screen_report(nan)
+
+        unstable = SimpleNamespace(
+            results={
+                "m": result(
+                    0.3,
+                    stability=SimpleNamespace(
+                        passive=False, stable=True, summary=lambda: "not passive"
+                    ),
+                )
+            }
+        )
+        assert "failed" in screen_report(unstable)
+
+        split = SimpleNamespace(results={"a": result(0.5), "b": result(0.1)})
+        assert "disagree" in screen_report(split)
+        assert screen_report(split, max_relative_spread=2.0) is None
+
+        tiny = SimpleNamespace(results={"a": result(4e-7), "b": result(1e-8)})
+        assert screen_report(tiny) is None
+
+    def test_resilient_analyze_recovers_from_singular_primary(self):
+        session = NoiseAnalysisSession(
+            build_default_library(get_technology("cmos130")), CONFIG
+        )
+        spec = figure1_cluster(length_um=200.0, num_segments=3)
+        baseline = session.analyze(spec)  # also warms the characterizer
+
+        # One injected dense-singular trip: the primary rung dies on it, the
+        # budget is then spent, and the next rung reproduces the baseline.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="solve", kind="singular", max_trips=1)]
+        )
+        with faults.plan_active(plan), faults.scenario_context("ladder"):
+            report, log = resilient_analyze(session, spec)
+
+        assert isinstance(log, DegradationLog)
+        assert log.degraded
+        assert log.accepted_rung == "sparse"
+        assert any("SingularMatrixError" in event for event in report.degradation)
+        assert report.results["macromodel"].peak == baseline.results["macromodel"].peak
+
+    def test_resilient_analyze_reraises_non_numerical(self, monkeypatch):
+        session = NoiseAnalysisSession(
+            build_default_library(get_technology("cmos130")), CONFIG
+        )
+        spec = figure1_cluster(length_um=200.0, num_segments=3)
+
+        def explode(self, *args, **kwargs):
+            raise KeyError("not a numerical failure")
+
+        monkeypatch.setattr(NoiseAnalysisSession, "analyze", explode)
+        # A non-numerical failure must not be papered over by lower rungs.
+        with pytest.raises(KeyError):
+            resilient_analyze(session, spec)
+
+
+# ---------------------------------------------------------------------------
+# Runner knobs
+
+
+class TestRunnerKnobs:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SweepRunner(CONFIG, max_retries=-1)
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            SweepRunner(CONFIG, shard_timeout_s=0.0)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            SweepRunner(CONFIG, retry_backoff_s=-0.1)
+        with pytest.raises(ValueError, match="max_tasks_per_child"):
+            SweepRunner(CONFIG, max_tasks_per_child=0)
+
+    def test_defaults(self):
+        runner = SweepRunner(CONFIG)
+        assert runner.max_retries == 2
+        assert runner.shard_timeout_s is None
+        assert runner.retry_backoff_s == 0.5
+        assert runner.max_tasks_per_child is None
+
+
+# ---------------------------------------------------------------------------
+# Serial sweeps under injected numerical faults
+
+
+class TestSerialFaults:
+    def test_nan_metrics_become_structured_errors(self):
+        space = small_space()
+        ids = scenario_ids(space)
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="metrics", kind="nan", match=ids[0])]
+        )
+        with faults.plan_active(plan):
+            report = SweepRunner(CONFIG).run(space)
+
+        poisoned = report.result(ids[0])
+        assert not poisoned.ok
+        assert poisoned.error.startswith("NonFiniteMetrics")
+        assert poisoned.peaks == {}  # never reaches worst_case()
+        assert report.result(ids[1]).ok
+        assert report.health.nonfinite_scenarios == [ids[0]]
+        # worst_case() only sees the healthy scenario.
+        assert report.worst_case().scenario_id == ids[1]
+
+    def test_injected_error_is_captured_with_chain(self):
+        space = small_space()
+        ids = scenario_ids(space)
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="scenario", kind="error", match=ids[0])]
+        )
+        with faults.plan_active(plan):
+            report = SweepRunner(CONFIG).run(space)
+
+        failed = report.result(ids[0])
+        assert not failed.ok
+        assert "InjectedFault" in failed.error
+        assert failed.error_chain and "InjectedFault" in failed.error_chain[0]
+        assert failed.session_key
+        assert failed.traceback_text
+        assert report.result(ids[1]).ok
+
+    def test_degradation_ladder_engages_in_sweep(self):
+        space = small_space(corners=("tt",))
+        ids = scenario_ids(space)
+        runner = SweepRunner(CONFIG)
+        baseline = runner.run(space)  # fault-free; warms the worker session
+
+        plan = faults.FaultPlan(
+            [
+                faults.FaultSpec(
+                    site="solve", kind="singular", match=ids[0], max_trips=1
+                )
+            ]
+        )
+        with faults.plan_active(plan):
+            report = runner.run(space)
+
+        degraded = report.result(ids[0])
+        assert degraded.ok
+        assert degraded.degradation
+        assert degraded.peaks == baseline.result(ids[0]).peaks
+        assert report.health.degraded_scenarios == [ids[0]]
+        assert report.health.fallback_triggers
+        assert report.health.faults_seen
+        assert "sweep health" in report.text()
+
+    def test_degradation_off_surfaces_the_raw_failure(self):
+        space = small_space(corners=("tt",))
+        ids = scenario_ids(space)
+        config = CONFIG.replace(degradation=False)
+        runner = SweepRunner(config)
+        runner.run(space)  # warm the session so the fault hits the engine
+
+        plan = faults.FaultPlan(
+            [
+                faults.FaultSpec(
+                    site="solve", kind="singular", match=ids[0], max_trips=1
+                )
+            ]
+        )
+        with faults.plan_active(plan):
+            report = runner.run(space)
+
+        failed = report.result(ids[0])
+        assert not failed.ok
+        assert "SingularMatrixError" in failed.error
+
+
+# ---------------------------------------------------------------------------
+# The real thing: a worker pool under crash, hang and budgeted-crash faults
+
+
+class TestPoolFaults:
+    def test_sweep_survives_crashes_and_hangs(self, tmp_path):
+        space = small_space(corners=("tt", "ff", "ss", "fs"))
+        ids = scenario_ids(space)
+        by_corner = {sid.split("/")[-2]: sid for sid in ids}
+
+        reset_worker_sessions()
+        baseline = SweepRunner(CONFIG).run(space)
+
+        plan = {
+            "ledger_dir": str(tmp_path / "ledger"),
+            "faults": [
+                # ff dies hard on every attempt -> must be quarantined.
+                {"site": "scenario", "kind": "crash", "match": "*/ff/*"},
+                # ss wedges its worker -> the stall detector must reap it.
+                {
+                    "site": "scenario",
+                    "kind": "hang",
+                    "match": "*/ss/*",
+                    "hang_seconds": 300.0,
+                },
+                # tt crashes exactly once (cross-process ledger budget) ->
+                # the retry must succeed bit-identically.
+                {
+                    "site": "scenario",
+                    "kind": "crash",
+                    "match": "*/tt/*",
+                    "max_trips": 1,
+                },
+            ],
+        }
+        os.environ[faults.FAULT_PLAN_ENV] = json.dumps(plan)
+        try:
+            runner = SweepRunner(
+                CONFIG,
+                num_workers=2,
+                shard_size=1,
+                mp_context=multiprocessing.get_context("spawn"),
+                max_retries=1,
+                shard_timeout_s=8.0,
+                retry_backoff_s=0.01,
+            )
+            report = runner.run(space)
+        finally:
+            del os.environ[faults.FAULT_PLAN_ENV]
+            faults.clear_plan()
+
+        # Nothing lost, nothing raised.
+        assert len(report.results) == len(ids)
+        assert [r.scenario_id for r in report.results] == ids
+
+        # Exactly the two unrecoverable scenarios are quarantined.
+        assert set(report.health.quarantined) == {
+            by_corner["ff"],
+            by_corner["ss"],
+        }
+        for sid in (by_corner["ff"], by_corner["ss"]):
+            result = report.result(sid)
+            assert not result.ok
+            assert result.quarantined
+            assert result.attempts > 1
+            assert result.error.startswith("Quarantined")
+            assert result.error_chain
+            assert result.session_key
+
+        # The budgeted crasher recovered on a retry...
+        recovered = report.result(by_corner["tt"])
+        assert recovered.ok
+        assert not recovered.quarantined
+        assert recovered.attempts > 1
+
+        # ...and every healthy scenario reproduces the fault-free numbers
+        # bit-identically.
+        for sid in (by_corner["tt"], by_corner["fs"]):
+            assert report.result(sid).peaks == baseline.result(sid).peaks
+            assert report.result(sid).areas_v_ps == baseline.result(sid).areas_v_ps
+
+        # The recovery machinery visibly engaged and is serialised.
+        health = report.health
+        assert health.worker_crashes >= 1
+        assert health.pool_rebuilds >= 1
+        assert health.timeouts >= 1
+        assert health.retries >= 1
+        assert health.events
+        assert health.faults_seen
+        payload = report.to_json()["health"]
+        assert set(payload["quarantined"]) == set(health.quarantined)
+        assert payload["worker_crashes"] == health.worker_crashes
+
+    def test_shard_bisection_isolates_the_killer(self, tmp_path):
+        # One big shard holding a crasher: the runner must split it instead
+        # of quarantining innocents wholesale.
+        space = small_space(corners=("tt", "ff", "ss", "fs"))
+        ids = scenario_ids(space)
+        crasher = [sid for sid in ids if "/ff/" in sid][0]
+
+        plan = {
+            "faults": [
+                {"site": "scenario", "kind": "crash", "match": "*/ff/*"},
+            ],
+        }
+        os.environ[faults.FAULT_PLAN_ENV] = json.dumps(plan)
+        try:
+            runner = SweepRunner(
+                CONFIG,
+                num_workers=2,
+                shard_size=4,  # all four scenarios ride one shard
+                mp_context=multiprocessing.get_context("spawn"),
+                max_retries=1,
+                retry_backoff_s=0.01,
+            )
+            report = runner.run(space)
+        finally:
+            del os.environ[faults.FAULT_PLAN_ENV]
+            faults.clear_plan()
+
+        assert len(report.results) == len(ids)
+        assert report.health.shard_splits >= 1
+        assert report.health.quarantined == [crasher]
+        for sid in ids:
+            if sid == crasher:
+                assert report.result(sid).quarantined
+            else:
+                assert report.result(sid).ok
