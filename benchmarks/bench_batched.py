@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Batched linear transient benchmark: one factorization per topology class.
+
+Two workload claims of the batched solver core are recorded and gated:
+
+* **Monte-Carlo batching** -- 24 same-topology scenarios (identical RC
+  chain, per-scenario drive amplitudes, i.e. the matrix is shared and only
+  the right-hand side moves) solved by
+  :class:`~repro.circuit.batched.BatchedTransientSolver` against the
+  per-scenario sequential path.  The batched run factorises the base matrix
+  once and steps all scenarios with stacked right-hand sides; the speedup
+  must clear ``MIN_BATCHED_SPEEDUP`` and the waveforms must agree with the
+  sequential reference to ``MAX_DV_BATCHED`` (batching must be numerically
+  invisible).
+* **Sparse end-to-end nonlinear Newton** -- the dedicated noise engine's
+  table-VCCS Newton loop on a >= 500-unknown macromodel network with
+  ``solver_backend="sparse"`` held end to end (rank-k Woodbury correction
+  through the factorised linear base; no dense demotion).  Gated on the
+  backend actually staying sparse, the Newton loop actually iterating, and
+  agreement with the dense engine at ``MAX_DV_NONLINEAR``.
+
+Results are written to ``BENCH_batched.json`` (see ``--output``); CI runs
+``--quick`` and gates ``summary.batched_speedup`` against the committed
+baseline with ``check_regression.py``.  ``--smoke`` runs a reduced pass of
+both claims without writing JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py [--quick|--smoke]
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.circuit import Circuit, SaturatedRamp, transient
+from repro.circuit.batched import BatchedTransientSolver, TransientJob
+from repro.noise import DedicatedNoiseEngine, MacromodelNetwork
+from repro.units import fF, ps
+
+#: Acceptance floor: batched over per-scenario sequential on the 24-scenario
+#: Monte-Carlo group.
+MIN_BATCHED_SPEEDUP = 3.0
+#: Batched waveforms must agree with the sequential reference to this bound.
+MAX_DV_BATCHED = 1e-12
+#: Sparse and dense nonlinear Newton must agree to this bound.
+MAX_DV_NONLINEAR = 1e-9
+
+#: Monte-Carlo scenarios in the batched group.
+MC_SCENARIOS = 24
+
+T_STOP = ps(400)
+DT = ps(4)
+
+
+def mc_chain(num_nodes, amplitude):
+    """One Monte-Carlo sample: fixed RC-chain topology, varied drive.
+
+    Element values are deterministic functions of the node index, so every
+    sample shares one COO pattern *and* one set of matrix values -- only the
+    source amplitude (a pure right-hand-side quantity) moves.  The ramp
+    timing is shared too, so every sample builds the same time axis and the
+    whole family lands in one batch group.
+    """
+    circuit = Circuit(f"mc_chain_{amplitude:.6f}")
+    circuit.add_voltage_source(
+        "VTH", "drv", "0",
+        SaturatedRamp(0.0, amplitude, delay=ps(40), transition=ps(60)),
+    )
+    circuit.add_resistor("RTH", "drv", "n0", 120.0)
+    for i in range(num_nodes - 1):
+        circuit.add_resistor(f"R{i}", f"n{i}", f"n{i + 1}", 60.0 + (i % 7) * 10.0)
+        circuit.add_capacitor(
+            f"C{i}", f"n{i + 1}", "0", (1.0 + (i % 5) * 0.4) * fF(1)
+        )
+    circuit.add_capacitor("CX", "n0", f"n{num_nodes - 1}", fF(2))
+    circuit.add_resistor("RHOLD", f"n{num_nodes - 1}", "0", 5e4)
+    return circuit
+
+
+def run_batched_case(num_nodes, num_scenarios):
+    """Time the Monte-Carlo group batched vs per-scenario sequential.
+
+    Both paths start from rest (``uic=True`` -- exact here, since the ramp
+    is zero until its 40 ps delay), so the comparison isolates the transient
+    solve itself: per-scenario factorization + per-scenario triangular
+    solves against one factorization + stacked solves.
+    """
+    amplitudes = [0.5 + 0.9 * (k + 1) / num_scenarios for k in range(num_scenarios)]
+
+    # Kernel compilation is construction cost, identical on both paths;
+    # compile outside the timers so the ratio measures the solves.
+    sequential_circuits = [mc_chain(num_nodes, a) for a in amplitudes]
+    batched_circuits = [mc_chain(num_nodes, a) for a in amplitudes]
+    for circuit in sequential_circuits + batched_circuits:
+        circuit.prepare()
+
+    start = time.perf_counter()
+    sequential = [
+        transient(circuit, t_stop=T_STOP, dt=DT, backend="dense", uic=True)
+        for circuit in sequential_circuits
+    ]
+    sequential_seconds = time.perf_counter() - start
+
+    solver = BatchedTransientSolver(backend="dense")
+    jobs = [
+        TransientJob(circuit, t_stop=T_STOP, dt=DT, uic=True)
+        for circuit in batched_circuits
+    ]
+    start = time.perf_counter()
+    batched = solver.run(jobs)
+    batched_seconds = time.perf_counter() - start
+
+    max_dv = max(
+        float(np.max(np.abs(b.solutions - s.solutions)))
+        for b, s in zip(batched, sequential)
+    )
+    stats = solver.last_run
+    row = {
+        "case": f"mc_{num_scenarios}x{num_nodes}",
+        "num_unknowns": int(batched[0].solutions.shape[1]),
+        "num_scenarios": num_scenarios,
+        "time_points": len(batched[0].times),
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "batched_speedup": sequential_seconds / batched_seconds,
+        "batch_groups": stats.batch_groups,
+        "batched_solves": stats.batched_solves,
+        "factorizations_built": stats.factorizations_built,
+        "factorizations_saved": stats.factorizations_saved,
+        "max_dv": max_dv,
+    }
+    print(
+        f"{row['case']:16s} n={row['num_unknowns']:4d}  "
+        f"sequential={sequential_seconds * 1e3:8.1f} ms  "
+        f"batched={batched_seconds * 1e3:7.1f} ms  "
+        f"speedup={row['batched_speedup']:5.2f}x  "
+        f"groups={stats.batch_groups}  saved={stats.factorizations_saved}  "
+        f"max_dv={max_dv:.2e}"
+    )
+    return row
+
+
+def nonlinear_network(num_nodes):
+    """A >= 500-unknown RC macromodel with a table-VCCS-style load."""
+    network = MacromodelNetwork(f"nl_{num_nodes}")
+    for i in range(num_nodes - 1):
+        network.add_resistance(f"m{i}", f"m{i + 1}", 80.0 + (i % 5) * 15.0)
+        network.add_capacitance(f"m{i + 1}", "0", (1.0 + (i % 3)) * fF(1))
+    network.add_resistance(f"m{num_nodes - 1}", "0", 1e4)
+    peak = ps(150)
+
+    def glitch(t):
+        return 2e-4 * np.exp(-0.5 * ((t - peak) / ps(40)) ** 2)
+
+    network.add_current_source("m0", glitch)
+    mid = f"m{num_nodes // 2}"
+    network.add_nonlinear_source(mid, lambda t, v: (2e-5 * v * abs(v), 4e-5 * abs(v)))
+    return network
+
+
+def run_nonlinear_case(num_nodes):
+    """Time the sparse-held nonlinear Newton loop against the dense engine."""
+    t_stop, dt = ps(400), ps(2)
+
+    sparse_engine = DedicatedNoiseEngine(
+        nonlinear_network(num_nodes), solver_backend="sparse"
+    )
+    start = time.perf_counter()
+    sparse_waveforms = sparse_engine.simulate(t_stop, dt)
+    sparse_seconds = time.perf_counter() - start
+
+    dense_engine = DedicatedNoiseEngine(
+        nonlinear_network(num_nodes), solver_backend="dense"
+    )
+    start = time.perf_counter()
+    dense_waveforms = dense_engine.simulate(t_stop, dt)
+    dense_seconds = time.perf_counter() - start
+
+    max_dv = max(
+        float(np.max(np.abs(sparse_waveforms[node].values - dense_waveforms[node].values)))
+        for node in ("m0", f"m{num_nodes // 2}", f"m{num_nodes - 1}")
+    )
+    row = {
+        "case": f"nonlinear_{num_nodes}",
+        "num_unknowns": num_nodes,
+        "resolved_backend": sparse_engine.resolved_backend,
+        "newton_iterations": sparse_engine.statistics.newton_iterations,
+        "sparse_seconds": sparse_seconds,
+        "dense_seconds": dense_seconds,
+        "sparse_speedup": dense_seconds / sparse_seconds,
+        "max_dv_sparse_vs_dense": max_dv,
+    }
+    print(
+        f"{row['case']:16s} n={num_nodes:4d}  backend={row['resolved_backend']}  "
+        f"newton={row['newton_iterations']:5d}  "
+        f"sparse={sparse_seconds * 1e3:7.1f} ms  dense={dense_seconds * 1e3:7.1f} ms  "
+        f"max_dv={max_dv:.2e}"
+    )
+    return row
+
+
+def gate(batched_row, nonlinear_row):
+    """Self-gating acceptance checks; returns the failure list."""
+    failures = []
+    if batched_row["batched_speedup"] < MIN_BATCHED_SPEEDUP:
+        failures.append(
+            f"batched speedup {batched_row['batched_speedup']:.2f}x is below "
+            f"the {MIN_BATCHED_SPEEDUP}x floor"
+        )
+    if batched_row["max_dv"] > MAX_DV_BATCHED:
+        failures.append(
+            f"batched deviates from sequential by {batched_row['max_dv']:.2e} "
+            f"(> {MAX_DV_BATCHED})"
+        )
+    if batched_row["batch_groups"] != 1:
+        failures.append(
+            f"Monte-Carlo family split into {batched_row['batch_groups']} "
+            "groups (expected 1)"
+        )
+    if nonlinear_row["resolved_backend"] != "sparse":
+        failures.append(
+            "nonlinear engine did not hold the sparse backend "
+            f"(got {nonlinear_row['resolved_backend']!r})"
+        )
+    if nonlinear_row["newton_iterations"] <= 0:
+        failures.append("nonlinear engine performed no Newton iterations")
+    if nonlinear_row["max_dv_sparse_vs_dense"] > MAX_DV_NONLINEAR:
+        failures.append(
+            "sparse Newton deviates from dense by "
+            f"{nonlinear_row['max_dv_sparse_vs_dense']:.2e} (> {MAX_DV_NONLINEAR})"
+        )
+    return failures
+
+
+def run_smoke():
+    """Reduced pass of both claims (no JSON record)."""
+    batched_row = run_batched_case(num_nodes=120, num_scenarios=8)
+    nonlinear_row = run_nonlinear_case(num_nodes=500)
+    failures = [
+        failure
+        for failure in gate(batched_row, nonlinear_row)
+        # The smoke gate checks correctness, not performance: tiny systems
+        # under CI noise must not flake the speedup floor.
+        if "speedup" not in failure
+    ]
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print("OK: batched smoke passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller systems for CI gate runs"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a reduced correctness pass only (no JSON record)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_batched.json"),
+        help="path of the JSON report (default: repo-root BENCH_batched.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+
+    # n=800 is the measured-stable regime for the batched ratio: large
+    # enough that the 24->1 factorization saving dominates, small enough
+    # that timings do not wander under machine noise.
+    chain_nodes = 800 if args.quick else 1000
+    nonlinear_nodes = 500 if args.quick else 700
+
+    print(f"--- batched Monte-Carlo group ({MC_SCENARIOS} scenarios) ---")
+    batched_row = run_batched_case(chain_nodes, MC_SCENARIOS)
+    print("--- sparse end-to-end nonlinear Newton ---")
+    nonlinear_row = run_nonlinear_case(nonlinear_nodes)
+
+    summary = {
+        "batched_speedup": batched_row["batched_speedup"],
+        "batched_max_dv": batched_row["max_dv"],
+        "batched_factorizations_saved": batched_row["factorizations_saved"],
+        "sparse_nonlinear_speedup": nonlinear_row["sparse_speedup"],
+        "sparse_nonlinear_unknowns": nonlinear_row["num_unknowns"],
+        "sparse_newton_iterations": nonlinear_row["newton_iterations"],
+        "max_dv_sparse_vs_dense": nonlinear_row["max_dv_sparse_vs_dense"],
+    }
+    report = {
+        "benchmark": "bench_batched",
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "quick": args.quick,
+        "t_stop_seconds": T_STOP,
+        "dt_seconds": DT,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": [batched_row, nonlinear_row],
+        "summary": summary,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"\nbatched speedup: {summary['batched_speedup']:.2f}x over "
+        f"{MC_SCENARIOS} scenarios (floor: {MIN_BATCHED_SPEEDUP}x); "
+        f"max_dv={summary['batched_max_dv']:.2e} (limit: {MAX_DV_BATCHED})"
+    )
+    print(f"wrote {output}")
+
+    failures = gate(batched_row, nonlinear_row)
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

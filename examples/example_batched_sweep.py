@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Monte-Carlo sweep through the batched linear transient core.
+
+A Monte-Carlo sweep solves a *family* of circuits that share one matrix
+topology and differ only in sampled element values and drives.  The
+batched solver core (``repro.circuit.batched``) fingerprints every linear
+transient, factorises each distinct base matrix once, steps same-matrix
+scenarios with stacked right-hand sides, and keeps the factorizations in a
+session-owned LRU cache so repeated analyses pay nothing.
+
+This example runs the same 8-sample Monte-Carlo sweep twice -- once with
+``AnalysisConfig(batching="auto")`` (the default) and once with
+``batching="off"`` -- prints the batch counters the sweep health record
+collected from every worker, and shows that batching is numerically
+invisible: the worst-case glitches agree exactly.
+
+Run with::
+
+    PYTHONPATH=src python examples/example_batched_sweep.py [--workers N]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import AnalysisConfig
+from repro.experiments import table1_cluster
+from repro.scenarios import MonteCarloModel, ScenarioSpace, SweepRunner
+
+
+def run_sweep(space, *, batching, workers):
+    config = AnalysisConfig(
+        methods=("macromodel",),
+        vccs_grid=5,
+        check_nrc=False,
+        batching=batching,
+    )
+    runner = SweepRunner(config, num_workers=workers)
+    return runner.run(space)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument(
+        "--samples", type=int, default=8, help="Monte-Carlo samples"
+    )
+    args = parser.parse_args(argv)
+
+    space = ScenarioSpace(
+        base=table1_cluster(),
+        technology="cmos130",
+        monte_carlo=MonteCarloModel(num_samples=args.samples, seed=7),
+    )
+    print(space.describe())
+
+    print("\n--- batching='auto' (default) ---")
+    batched = run_sweep(space, batching="auto", workers=args.workers)
+    print(batched.text())
+    health = batched.health
+    print(
+        f"\nbatch counters: {health.batch_groups} matrix groups, "
+        f"{health.batched_solves} stacked solves, "
+        f"{health.factorizations_saved} factorizations saved"
+    )
+
+    print("\n--- batching='off' (reference) ---")
+    sequential = run_sweep(space, batching="off", workers=args.workers)
+
+    worst_batched = batched.worst_case()
+    worst_sequential = sequential.worst_case()
+    delta = abs(
+        worst_batched.peaks["macromodel"] - worst_sequential.peaks["macromodel"]
+    )
+    print(
+        f"worst glitch batched={worst_batched.peaks['macromodel']:+.6f} V, "
+        f"sequential={worst_sequential.peaks['macromodel']:+.6f} V "
+        f"(|delta|={delta:.2e})"
+    )
+    if delta > 1e-12:
+        print("FAILED: batching changed the numbers", file=sys.stderr)
+        return 1
+    print("=> batching saved work without moving a single waveform")
+    return 1 if batched.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

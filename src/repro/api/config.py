@@ -25,6 +25,9 @@ _VALID_REDUCTIONS = ("coupled_pi", "full")
 #: kept literal here so the config module stays import-light).
 _VALID_BACKENDS = ("auto", "dense", "sparse")
 
+#: Batched-solve modes (mirrors repro.circuit.batched.BATCHING_MODES).
+_VALID_BATCHING = ("auto", "off")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -68,6 +71,16 @@ class AnalysisConfig:
         scipy.sparse ``splu`` for large systems and dense LAPACK for small
         ones (see :data:`repro.circuit.stamping.SPARSE_AUTO_THRESHOLD`);
         ``"dense"`` / ``"sparse"`` force one side everywhere.
+    batching:
+        Batched-solve policy.  ``"auto"`` (default) gives the session a
+        shared :class:`~repro.circuit.batched.FactorizationCache`:
+        structurally identical macromodels (Monte Carlo samples of one
+        cluster, repeated analyses of one victim) factorise their base
+        matrices once per session instead of once per analysis, and
+        same-matrix transient groups are solved with stacked right-hand
+        sides.  A cache hit reuses a factorization of a *bit-identical*
+        matrix, so results never change; ``"off"`` disables the sharing
+        (the differential-testing baseline).
     degradation:
         Whether batch executors (the scenario sweep runner) route clusters
         through the numerical degradation ladder
@@ -96,6 +109,7 @@ class AnalysisConfig:
     reduction_threshold: Optional[int] = None
     vccs_grid: int = 17
     solver_backend: str = "auto"
+    batching: str = "auto"
     degradation: bool = True
     check_nrc: bool = True
     nrc_widths: Optional[Tuple[float, ...]] = None
@@ -138,6 +152,10 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown solver_backend {self.solver_backend!r}; "
                 f"valid: {_VALID_BACKENDS}"
+            )
+        if self.batching not in _VALID_BATCHING:
+            raise ValueError(
+                f"unknown batching {self.batching!r}; valid: {_VALID_BATCHING}"
             )
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be at least 1, got {self.max_workers}")
@@ -188,6 +206,7 @@ class AnalysisConfig:
             f"reduction={self.reduction!r}, reduction_order={self.reduction_order}, "
             f"vccs_grid={self.vccs_grid}, "
             f"solver_backend={self.solver_backend!r}, "
+            f"batching={self.batching!r}, "
             f"degradation={self.degradation}, "
             f"check_nrc={self.check_nrc}, max_workers={self.max_workers}, "
             f"cache_dir={self.cache_dir!r})"

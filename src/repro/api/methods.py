@@ -45,6 +45,7 @@ def _macromodel(context: MethodContext) -> AnalysisMethod:
         reduction=context.config.reduction,
         vccs_grid=context.config.vccs_grid,
         solver_backend=context.config.solver_backend,
+        solver_cache=context.solver_cache,
     )
 
 

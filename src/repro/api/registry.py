@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, runt
 
 if TYPE_CHECKING:  # avoid import cycles: these are annotations only
     from ..characterization.characterizer import LibraryCharacterizer
+    from ..circuit.batched import FactorizationCache
     from ..noise.builder import ClusterModelBuilder
     from ..noise.cluster import NoiseClusterSpec
     from ..noise.results import NoiseAnalysisResult
@@ -93,6 +94,9 @@ class MethodContext:
     library: "CellLibrary"
     characterizer: "LibraryCharacterizer"
     config: "AnalysisConfig"
+    #: Session-shared factorization cache (``config.batching == "auto"``);
+    #: ``None`` when batching is off or the context predates the session API.
+    solver_cache: Optional["FactorizationCache"] = None
 
 
 #: Factory signature registered under each method name.

@@ -261,6 +261,8 @@ class SessionReport:
                 f"{stats.newton_iterations} Newton iters, "
                 f"{stats.assemblies_avoided} assemblies avoided, "
                 f"{stats.lu_reuse_hits} LU reuses "
-                f"({stats.matrix_factorizations} factorizations)"
+                f"({stats.matrix_factorizations} factorizations, "
+                f"{stats.factorizations_saved} saved, "
+                f"{stats.batched_solves} batched solves)"
             )
         return "\n".join(lines)

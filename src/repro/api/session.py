@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..characterization.characterizer import LibraryCharacterizer
 from ..characterization.diskcache import PersistentCharacterizationCache
+from ..circuit.batched import FactorizationCache
 from ..noise.analysis import check_against_nrc
 from ..noise.builder import ClusterModelBuilder
 from ..noise.cluster import NoiseClusterSpec
@@ -63,6 +64,14 @@ class NoiseAnalysisSession:
                 library, vccs_grid=self.config.vccs_grid, disk_cache=disk_cache
             )
         self.characterizer = characterizer
+        #: Session-shared factorization cache (``config.batching == "auto"``):
+        #: engines built by this session's methods factorise each distinct
+        #: macromodel base matrix once per session -- Monte Carlo samples of
+        #: one cluster take cache hits.  Thread-safe, so ``analyze_many``
+        #: workers share it directly.
+        self.solver_cache: Optional[FactorizationCache] = (
+            FactorizationCache() if self.config.batching == "auto" else None
+        )
         self._instances: Dict[str, AnalysisMethod] = {}
 
     # ------------------------------------------------------------- resolution
@@ -71,7 +80,10 @@ class NoiseAnalysisSession:
         """The (session-cached) backend instance registered under ``name``."""
         if name not in self._instances:
             context = MethodContext(
-                library=self.library, characterizer=self.characterizer, config=self.config
+                library=self.library,
+                characterizer=self.characterizer,
+                config=self.config,
+                solver_cache=self.solver_cache,
             )
             self._instances[name] = create_method(name, context)
         return self._instances[name]

@@ -7,6 +7,13 @@ and a SPICE-like netlist parser.  It plays the role ELDO(TM) plays in the
 paper's experiments.
 """
 
+from .batched import (
+    BATCHING_MODES,
+    BatchedTransientSolver,
+    BatchRunStats,
+    FactorizationCache,
+    TransientJob,
+)
 from .dc import ConvergenceError, DCSolution, dc_operating_point
 from .elements import (
     GROUND,
@@ -81,6 +88,11 @@ __all__ = [
     "build_time_axis",
     "TransientResult",
     "TransientStats",
+    "BATCHING_MODES",
+    "BatchedTransientSolver",
+    "BatchRunStats",
+    "FactorizationCache",
+    "TransientJob",
     "DescriptorSystem",
     "assemble",
     "assemble_legacy",

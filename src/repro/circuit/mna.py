@@ -76,6 +76,9 @@ def solve_linear_system(A, z: np.ndarray) -> np.ndarray:
     scipy.sparse matrix (``scipy.sparse.linalg.splu`` through
     :class:`~repro.circuit.stamping.SparseLinearSolver`) -- Newton loops
     stay backend-agnostic by calling this on whatever ``assemble`` produced.
+    ``z`` may be one right-hand side (1-D) or a stack of them (``(n, k)``);
+    the batched transient core relies on the stacked form to amortise one
+    factorization over many scenarios.
     """
     if not isinstance(A, np.ndarray):
         from .stamping import SparseLinearSolver

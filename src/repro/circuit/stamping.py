@@ -215,8 +215,16 @@ class LinearSolver:
             raise SingularMatrixError(str(exc)) from exc
 
     def solve(self, z: np.ndarray) -> np.ndarray:
+        """Solve for one right-hand side (1-D) or a stacked block (n x k).
+
+        A 2-D ``z`` is solved column-by-column inside one LAPACK call --
+        the primitive the batched transient core builds on.
+        """
         if self._lu is not None:
-            x = _lu_solve(self._lu, z)
+            # The factors were validated at factor time and the solution is
+            # checked below; re-scanning the n^2 factor block every solve
+            # (check_finite's default) would cost as much as the solve.
+            x = _lu_solve(self._lu, z, check_finite=False)
         else:
             x = self._inv @ z
         if not np.all(np.isfinite(x)):
@@ -242,6 +250,7 @@ class SparseLinearSolver:
             raise SingularMatrixError(str(exc)) from exc
 
     def solve(self, z: np.ndarray) -> np.ndarray:
+        """Solve for one right-hand side (1-D) or a stacked block (n x k)."""
         x = self._lu.solve(z)
         if not np.all(np.isfinite(x)):
             raise SingularMatrixError("solution contains non-finite values")
@@ -857,6 +866,14 @@ class LinearTransientStepper:
     (``scipy.sparse.linalg.splu`` on the kernel's CSC base matrix).  The
     stepping loop, companion-state updates and reuse accounting are
     identical for both.
+
+    The solver cache is LRU-bounded at :data:`_BASE_CACHE_SIZE` entries
+    (matching the kernel's base-matrix caches), so a long-lived stepper
+    swept across many distinct ``dt`` values cannot accumulate unbounded
+    factorisations.  ``shared_solvers`` lets several steppers over
+    *identical* matrices (the batched transient core's same-value groups)
+    share one cache, so the whole group factorises each unique ``dt``
+    exactly once.
     """
 
     def __init__(
@@ -866,6 +883,7 @@ class LinearTransientStepper:
         method: str,
         gmin: float,
         backend: str = "dense",
+        shared_solvers: Optional["OrderedDict"] = None,
     ):
         if kernel.has_nonlinear:
             raise ValueError(
@@ -879,7 +897,9 @@ class LinearTransientStepper:
         self.method = method
         self.gmin = gmin
         self.backend = backend
-        self._solvers: Dict[tuple, LinearSolver] = {}
+        self._solvers: "OrderedDict[tuple, LinearSolver]" = (
+            OrderedDict() if shared_solvers is None else shared_solvers
+        )
         self.lu_factorizations = 0
         self.lu_reuse_hits = 0
 
@@ -922,8 +942,11 @@ class LinearTransientStepper:
             else:
                 solver = LinearSolver(self.kernel.base_matrix_for_key(base_key))
             self._solvers[key] = solver
+            if len(self._solvers) > _BASE_CACHE_SIZE:
+                self._solvers.popitem(last=False)
             self.lu_factorizations += 1
         else:
+            self._solvers.move_to_end(key)
             self.lu_reuse_hits += 1
         return solver
 
@@ -933,10 +956,14 @@ class LinearTransientStepper:
         trap = self.method == "trap"
         return tuple(trap for _ in self.kernel.dynamic_elements)
 
-    def step(self, t: float, dt: float, prev_x: np.ndarray) -> np.ndarray:
-        """Advance one time point and update the companion state."""
-        kernel = self.kernel
-        solver = self._solver(dt)
+    def build_rhs(self, t: float, dt: float, prev_x: np.ndarray) -> np.ndarray:
+        """The right-hand side of the step system at ``(t, dt)``.
+
+        Solving ``A(dt) x = build_rhs(...)`` and passing ``x`` to
+        :meth:`accept` is exactly one :meth:`step`; the batched transient
+        core uses this split to stack the right-hand sides of a whole
+        same-matrix group into one multi-column solve.
+        """
         ctx = StampContext(
             x=prev_x,
             prev_x=prev_x,
@@ -946,10 +973,11 @@ class LinearTransientStepper:
             gmin=self.gmin,
             prev_state=self._inductor_state_view(),
         )
-        z = kernel.rhs(ctx, cap_i_prev=self._cap_i, cap_trap=self._trap_mask)
-        x_new = solver.solve(z)
+        return self.kernel.rhs(ctx, cap_i_prev=self._cap_i, cap_trap=self._trap_mask)
 
-        # Vectorized state update (the accept phase of the generic path).
+    def accept(self, x_new: np.ndarray, dt: float, prev_x: np.ndarray) -> None:
+        """Commit a solved step: vectorized companion-state update."""
+        kernel = self.kernel
         x_ext = np.append(x_new, 0.0)
         prev_ext = np.append(prev_x, 0.0)
         if self._ncaps:
@@ -962,6 +990,13 @@ class LinearTransientStepper:
         if self._ind_branch.size:
             self._ind_i = x_ext[self._ind_branch].copy()
             self._ind_v = x_ext[self._ind_a] - x_ext[self._ind_b]
+
+    def step(self, t: float, dt: float, prev_x: np.ndarray) -> np.ndarray:
+        """Advance one time point and update the companion state."""
+        solver = self._solver(dt)
+        z = self.build_rhs(t, dt, prev_x)
+        x_new = solver.solve(z)
+        self.accept(x_new, dt, prev_x)
         return x_new
 
     def _inductor_state_view(self) -> Dict:

@@ -63,6 +63,12 @@ class TransientStats:
     lu_reuse_hits: int = 0
     matrix_factorizations: int = 0
     rhs_builds: int = 0
+    #: Same-matrix batch groups this run participated in (0 = not batched).
+    batch_groups: int = 0
+    #: Stacked multi-RHS solves this run's steps were folded into.
+    batched_solves: int = 0
+    #: Factorizations the batch shared instead of recomputing for this run.
+    factorizations_saved: int = 0
     #: One entry per time point rescued by a retry rung (backward Euler,
     #: then damped backward Euler), e.g. ``"t=1.2e-10: be"`` -- the
     #: transient-level analogue of DC gmin/source stepping.

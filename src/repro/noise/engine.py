@@ -22,15 +22,24 @@ over full circuit simulation comes from.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
+from ..circuit.batched import FactorizationCache
 from ..circuit.mna import solve_linear_system
 from ..circuit.netlist import Circuit
-from ..circuit.stamping import LinearSolver, SparseLinearSolver, resolve_backend
+from ..circuit.stamping import (
+    LinearSolver,
+    SingularMatrixError,
+    SparseLinearSolver,
+    resolve_backend,
+)
+from ..circuit.transient import _quantize_dt
 from ..characterization.thevenin import TheveninDriverModel
 from ..interconnect.rcnetwork import CoupledRCNetwork
 from ..waveform import Waveform
@@ -196,6 +205,24 @@ class MacromodelNetwork:
             )
         return matrices[0], matrices[1]
 
+    def fingerprint(self) -> str:
+        """Content hash of the linear part: node count plus G/C triples.
+
+        Sources (time-dependent and nonlinear) are deliberately excluded --
+        they only enter the right-hand side and the rank-k Newton
+        correction, never the factorised base matrix.  Two networks with
+        equal fingerprints (and equal gmin) therefore produce bit-identical
+        ``G``/``C`` matrices, which is what makes the fingerprint a safe
+        :class:`~repro.circuit.batched.FactorizationCache` key.
+        """
+        digest = hashlib.sha1()
+        digest.update(np.int64(self.num_nodes).tobytes())
+        for triples in (self._conductances, self._capacitances):
+            arr = np.array(triples, dtype=np.float64).reshape(-1, 3)
+            digest.update(arr.tobytes())
+            digest.update(b"|")
+        return digest.hexdigest()
+
     def source_vector(self, t: float) -> np.ndarray:
         """Currents injected by the time-dependent sources at time ``t``."""
         vector = np.zeros(self.num_nodes)
@@ -244,6 +271,11 @@ class EngineStatistics:
     lu_reuse_hits: int = 0
     matrix_factorizations: int = 0
     fast_path_runs: int = 0
+    #: Factorizations answered by a shared session cache instead of computed.
+    factorizations_saved: int = 0
+    #: Stacked multi-RHS solves (the Newton basis columns are solved in one
+    #: BLAS call instead of one call per nonlinear node).
+    batched_solves: int = 0
 
     def merge(self, other: "EngineStatistics") -> "EngineStatistics":
         """Accumulate another run's counters into this one (returns self)."""
@@ -254,6 +286,8 @@ class EngineStatistics:
         self.lu_reuse_hits += other.lu_reuse_hits
         self.matrix_factorizations += other.matrix_factorizations
         self.fast_path_runs += other.fast_path_runs
+        self.factorizations_saved += other.factorizations_saved
+        self.batched_solves += other.batched_solves
         return self
 
 
@@ -269,6 +303,7 @@ class DedicatedNoiseEngine:
         max_newton_iterations: int = 40,
         damping_limit: float = 1.0,
         solver_backend: str = "auto",
+        solver_cache: Optional[FactorizationCache] = None,
     ):
         self.network = network
         self.gmin = gmin
@@ -278,19 +313,20 @@ class DedicatedNoiseEngine:
         #: Newton step so table-VCCS corners cannot throw the iterate far
         #: outside the characterised range.
         self.damping_limit = damping_limit
-        requested = resolve_backend(solver_backend, network.num_nodes)
         #: Backend the engine actually runs.  On the sparse side G and C are
         #: assembled as CSC straight from the element triples (never a dense
-        #: n x n array) and the constant trapezoidal system factorises with
-        #: scipy.sparse splu -- the win for reduction="full" macromodels
-        #: that keep thousands of RC nodes.  The Newton loop for table-VCCS
-        #: macromodels is dense-only (those networks are reduced and small),
-        #: so a network with nonlinear sources resolves to "dense" whatever
-        #: was requested -- the reported backend never claims a substrate
-        #: that did not run.
-        self.resolved_backend = (
-            "dense" if network.nonlinear_sources else requested
-        )
+        #: n x n array) and the constant systems factorise with scipy.sparse
+        #: splu -- the win for reduction="full" macromodels that keep
+        #: thousands of RC nodes.  The table-VCCS Newton loop holds the
+        #: backend end to end: the nonlinear sources enter as a rank-k
+        #: diagonal correction solved through the factorised linear base
+        #: (Woodbury identity), so nonlinear networks no longer demote to
+        #: dense.
+        self.resolved_backend = resolve_backend(solver_backend, network.num_nodes)
+        #: Optional session-shared :class:`FactorizationCache`; when present,
+        #: structurally identical engines (Monte Carlo samples of one
+        #: cluster) factorise their base matrices once per session.
+        self.solver_cache = solver_cache
         self.statistics = EngineStatistics()
         n = network.num_nodes
         if self.resolved_backend == "sparse":
@@ -302,38 +338,145 @@ class DedicatedNoiseEngine:
         else:
             self._G, self._C = network.build_matrices()
             self._G[np.arange(n), np.arange(n)] += gmin
+        # Content hash of the matrices just built (the cache key component);
+        # later network mutations do not reach _G/_C, so hash now, once.
+        self._fingerprint = network.fingerprint()
 
-    def _ensure_dense_for_nonlinear(self) -> None:
-        """Densify G/C when nonlinear sources appeared after construction.
+    # ------------------------------------------------------- solver acquisition
 
-        The engine's Newton loop (DC and transient) is dense-only; a
-        sparse-built engine whose network gained nonlinear sources later
-        falls back to dense matrices *before* any Newton work runs, and
-        reports the demotion through ``resolved_backend``.
+    def _acquire_solver(self, matrix, dt_key: Optional[float]):
+        """A factorization of ``matrix``, via the session cache when present.
+
+        The injected-singular fault hook fires *before* the cache lookup
+        (dense acquisitions only, matching the dense-factorisation semantics
+        of the ``solve`` fault site), so a warm cache can never suppress a
+        planned fault drill.
         """
-        if self.network.nonlinear_sources and not isinstance(self._G, np.ndarray):
-            self._G = self._G.toarray()
-            self._C = self._C.toarray()
-            self.resolved_backend = "dense"
+        dense = isinstance(matrix, np.ndarray)
+        if dense and faults.fire("solve") == "singular":
+            raise SingularMatrixError("injected singular matrix [fault plan]")
+
+        def build():
+            return LinearSolver(matrix) if dense else SparseLinearSolver(matrix)
+
+        if self.solver_cache is None:
+            self.statistics.matrix_factorizations += 1
+            return build()
+        key = (
+            "engine",
+            self._fingerprint,
+            dt_key,
+            repr(self.gmin),
+            self.resolved_backend,
+        )
+        solver, hit = self.solver_cache.solver(key, build)
+        if hit:
+            self.statistics.factorizations_saved += 1
+        else:
+            self.statistics.matrix_factorizations += 1
+        return solver
+
+    def _basis_columns(self, solver, nodes: np.ndarray) -> np.ndarray:
+        """``A^-1 E`` for the identity columns at the nonlinear nodes.
+
+        One stacked multi-RHS solve for all nonlinear nodes at once -- the
+        per-iteration Woodbury correction then needs only a k x k solve.
+        """
+        n = self.network.num_nodes
+        if not nodes.size:
+            return np.zeros((n, 0))
+        E = np.zeros((n, nodes.size))
+        E[nodes, np.arange(nodes.size)] = 1.0
+        W = np.asarray(solver.solve(E))
+        self.statistics.batched_solves += 1
+        if self.solver_cache is not None:
+            self.solver_cache.record_stacked_solves()
+        return W
+
+    def _explicit_jacobian(self, base, nodes: np.ndarray, didv: np.ndarray):
+        """``base`` minus the diagonal di/dv correction, assembled explicitly."""
+        if isinstance(base, np.ndarray):
+            jacobian = base.copy()
+            jacobian[nodes, nodes] -= didv
+            return jacobian
+        from scipy import sparse
+
+        delta = sparse.coo_matrix((-didv, (nodes, nodes)), shape=base.shape)
+        return (base + delta).tocsc()
+
+    def _corrected_solve(
+        self,
+        solver,
+        W: np.ndarray,
+        base,
+        nodes: np.ndarray,
+        didv: np.ndarray,
+        rhs: np.ndarray,
+    ) -> np.ndarray:
+        """Solve ``(A - E diag(didv) E^T) x = rhs`` through ``A``'s factors.
+
+        Woodbury identity in the form that tolerates ``didv = 0`` entries:
+        with ``y = A^-1 rhs`` and ``W = A^-1 E``, solve the k x k system
+        ``(I - diag(didv) W_kk) u = didv * y_k`` and return ``y + W u``.
+        When the k x k system is itself singular (a table-VCCS corner can
+        cancel the diagonal exactly), fall back to assembling the corrected
+        Jacobian and solving it directly.
+        """
+        y = solver.solve(rhs)
+        if not nodes.size or not np.any(didv):
+            return y
+        m = np.eye(nodes.size) - didv[:, np.newaxis] * W[nodes, :]
+        try:
+            u = np.linalg.solve(m, didv * y[nodes])
+            x = y + W @ u
+        except np.linalg.LinAlgError:
+            x = None
+        if x is not None and np.all(np.isfinite(x)):
+            return x
+        return solve_linear_system(self._explicit_jacobian(base, nodes, didv), rhs)
+
+    @staticmethod
+    def _nonlinear_support(nonlinear) -> Tuple[np.ndarray, Dict[int, int]]:
+        """Distinct non-ground nonlinear nodes and their correction slots."""
+        nodes = sorted({node for node, _ in nonlinear if node >= 0})
+        return np.array(nodes, dtype=int), {node: i for i, node in enumerate(nodes)}
 
     # ---------------------------------------------------------------- DC solve
 
     def dc_solve(self, t: float = 0.0, v0: Optional[np.ndarray] = None) -> np.ndarray:
         """Quiescent operating point of the macromodel at time ``t``."""
-        self._ensure_dense_for_nonlinear()
         n = self.network.num_nodes
         v = np.zeros(n) if v0 is None else np.array(v0, dtype=float, copy=True)
         sources = self.network.source_vector(t)
+        nonlinear = self.network.nonlinear_sources
+        if not nonlinear:
+            # Purely linear: the Jacobian is G itself; no factorization is
+            # worth caching for the two iterations the loop needs.
+            for _ in range(self.max_newton_iterations):
+                residual = self._G @ v - sources
+                dv = solve_linear_system(self._G, -residual)
+                max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
+                if max_dv > self.damping_limit:
+                    dv *= self.damping_limit / max_dv
+                v += dv
+                self.statistics.newton_iterations += 1
+                if max_dv < self.newton_tolerance:
+                    break
+            return v
+
+        nodes, slot = self._nonlinear_support(nonlinear)
+        solver = self._acquire_solver(self._G, None)
+        W = self._basis_columns(solver, nodes)
         for _ in range(self.max_newton_iterations):
             residual = self._G @ v - sources
-            jacobian = self._G.copy()
-            for node, func in self.network.nonlinear_sources:
+            didv_sum = np.zeros(nodes.size)
+            for node, func in nonlinear:
                 if node < 0:
                     continue
                 current, didv = func(t, float(v[node]))
                 residual[node] -= current
-                jacobian[node, node] -= didv
-            dv = solve_linear_system(jacobian, -residual)
+                didv_sum[slot[node]] += didv
+            dv = self._corrected_solve(solver, W, self._G, nodes, didv_sum, -residual)
             max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
             if max_dv > self.damping_limit:
                 dv *= self.damping_limit / max_dv
@@ -361,7 +504,6 @@ class DedicatedNoiseEngine:
         """
         if t_stop <= 0 or dt <= 0 or dt > t_stop:
             raise ValueError("invalid t_stop/dt combination")
-        self._ensure_dense_for_nonlinear()
         start_time = time.perf_counter()
 
         n = self.network.num_nodes
@@ -376,19 +518,27 @@ class DedicatedNoiseEngine:
         a_const = self._G + (2.0 / dt) * self._C
         two_c_over_dt = (2.0 / dt) * self._C
         nonlinear = self.network.nonlinear_sources
+        dt_key = _quantize_dt(dt)
 
         total_newton = 0
-        # Linear macromodel (no table VCCS attached): the trapezoidal system
-        # matrix is constant for the whole run, so factorise it once and
-        # reduce every time point to a back-substitution -- no Newton at all.
+        # The trapezoidal system matrix G + (2/dt) C is constant for the
+        # whole run on *both* paths: the linear path reduces every time point
+        # to a back-substitution, and the Newton path folds the table-VCCS
+        # sources into a rank-k diagonal correction solved through the same
+        # factorization (see _corrected_solve) -- one factorization per run,
+        # dense or sparse alike.
         linear_solver = None
+        newton_solver = None
+        W = np.zeros((n, 0))
+        nodes = np.zeros(0, dtype=int)
+        slot: Dict[int, int] = {}
         if not nonlinear:
-            if isinstance(a_const, np.ndarray):
-                linear_solver = LinearSolver(a_const)
-            else:
-                linear_solver = SparseLinearSolver(a_const)
-            self.statistics.matrix_factorizations += 1
+            linear_solver = self._acquire_solver(a_const, dt_key)
             self.statistics.fast_path_runs += 1
+        else:
+            nodes, slot = self._nonlinear_support(nonlinear)
+            newton_solver = self._acquire_solver(a_const, dt_key)
+            W = self._basis_columns(newton_solver, nodes)
 
         for step in range(1, len(times)):
             t = float(times[step])
@@ -404,17 +554,21 @@ class DedicatedNoiseEngine:
                 v_new = v.copy()
                 for _ in range(self.max_newton_iterations):
                     residual = a_const @ v_new - rhs_const
-                    # Reusing the preassembled constant Jacobian avoids a full
-                    # per-iteration reassembly of the linear network.
-                    jacobian = a_const.copy()
+                    # The constant Jacobian base is never reassembled (nor
+                    # even copied): each iteration only re-evaluates the few
+                    # nonlinear sources and solves through the shared
+                    # factorization.
                     self.statistics.assemblies_avoided += 1
+                    didv_sum = np.zeros(nodes.size)
                     for node, func in nonlinear:
                         if node < 0:
                             continue
                         current, didv = func(t, float(v_new[node]))
                         residual[node] -= current
-                        jacobian[node, node] -= didv
-                    dv = np.linalg.solve(jacobian, -residual)
+                        didv_sum[slot[node]] += didv
+                    dv = self._corrected_solve(
+                        newton_solver, W, a_const, nodes, didv_sum, -residual
+                    )
                     max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
                     if max_dv > self.damping_limit:
                         dv *= self.damping_limit / max_dv

@@ -16,7 +16,7 @@ Tables 1 and 2.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..characterization.characterizer import LibraryCharacterizer
 from ..technology.library import CellLibrary
@@ -24,6 +24,9 @@ from .builder import ClusterModelBuilder
 from .cluster import NoiseClusterSpec
 from .engine import DedicatedNoiseEngine, MacromodelNetwork
 from .results import NoiseAnalysisResult
+
+if TYPE_CHECKING:
+    from ..circuit.batched import FactorizationCache
 
 __all__ = ["MacromodelAnalysis"]
 
@@ -41,6 +44,7 @@ class MacromodelAnalysis:
         reduction: str = "coupled_pi",
         vccs_grid: int = 17,
         solver_backend: str = "auto",
+        solver_cache: Optional["FactorizationCache"] = None,
     ):
         """
         Parameters
@@ -58,19 +62,25 @@ class MacromodelAnalysis:
             Grid resolution of the VCCS load-surface characterisation.
         solver_backend:
             Linear-algebra backend requested of the dedicated engine
-            (``"auto"`` / ``"dense"`` / ``"sparse"``).  The engine's Newton
-            loop for table-VCCS macromodels is dense-only, so networks with
-            a non-linear victim model resolve to dense whatever is
-            requested (the result's ``details["solver_backend"]`` reports
-            what actually ran); the sparse substrate serves the *linear*
-            engine paths (injected-noise and Thevenin-iteration networks)
-            when they grow past the auto threshold.
+            (``"auto"`` / ``"dense"`` / ``"sparse"``).  The backend holds
+            end to end: the table-VCCS Newton loop solves through the
+            factorised linear base (rank-k Woodbury correction), so
+            nonlinear macromodels run sparse when sparse is selected --
+            there is no dense demotion.  The result's
+            ``details["solver_backend"]`` reports what ran.
+        solver_cache:
+            Optional shared :class:`~repro.circuit.batched.FactorizationCache`.
+            Engines built for structurally identical macromodels (Monte
+            Carlo samples of one cluster) then factorise their base
+            matrices once per session; reuse is keyed by content hash, so
+            results are unchanged.
         """
         self.library = library
         self.reduction = reduction
         self.characterizer = characterizer or LibraryCharacterizer(library, vccs_grid=vccs_grid)
         self.vccs_grid = vccs_grid
         self.solver_backend = solver_backend
+        self.solver_cache = solver_cache
 
     # ------------------------------------------------------------------ build
 
@@ -131,7 +141,11 @@ class MacromodelAnalysis:
         receiver_node = wiring.receiver_nodes[spec.victim.net]
 
         start = time.perf_counter()
-        engine = DedicatedNoiseEngine(network, solver_backend=self.solver_backend)
+        engine = DedicatedNoiseEngine(
+            network,
+            solver_backend=self.solver_backend,
+            solver_cache=self.solver_cache,
+        )
         waveforms = engine.simulate(t_stop, dt)
         runtime = time.perf_counter() - start
 

@@ -118,6 +118,13 @@ class SweepHealth:
     nonfinite_scenarios: List[str] = field(default_factory=list)
     #: Worker-recycling limit in force (None = workers live forever).
     max_tasks_per_child: Optional[int] = None
+    #: Distinct matrix-topology classes the batched linear core factorised
+    #: (one entry per structurally distinct base matrix, summed over workers).
+    batch_groups: int = 0
+    #: Stacked multi-RHS solves performed through shared factorizations.
+    batched_solves: int = 0
+    #: Factorizations avoided by a shared-cache hit (bit-identical matrix).
+    factorizations_saved: int = 0
     #: Human-readable event log, in order of occurrence.
     events: List[str] = field(default_factory=list)
 
@@ -150,6 +157,9 @@ class SweepHealth:
             "fallback_triggers": dict(self.fallback_triggers),
             "nonfinite_scenarios": list(self.nonfinite_scenarios),
             "max_tasks_per_child": self.max_tasks_per_child,
+            "batch_groups": self.batch_groups,
+            "batched_solves": self.batched_solves,
+            "factorizations_saved": self.factorizations_saved,
             "events": list(self.events),
         }
 
@@ -379,6 +389,12 @@ class SweepReport:
                 f"{cache.get('disk_hits', 0)} disk hits, "
                 f"{cache.get('disk_stores', 0)} stored, "
                 f"{cache.get('corrupt_dropped', 0)} corrupt dropped"
+            )
+        if self.health.batch_groups or self.health.factorizations_saved:
+            lines.append(
+                f"batched solver: {self.health.batch_groups} matrix groups, "
+                f"{self.health.factorizations_saved} factorizations saved, "
+                f"{self.health.batched_solves} stacked solves"
             )
         if self.health.faults_seen:
             lines.extend(self.health.describe())

@@ -108,6 +108,9 @@ def _worker_cache_totals() -> Dict[str, int]:
         "disk_stores": 0,
         "corrupt_dropped": 0,
         "store_failures": 0,
+        "batch_groups": 0,
+        "batched_solves": 0,
+        "factorizations_saved": 0,
     }
     for session in _WORKER_SESSIONS.values():
         totals["characterizations"] += session.characterizer.stats.miss_count()
@@ -119,6 +122,10 @@ def _worker_cache_totals() -> Dict[str, int]:
             totals["disk_stores"] += snapshot["stores"]
             totals["corrupt_dropped"] += snapshot["corrupt_dropped"]
             totals["store_failures"] += snapshot["store_failures"]
+        solver_cache = getattr(session, "solver_cache", None)
+        if solver_cache is not None:
+            for key, value in solver_cache.counters().items():
+                totals[key] += value
     return totals
 
 
@@ -450,6 +457,12 @@ class SweepRunner:
                     )
             if result.error.startswith("NonFiniteMetrics"):
                 health.nonfinite_scenarios.append(result.scenario_id)
+
+        # The batched-solver counters ride the worker cache-delta channel;
+        # lift them into the health record (their single home in the report).
+        health.batch_groups = cache_stats.pop("batch_groups", 0)
+        health.batched_solves = cache_stats.pop("batched_solves", 0)
+        health.factorizations_saved = cache_stats.pop("factorizations_saved", 0)
 
         return SweepReport(
             ordered,

@@ -298,3 +298,43 @@ class TestPaperSessionHelper:
         assert session.library.technology.name == "cmos90"
         assert session.config.methods == ("macromodel",)
         assert session.config.vccs_grid == 13
+
+
+class TestSessionSolverCache:
+    def test_batching_auto_owns_a_cache(self, library):
+        session = NoiseAnalysisSession(library, AnalysisConfig())
+        assert session.solver_cache is not None
+        off = NoiseAnalysisSession(library, AnalysisConfig(batching="off"))
+        assert off.solver_cache is None
+
+    def test_config_rejects_unknown_batching(self):
+        with pytest.raises(ValueError, match="batching"):
+            AnalysisConfig(batching="sometimes")
+
+    def test_repeat_analysis_reuses_factorizations(self, library, sweep_cases):
+        """The second analysis of an identical cluster never factorises."""
+        session = NoiseAnalysisSession(
+            library,
+            AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False),
+        )
+        spec = sweep_cases[0].spec
+        first = session.analyze(spec)
+        second = session.analyze(spec)
+        stats2 = second.engine_statistics()
+        assert stats2.factorizations_saved > 0
+        assert stats2.matrix_factorizations == 0
+        # Reuse is bit-identical: the waveforms cannot move.
+        assert second.primary.peak == first.primary.peak
+        report_text = SessionReport(
+            clusters=[first, second], methods=("macromodel",),
+            total_runtime_seconds=0.0,
+        ).text()
+        assert "saved" in report_text and "batched solves" in report_text
+
+    def test_batching_off_matches_auto(self, library, sweep_cases):
+        spec = sweep_cases[0].spec
+        config = AnalysisConfig(methods=("macromodel",), vccs_grid=13, check_nrc=False)
+        auto = NoiseAnalysisSession(library, config).analyze(spec)
+        off = NoiseAnalysisSession(library, config.replace(batching="off")).analyze(spec)
+        assert off.primary.peak == auto.primary.peak
+        assert off.engine_statistics().factorizations_saved == 0

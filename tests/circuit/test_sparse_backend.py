@@ -354,19 +354,31 @@ class TestDedicatedEngineBackend:
         assert np.max(np.abs(wd.values - ws.values)) < MAX_DV
         assert sparse.statistics.fast_path_runs == 1
 
-    def test_nonlinear_network_demotes_to_dense(self):
-        # The engine's table-VCCS Newton loop is dense-only: requesting
-        # sparse on a nonlinear network must *report* dense, not lie.
+    def test_nonlinear_network_holds_sparse_end_to_end(self):
+        # The table-VCCS Newton loop runs through the factorised sparse base
+        # (rank-k Woodbury correction): requesting sparse on a nonlinear
+        # network stays sparse and matches the dense Newton path.
         from repro.noise.engine import DedicatedNoiseEngine
 
-        network = self._linear_network(10)
-        network.add_nonlinear_source("m5", lambda t, v: (1e-5 * v, 1e-5))
-        engine = DedicatedNoiseEngine(network, solver_backend="sparse")
-        assert engine.resolved_backend == "dense"
-        waveforms = engine.simulate(ps(100), ps(2))
-        assert all(np.all(np.isfinite(w.values)) for w in waveforms.values())
+        def attach(network):
+            network.add_nonlinear_source("m5", lambda t, v: (1e-5 * v, 1e-5))
+            return network
 
-    def test_nonlinear_source_added_after_construction_densifies(self):
+        sparse_engine = DedicatedNoiseEngine(
+            attach(self._linear_network(10)), solver_backend="sparse"
+        )
+        dense_engine = DedicatedNoiseEngine(
+            attach(self._linear_network(10)), solver_backend="dense"
+        )
+        assert sparse_engine.resolved_backend == "sparse"
+        ws = sparse_engine.simulate(ps(100), ps(2))
+        wd = dense_engine.simulate(ps(100), ps(2))
+        assert sparse_engine.statistics.newton_iterations > 0
+        for name, waveform in ws.items():
+            assert np.all(np.isfinite(waveform.values))
+            assert np.max(np.abs(waveform.values - wd[name].values)) < 1e-9
+
+    def test_nonlinear_source_added_after_construction_stays_sparse(self):
         from repro.noise.engine import DedicatedNoiseEngine
 
         network = self._linear_network(12)
@@ -374,5 +386,6 @@ class TestDedicatedEngineBackend:
         assert engine.resolved_backend == "sparse"
         network.add_nonlinear_source("m5", lambda t, v: (1e-5 * v, 1e-5))
         waveforms = engine.simulate(ps(100), ps(2))
-        assert engine.resolved_backend == "dense"  # honest post-hoc report
+        assert engine.resolved_backend == "sparse"  # no demotion, ever
+        assert engine.statistics.newton_iterations > 0
         assert all(np.all(np.isfinite(w.values)) for w in waveforms.values())

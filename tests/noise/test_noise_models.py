@@ -191,6 +191,47 @@ class TestDedicatedEngine:
             network.add_capacitance("a", "0", -1e-15)
 
 
+class TestEngineFactorizationSharing:
+    @staticmethod
+    def _network(name="shared"):
+        source = PulseWaveform(0.0, 1.0, delay=ps(50), rise=ps(20))
+        network = MacromodelNetwork(name)
+        network.add_conductance("drv", "0", 1.0 / 500.0)
+        network.add_current_source("drv", lambda t: source(t) / 500.0)
+        network.add_capacitance("drv", "0", fF(50))
+        return network
+
+    def test_identical_networks_share_one_factorization(self):
+        from repro.circuit.batched import FactorizationCache
+
+        cache = FactorizationCache()
+        first = DedicatedNoiseEngine(self._network(), solver_cache=cache)
+        waveform_first = first.simulate(ps(300), ps(1))["drv"]
+        assert first.statistics.matrix_factorizations >= 1
+        assert first.statistics.factorizations_saved == 0
+
+        second = DedicatedNoiseEngine(self._network("shared2"), solver_cache=cache)
+        waveform_second = second.simulate(ps(300), ps(1))["drv"]
+        # Same matrices, same dt: everything comes from the shared cache,
+        # and reuse of a bit-identical factorization cannot move the result.
+        assert second.statistics.matrix_factorizations == 0
+        assert second.statistics.factorizations_saved >= 1
+        assert waveform_first.max_difference(waveform_second) == 0.0
+
+    def test_different_values_do_not_collide(self):
+        from repro.circuit.batched import FactorizationCache
+
+        cache = FactorizationCache()
+        DedicatedNoiseEngine(self._network(), solver_cache=cache).simulate(
+            ps(100), ps(1)
+        )
+        other = self._network("other")
+        other.add_conductance("drv", "0", 1e-4)  # different matrix values
+        engine = DedicatedNoiseEngine(other, solver_cache=cache)
+        engine.simulate(ps(100), ps(1))
+        assert engine.statistics.matrix_factorizations >= 1
+
+
 # ---------------------------------------------------------------------------
 # Injected-noise helpers
 # ---------------------------------------------------------------------------
