@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI service-smoke: the analysis daemon on a real spawn pool, gated.
+
+Boots :class:`repro.service.AnalysisServer` with two spawned worker
+processes, runs a two-revision ECO loop through the synchronous client and
+gates the service contract:
+
+* zero lost jobs (``submitted == completed + failed``, nothing in limbo);
+* revision 1 recomputes every cluster (cold store), an identical resubmit
+  reuses every cluster, and the ECO revision recomputes *exactly* the one
+  changed cluster;
+* the dedup hit rate is strictly positive and matches the store counters;
+* every reused cluster report is byte-identical to its first computation
+  (provenance annotation aside).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--output report.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import AnalysisConfig
+from repro.experiments import figure1_cluster
+from repro.service import ServiceClient, start_server_in_thread
+
+LABELS = ("bus_short", "bus_mid", "bus_long")
+
+
+def revision(eco=False):
+    return {
+        "bus_short": figure1_cluster(length_um=200.0, num_segments=3),
+        "bus_mid": figure1_cluster(length_um=350.0 if eco else 300.0, num_segments=3),
+        "bus_long": figure1_cluster(length_um=400.0, num_segments=3),
+    }
+
+
+def stripped(report):
+    payload = report.to_json()
+    payload["payload"]["fields"]["provenance"] = ""
+    return json.dumps(payload, sort_keys=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, help="optional JSON report path")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    args = parser.parse_args(argv)
+
+    config = AnalysisConfig(
+        methods=("macromodel",), vccs_grid=5, check_nrc=False, dt=4e-12
+    )
+    failures = []
+    handle = start_server_in_thread(config=config, num_workers=args.workers)
+    try:
+        with ServiceClient(handle.address) as client:
+            rev1 = client.submit_design(revision(), design_name="smoke-rev1")
+            resubmit = client.submit_design(revision(), design_name="smoke-rev1")
+            rev2 = client.submit_design(revision(eco=True), design_name="smoke-rev2")
+            status = client.status()
+    finally:
+        handle.stop()
+
+    # Gate 1: no job and no cluster went missing.
+    if status["jobs"]["lost"] != 0:
+        failures.append(f"lost jobs: {status['jobs']}")
+    if status["jobs"]["completed"] != 3 or status["jobs"]["failed"] != 0:
+        failures.append(f"job accounting off: {status['jobs']}")
+    for name, result in (("rev1", rev1), ("resubmit", resubmit), ("rev2", rev2)):
+        if sorted(r.label for r in result.report) != sorted(LABELS):
+            failures.append(f"{name} lost clusters: {[r.label for r in result.report]}")
+        if result.failed:
+            failures.append(f"{name} failed clusters: {result.failed}")
+
+    # Gate 2: the fingerprint diff recomputes exactly what changed.
+    if sorted(rev1.recomputed) != sorted(LABELS):
+        failures.append(f"rev1 should recompute everything: {rev1.recomputed}")
+    if resubmit.recomputed or sorted(resubmit.reused) != sorted(LABELS):
+        failures.append(
+            f"identical resubmit should reuse everything: "
+            f"recomputed={resubmit.recomputed}"
+        )
+    if rev2.recomputed != ["bus_mid"]:
+        failures.append(f"ECO should recompute exactly bus_mid: {rev2.recomputed}")
+    if sorted(rev2.reused) != ["bus_long", "bus_short"]:
+        failures.append(f"ECO reuse mismatch: {rev2.reused}")
+
+    # Gate 3: dedup hit rate strictly positive (5 hits / 9 lookups here).
+    dedup = status["dedup"]
+    if not dedup["hit_rate"] > 0:
+        failures.append(f"dedup hit rate not positive: {dedup}")
+    if dedup["hits"] != 5 or dedup["entries"] != 4:
+        failures.append(f"dedup counters off (expected 5 hits, 4 entries): {dedup}")
+
+    # Gate 4: reused results are byte-identical to their first computation.
+    for label in LABELS:
+        if stripped(resubmit.report.cluster(label)) != stripped(rev1.report.cluster(label)):
+            failures.append(f"resubmit result for {label} is not byte-identical")
+    for label in ("bus_short", "bus_long"):
+        if stripped(rev2.report.cluster(label)) != stripped(rev1.report.cluster(label)):
+            failures.append(f"ECO reused result for {label} is not byte-identical")
+    if stripped(rev2.report.cluster("bus_mid")) == stripped(rev1.report.cluster("bus_mid")):
+        failures.append("ECO changed cluster bus_mid did not actually re-run")
+
+    if args.output:
+        with open(args.output, "w") as handle_:
+            json.dump(
+                {
+                    "benchmark": "service_smoke",
+                    "workers": args.workers,
+                    "jobs": status["jobs"],
+                    "dedup": dedup,
+                    "cache_hit_rate": status["cache_hit_rate"],
+                    "health": status["health"],
+                    "rev2_recomputed": rev2.recomputed,
+                    "rev2_reused": sorted(rev2.reused),
+                    "failures": failures,
+                },
+                handle_,
+                indent=2,
+            )
+            handle_.write("\n")
+        print(f"wrote {os.path.abspath(args.output)}")
+
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"service smoke OK: {status['jobs']['completed']} jobs, "
+        f"dedup hit rate {dedup['hit_rate']:.0%}, "
+        f"ECO recomputed {rev2.recomputed} only"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ cheap for scripts that only need units and waveforms.
 from .units import fF, kohm, mV, ns, ps, to_fF, to_mV, to_ps, to_v_ps, um
 from .waveform import GlitchMetrics, Waveform
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 #: Session-API names resolved lazily from :mod:`repro.api` (PEP 562).
 _API_EXPORTS = (
@@ -43,12 +43,22 @@ _API_EXPORTS = (
     "ClusterError",
     "ClusterReport",
     "SessionReport",
+    "RemovedAPIError",
+    "WireFormatError",
     "list_methods",
     "method_descriptions",
     "register_method",
     "unregister_method",
 )
 
+#: Service names resolved lazily from :mod:`repro.service` -- the daemon
+#: stack (asyncio, sockets) must not tax ``import repro``.
+_SERVICE_EXPORTS = (
+    "AnalysisServer",
+    "ServiceClient",
+)
+
+#: The stable public surface of the package, wire-versioned since 0.3.0.
 __all__ = [
     "Waveform",
     "GlitchMetrics",
@@ -64,6 +74,7 @@ __all__ = [
     "to_v_ps",
     "__version__",
     *_API_EXPORTS,
+    *_SERVICE_EXPORTS,
 ]
 
 
@@ -72,8 +83,12 @@ def __getattr__(name):
         from . import api
 
         return getattr(api, name)
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_API_EXPORTS))
+    return sorted(set(globals()) | set(_API_EXPORTS) | set(_SERVICE_EXPORTS))

@@ -5,7 +5,8 @@ deserves: a frozen :class:`AnalysisConfig`, a pluggable analysis-method
 registry (:func:`register_method` / :func:`list_methods`) and the
 :class:`NoiseAnalysisSession` whose ``analyze`` / ``analyze_many`` /
 ``run_design`` entry points subsume the old ``ClusterNoiseAnalyzer`` and
-``StaticNoiseAnalysisFlow`` facades (both kept as deprecation shims).
+``StaticNoiseAnalysisFlow`` facades (both retired in 0.3.0; calling them
+raises :class:`RemovedAPIError` with the migration path).
 
 Quick start::
 
@@ -21,6 +22,7 @@ Quick start::
 """
 
 from .config import DEFAULT_METHODS, AnalysisConfig
+from .errors import RemovedAPIError
 from .registry import (
     AnalysisMethod,
     DuplicateMethodError,
@@ -34,6 +36,7 @@ from .registry import (
 )
 from .report import ClusterError, ClusterReport, SessionReport
 from .session import NoiseAnalysisSession
+from .wire import SCHEMA_VERSION, WireFormatError
 
 __all__ = [
     "AnalysisConfig",
@@ -42,6 +45,7 @@ __all__ = [
     "MethodContext",
     "UnknownMethodError",
     "DuplicateMethodError",
+    "RemovedAPIError",
     "register_method",
     "unregister_method",
     "list_methods",
@@ -51,4 +55,6 @@ __all__ = [
     "ClusterReport",
     "SessionReport",
     "NoiseAnalysisSession",
+    "SCHEMA_VERSION",
+    "WireFormatError",
 ]

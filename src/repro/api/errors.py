@@ -1,0 +1,28 @@
+"""Errors raised by the public API surface."""
+
+from __future__ import annotations
+
+__all__ = ["RemovedAPIError"]
+
+
+class RemovedAPIError(RuntimeError):
+    """A pre-0.3 API was called after its removal.
+
+    The 0.1-era facades (``ClusterNoiseAnalyzer``,
+    ``StaticNoiseAnalysisFlow.run``) went through a deprecation cycle in
+    0.2 and were retired in 0.3.  This error names the removed entry point
+    and the :class:`repro.api.NoiseAnalysisSession` replacement, so a stale
+    call site fails with its migration path in hand instead of an
+    ``AttributeError``.
+    """
+
+    def __init__(self, removed: str, replacement: str, hint: str = ""):
+        message = (
+            f"{removed} was removed in repro 0.3.0; use {replacement} instead"
+        )
+        if hint:
+            message += f" ({hint})"
+        message += ". See the migration table in API.md."
+        super().__init__(message)
+        self.removed = removed
+        self.replacement = replacement

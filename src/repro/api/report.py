@@ -18,6 +18,7 @@ from ..noise.analysis import NRCCheck
 from ..noise.cluster import NoiseClusterSpec
 from ..noise.engine import EngineStatistics
 from ..noise.results import NoiseAnalysisResult, format_comparison_table
+from . import wire
 
 __all__ = ["ClusterError", "ClusterReport", "SessionReport", "exception_chain"]
 
@@ -99,6 +100,12 @@ class ClusterReport:
     #: (:func:`repro.resilience.resilient_analyze`) produced this report
     #: from a lower rung; empty for a first-try result.
     degradation: Tuple[str, ...] = ()
+    #: How the analysis service obtained this report: ``"recomputed"`` when a
+    #: worker ran the cluster, ``"reused"`` when the server's result store
+    #: satisfied the fingerprint without touching the pool, ``""`` for
+    #: reports produced outside the service.  Annotated at merge time so the
+    #: stored report itself stays provenance-free.
+    provenance: str = ""
 
     @property
     def ok(self) -> bool:
@@ -172,6 +179,22 @@ class ClusterReport:
             f"{self.label:24s} {result.method:24s} peak={result.peak:+.4f} V  "
             f"area={result.area_v_ps:8.2f} V*ps  [{status}]"
         )
+
+    # ---------------------------------------------------------------- wire
+
+    def to_json(self) -> Dict:
+        """Lossless, versioned JSON payload (see :mod:`repro.api.wire`)."""
+        return wire.wrap("cluster_report", self)
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ClusterReport":
+        """Rebuild a report from its :meth:`to_json` payload."""
+        report = wire.unwrap(payload, "cluster_report")
+        if not isinstance(report, cls):
+            raise wire.WireFormatError(
+                f"cluster_report payload decoded to {type(report).__name__!r}"
+            )
+        return report
 
 
 @dataclass
@@ -266,3 +289,19 @@ class SessionReport:
                 f"{stats.batched_solves} batched solves)"
             )
         return "\n".join(lines)
+
+    # ---------------------------------------------------------------- wire
+
+    def to_json(self) -> Dict:
+        """Lossless, versioned JSON payload (see :mod:`repro.api.wire`)."""
+        return wire.wrap("session_report", self)
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "SessionReport":
+        """Rebuild a report from its :meth:`to_json` payload."""
+        report = wire.unwrap(payload, "session_report")
+        if not isinstance(report, cls):
+            raise wire.WireFormatError(
+                f"session_report payload decoded to {type(report).__name__!r}"
+            )
+        return report

@@ -47,6 +47,8 @@ __all__ = [
     "MISSING",
     "DiskCacheStats",
     "PersistentCharacterizationCache",
+    "canonical_payload",
+    "content_hash",
     "default_cache_dir",
     "library_fingerprint",
     "technology_fingerprint",
@@ -93,6 +95,27 @@ def _canonical(value: Any) -> Any:
     return repr(value)
 
 
+def canonical_payload(value: Any) -> Any:
+    """Public alias of the cache's JSON-stable canonicalisation.
+
+    The analysis service reuses the exact same canonical form for its
+    cluster fingerprints (see :mod:`repro.service.fingerprint`), so both
+    hashing schemes stay byte-compatible by construction.
+    """
+    return _canonical(value)
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload`` in canonical JSON form.
+
+    This is the single hashing primitive behind technology / library
+    fingerprints, persistent-cache entry names and service job
+    fingerprints.
+    """
+    blob = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def technology_fingerprint(technology: Technology) -> str:
     """A stable hash of everything in a technology that characterisation sees.
 
@@ -101,9 +124,7 @@ def technology_fingerprint(technology: Technology) -> str:
     each produce a distinct fingerprint (and therefore distinct cache
     entries) even when the technology *name* collides.
     """
-    payload = _canonical(dataclasses.asdict(technology))
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return content_hash(dataclasses.asdict(technology))
 
 
 def library_fingerprint(library: CellLibrary) -> str:
@@ -128,20 +149,16 @@ def library_fingerprint(library: CellLibrary) -> str:
         for cell in library
     }
     payload = {
-        "technology": _canonical(dataclasses.asdict(library.technology)),
-        "cells": _canonical(cells),
+        "technology": dataclasses.asdict(library.technology),
+        "cells": cells,
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return content_hash(payload)
 
 
 def _entry_hash(fingerprint: str, key: Tuple) -> str:
-    blob = json.dumps(
-        {"format": _FORMAT_VERSION, "technology": fingerprint, "key": _canonical(key)},
-        sort_keys=True,
-        separators=(",", ":"),
+    return content_hash(
+        {"format": _FORMAT_VERSION, "technology": fingerprint, "key": key}
     )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def _model_to_payload(value: Any) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:

@@ -1,18 +1,17 @@
-"""Per-cluster NRC checking plus the deprecated analyzer facade.
+"""Per-cluster NRC checking plus the retired analyzer facade.
 
 :class:`NRCCheck` / :func:`check_against_nrc` implement the pass/fail
 criterion of the SNA flow: the total noise glitch against the receiver's
 Noise Rejection Curve.
 
-:class:`ClusterNoiseAnalyzer` is kept as a deprecation shim over the unified
-session API (:class:`repro.api.NoiseAnalysisSession`); method dispatch goes
-through the pluggable registry in :mod:`repro.api.registry` instead of the
-old hard-coded string comparison.
+:class:`ClusterNoiseAnalyzer`, the 0.1-era per-cluster facade, completed
+its deprecation cycle and was removed in 0.3.0: constructing one now
+raises :class:`~repro.api.errors.RemovedAPIError` naming the
+:class:`repro.api.NoiseAnalysisSession` replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -60,13 +59,17 @@ def check_against_nrc(result: NoiseAnalysisResult, nrc: NoiseRejectionCurve) -> 
 
 
 class ClusterNoiseAnalyzer:
-    """Deprecated facade: run and compare analysis methods on one cluster.
+    """Removed 0.1-era facade; construct a ``NoiseAnalysisSession`` instead.
 
-    .. deprecated::
-        Use :class:`repro.api.NoiseAnalysisSession` -- it adds batch
-        execution, NRC policy and a pluggable method registry.  This shim
-        delegates to a private session so old call sites keep returning
-        identical results.
+    .. deprecated:: 0.2.0
+    .. versionremoved:: 0.3.0
+        Instantiating this class raises
+        :class:`~repro.api.errors.RemovedAPIError`.  Migrate::
+
+            session = NoiseAnalysisSession(
+                library, AnalysisConfig(reduction=..., vccs_grid=..., check_nrc=False)
+            )
+            results = session.analyze(spec, methods=..., dt=...).results
     """
 
     #: Historic built-in method names (kept for back-compat; the authoritative
@@ -82,39 +85,13 @@ class ClusterNoiseAnalyzer:
     ):
         # Imported here (not at module level): repro.api imports this module
         # for the NRC types, so a top-level import would be circular.
-        from ..api.config import AnalysisConfig
-        from ..api.session import NoiseAnalysisSession
+        from ..api.errors import RemovedAPIError
 
-        self.library = library
-        self.reduction = reduction
-        self.vccs_grid = vccs_grid
-        self._session = NoiseAnalysisSession(
-            library, AnalysisConfig(reduction=reduction, vccs_grid=vccs_grid, check_nrc=False)
+        raise RemovedAPIError(
+            "ClusterNoiseAnalyzer",
+            "repro.api.NoiseAnalysisSession",
+            "session.analyze(spec).results returns the same per-method dict",
         )
-        self.characterizer = self._session.characterizer
-
-    def analyze(
-        self,
-        spec: NoiseClusterSpec,
-        methods: Sequence[str] = ("golden", "macromodel", "superposition"),
-        *,
-        dt: Optional[float] = None,
-        t_stop: Optional[float] = None,
-    ) -> Dict[str, NoiseAnalysisResult]:
-        """Run the requested methods on the cluster and return their results.
-
-        .. deprecated:: use :meth:`repro.api.NoiseAnalysisSession.analyze`.
-        """
-        warnings.warn(
-            "ClusterNoiseAnalyzer.analyze() is deprecated; use "
-            "repro.api.NoiseAnalysisSession.analyze() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        report = self._session.analyze(
-            spec, methods=methods, dt=dt, t_stop=t_stop, check_nrc=False
-        )
-        return report.results
 
     # --------------------------------------------------------------- reporting
 
@@ -130,7 +107,5 @@ class ClusterNoiseAnalyzer:
         *,
         widths: Optional[Sequence[float]] = None,
     ) -> NRCCheck:
-        """Check a result against the victim receiver's noise rejection curve."""
-        receiver = spec.victim.receiver_cell
-        nrc = self.characterizer.noise_rejection_curve(receiver, widths=widths)
-        return check_against_nrc(result, nrc)
+        """Unreachable (the constructor raises); kept for documentation."""
+        raise NotImplementedError

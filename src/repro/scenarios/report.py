@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import wire
+
 __all__ = ["ScenarioResult", "AxisStats", "SweepHealth", "SweepReport"]
 
 
@@ -162,6 +164,29 @@ class SweepHealth:
             "factorizations_saved": self.factorizations_saved,
             "events": list(self.events),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SweepHealth":
+        """Rebuild the ledger from a :meth:`to_dict` payload."""
+        health = cls()
+        for name in (
+            "retries",
+            "shard_splits",
+            "pool_rebuilds",
+            "timeouts",
+            "worker_crashes",
+            "batch_groups",
+            "batched_solves",
+            "factorizations_saved",
+        ):
+            setattr(health, name, int(payload.get(name, 0)))
+        health.quarantined = list(payload.get("quarantined", []))
+        health.degraded_scenarios = list(payload.get("degraded_scenarios", []))
+        health.fallback_triggers = dict(payload.get("fallback_triggers", {}))
+        health.nonfinite_scenarios = list(payload.get("nonfinite_scenarios", []))
+        health.max_tasks_per_child = payload.get("max_tasks_per_child")
+        health.events = list(payload.get("events", []))
+        return health
 
     def describe(self) -> List[str]:
         lines = [
@@ -311,7 +336,14 @@ class SweepReport:
     # -------------------------------------------------------------- export
 
     def to_json(self) -> Dict:
-        """A JSON-ready summary (used by the sweep benchmark and CI)."""
+        """Lossless, versioned JSON payload.
+
+        Carries every :class:`ScenarioResult` (wire-encoded) alongside the
+        derived summary keys the sweep benchmark and CI gates already read
+        (``num_scenarios``, ``num_errors``, ``health``, ...), so one payload
+        serves both the service wire format and the human dashboards.
+        :meth:`from_json` rebuilds an equivalent report from it.
+        """
         worst: Optional[Dict] = None
         try:
             worst_result = self.worst_case()
@@ -322,6 +354,9 @@ class SweepReport:
         except ValueError:
             pass
         return {
+            "schema_version": wire.SCHEMA_VERSION,
+            "kind": "sweep_report",
+            "results": [wire.encode(result) for result in self.results],
             "num_scenarios": len(self.results),
             "num_errors": len(self.errors),
             "nrc_failures": self.nrc_failure_count,
@@ -344,6 +379,39 @@ class SweepReport:
                 for value, stats in self.by_axis("corner").items()
             },
         }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "SweepReport":
+        """Rebuild a report from its :meth:`to_json` payload."""
+        if not isinstance(payload, dict):
+            raise wire.WireFormatError(
+                f"expected a sweep_report dict, got {type(payload).__name__!r}"
+            )
+        version = payload.get("schema_version")
+        if version != wire.SCHEMA_VERSION:
+            raise wire.WireFormatError(
+                f"unsupported schema_version {version!r} (this build reads "
+                f"version {wire.SCHEMA_VERSION})"
+            )
+        if payload.get("kind") != "sweep_report":
+            raise wire.WireFormatError(
+                f"expected a 'sweep_report' payload, got {payload.get('kind')!r}"
+            )
+        results = [wire.decode(item) for item in payload["results"]]
+        for result in results:
+            if not isinstance(result, ScenarioResult):
+                raise wire.WireFormatError(
+                    f"sweep_report result decoded to {type(result).__name__!r}"
+                )
+        return cls(
+            results,
+            methods=tuple(payload["methods"]),
+            elapsed_seconds=payload["elapsed_seconds"],
+            num_workers=payload["num_workers"],
+            num_shards=payload.get("num_shards", 0),
+            cache_stats=payload.get("cache_stats"),
+            health=SweepHealth.from_dict(payload.get("health", {})),
+        )
 
     def text(self) -> str:
         """Multi-line human-readable sweep summary."""

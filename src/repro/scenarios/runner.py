@@ -60,12 +60,18 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import faults
 from ..api.config import AnalysisConfig
-from ..api.report import exception_chain
+from ..api.report import ClusterError, ClusterReport, exception_chain
 from ..api.session import NoiseAnalysisSession
+from ..noise.cluster import NoiseClusterSpec
 from .report import ScenarioResult, SweepHealth, SweepReport
 from .space import Scenario, ScenarioSpace
 
-__all__ = ["SweepRunner", "reset_worker_sessions"]
+__all__ = [
+    "ClusterJobPayload",
+    "SweepRunner",
+    "reset_worker_sessions",
+    "run_cluster_job",
+]
 
 #: Per-process session cache: one characterised session per derived library.
 _WORKER_SESSIONS: Dict[Tuple, NoiseAnalysisSession] = {}
@@ -88,15 +94,24 @@ def reset_worker_sessions() -> None:
     _WORKER_SESSIONS.clear()
 
 
-def _session_for(scenario: Scenario, config: AnalysisConfig) -> NoiseAnalysisSession:
-    key = (scenario.session_key(), config)
-    session = _WORKER_SESSIONS.get(key)
+def _session_for_key(key: Tuple, config: AnalysisConfig, build_library) -> NoiseAnalysisSession:
+    """Fetch or build the per-process session for a cache key.
+
+    ``build_library`` is only called on a miss; the FIFO eviction bounds
+    how many characterised libraries one worker process holds.
+    """
+    full_key = (key, config)
+    session = _WORKER_SESSIONS.get(full_key)
     if session is None:
         if len(_WORKER_SESSIONS) >= _MAX_WORKER_SESSIONS:
             _WORKER_SESSIONS.pop(next(iter(_WORKER_SESSIONS)))
-        session = NoiseAnalysisSession(scenario.build_library(), config)
-        _WORKER_SESSIONS[key] = session
+        session = NoiseAnalysisSession(build_library(), config)
+        _WORKER_SESSIONS[full_key] = session
     return session
+
+
+def _session_for(scenario: Scenario, config: AnalysisConfig) -> NoiseAnalysisSession:
+    return _session_for_key(scenario.session_key(), config, scenario.build_library)
 
 
 def _worker_cache_totals() -> Dict[str, int]:
@@ -227,6 +242,65 @@ def _run_shard(
     # aggregate never goes negative.
     delta = {key: max(0, after[key] - before.get(key, 0)) for key in after}
     return results, delta
+
+
+@dataclass(frozen=True)
+class ClusterJobPayload:
+    """One service job crossing the process boundary: analyse one cluster.
+
+    Everything here is picklable under the spawn start method.
+    ``technology`` is either a preset name (``"cmos130"``) or a full
+    :class:`~repro.technology.process.Technology` instance -- whatever
+    :func:`~repro.technology.library.build_default_library` accepts.
+    """
+
+    label: str
+    technology: object
+    spec: NoiseClusterSpec
+    config: AnalysisConfig
+
+
+def run_cluster_job(payload: ClusterJobPayload) -> Tuple[Dict, Dict[str, int]]:
+    """Worker entry point of the analysis service: run one cluster job.
+
+    Returns the resulting :class:`~repro.api.report.ClusterReport` as its
+    wire payload (never the object -- the wire format is the service's
+    process-boundary contract) plus the persistent-cache counter delta this
+    job caused, mirroring :func:`_run_shard`.  Analysis failures come back
+    as error reports; only worker death escapes.
+    """
+    from ..characterization.diskcache import technology_fingerprint
+    from ..technology.library import build_default_library
+    from ..technology.process import Technology
+
+    technology = payload.technology
+    if isinstance(technology, Technology):
+        session_key: Tuple = ("service", technology_fingerprint(technology))
+    else:
+        session_key = ("service", str(technology))
+    before = _worker_cache_totals()
+    start = time.perf_counter()
+    try:
+        with faults.scenario_context(payload.label):
+            faults.fire("scenario")
+            session = _session_for_key(
+                session_key, payload.config, lambda: build_default_library(technology)
+            )
+            if payload.config.degradation:
+                report = session.analyze_resilient(payload.spec, label=payload.label)
+            else:
+                report = session.analyze(payload.spec, label=payload.label)
+    except Exception as exc:
+        report = ClusterReport(
+            label=payload.label,
+            spec=payload.spec,
+            results={},
+            runtime_seconds=time.perf_counter() - start,
+            error=ClusterError.from_exception(exc),
+        )
+    after = _worker_cache_totals()
+    delta = {key: max(0, after[key] - before.get(key, 0)) for key in after}
+    return report.to_json(), delta
 
 
 @dataclass

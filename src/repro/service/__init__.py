@@ -1,0 +1,38 @@
+"""Analysis as a service: persistent daemon, job store and client.
+
+The :class:`AnalysisServer` keeps characterised sessions, the persistent
+cache and a worker pool alive across requests, fronting them with a
+line-delimited JSON protocol (unix socket or localhost TCP).  Work is
+deduplicated by cluster fingerprint -- the same SHA-256 content-hashing
+scheme the characterisation disk cache uses, extended to cluster
+specifications plus the :class:`~repro.api.AnalysisConfig` -- which is also
+what makes ECO-style incremental re-analysis cheap: resubmitting a revised
+design re-runs only the clusters whose fingerprints changed and merges the
+rest from the result store, annotated ``reused`` / ``recomputed``.
+
+The synchronous :class:`ServiceClient` drives the daemon from examples,
+tests and CI; :func:`start_server_in_thread` hosts one in-process for
+embedded use.
+"""
+
+from .client import ServiceClient, ServiceError, ServiceResult
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    cluster_fingerprint,
+    technology_library_fingerprint,
+)
+from .protocol import PROTOCOL_VERSION
+from .server import AnalysisServer, ServiceHandle, start_server_in_thread
+
+__all__ = [
+    "AnalysisServer",
+    "FINGERPRINT_VERSION",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceResult",
+    "cluster_fingerprint",
+    "start_server_in_thread",
+    "technology_library_fingerprint",
+]

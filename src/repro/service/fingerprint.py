@@ -1,0 +1,84 @@
+"""Cluster job fingerprints: the service's dedup and ECO-diff identity.
+
+A fingerprint is the SHA-256 content hash (the exact scheme of
+:mod:`repro.characterization.diskcache`) of everything that determines a
+cluster's analysis result:
+
+* the **library fingerprint** -- technology parameters plus the structural
+  definition of every cell, so a corner or Monte-Carlo variation can never
+  collide with nominal;
+* the **cluster specification** in wire-encoded form -- victim, aggressors,
+  bus geometry, glitch timing;
+* the **analysis configuration**, minus its execution-only fields
+  (``max_workers``, ``cache_dir``): where a job *runs* must not change what
+  it *is*, or a client with a different cache path would never dedup
+  against the server's store.
+
+Two jobs with equal fingerprints are bit-identical work by construction;
+the server returns the stored report without touching the pool.  An ECO
+revision changes the fingerprints of exactly the clusters whose inputs
+changed, which is the entire diff algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+from typing import Any
+
+from ..api import wire
+from ..api.config import AnalysisConfig
+from ..characterization.diskcache import content_hash, library_fingerprint
+from ..noise.cluster import NoiseClusterSpec
+from ..technology.library import build_default_library
+from ..technology.process import Technology
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "cluster_fingerprint",
+    "technology_library_fingerprint",
+]
+
+#: Version mixed into every fingerprint; bump to invalidate result stores
+#: when the analysis semantics change incompatibly.
+FINGERPRINT_VERSION = 1
+
+#: Config fields that affect execution placement, not results.
+_EXECUTION_ONLY_FIELDS = frozenset({"max_workers", "cache_dir"})
+
+
+@lru_cache(maxsize=8)
+def _preset_fingerprint(name: str) -> str:
+    return library_fingerprint(build_default_library(name))
+
+
+def technology_library_fingerprint(technology: Any) -> str:
+    """Library fingerprint of a preset name or :class:`Technology` instance."""
+    if isinstance(technology, Technology):
+        return library_fingerprint(build_default_library(technology))
+    return _preset_fingerprint(str(technology))
+
+
+def _config_payload(config: AnalysisConfig) -> dict:
+    return {
+        f.name: wire.encode(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+        if f.name not in _EXECUTION_ONLY_FIELDS
+    }
+
+
+def cluster_fingerprint(
+    spec: NoiseClusterSpec,
+    config: AnalysisConfig,
+    *,
+    library_fingerprint: str,
+) -> str:
+    """The dedup identity of one cluster analysis job."""
+    return content_hash(
+        {
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "library": library_fingerprint,
+            "cluster": wire.encode(spec),
+            "config": _config_payload(config),
+        }
+    )

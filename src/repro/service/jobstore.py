@@ -1,0 +1,70 @@
+"""Fingerprint-keyed result store with dedup accounting.
+
+The store maps cluster fingerprints to **wire payloads** of completed
+:class:`~repro.api.report.ClusterReport` objects -- never live objects, so
+a stored result is immutable by construction and what a client receives on
+a dedup hit is byte-for-byte what the first computation produced.  Stored
+payloads are provenance-free; ``reused`` / ``recomputed`` is an attribute
+of a *response*, stamped at merge time by the server.
+
+Only successful reports are stored: an errored cluster must be recomputed
+on resubmission (its failure may have been environmental), so errors can
+never be served from cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["JobStore"]
+
+
+class JobStore:
+    """Thread-safe fingerprint -> stored cluster-report payload map."""
+
+    def __init__(self, max_entries: int = 100_000):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self._lock = threading.Lock()
+        self._results: Dict[str, Dict[str, Any]] = {}
+        self._max_entries = max_entries
+        self.dedup_hits = 0
+        self.dedup_misses = 0
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``fingerprint``, counting hit or miss."""
+        with self._lock:
+            payload = self._results.get(fingerprint)
+            if payload is None:
+                self.dedup_misses += 1
+            else:
+                self.dedup_hits += 1
+            return payload
+
+    def peek_many(self, fingerprints: List[str]) -> Dict[str, bool]:
+        """Presence map for an ECO diff, without touching the counters."""
+        with self._lock:
+            return {fp: fp in self._results for fp in fingerprints}
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Store a completed report payload (FIFO-evicting at capacity)."""
+        with self._lock:
+            if fingerprint not in self._results and len(self._results) >= self._max_entries:
+                self._results.pop(next(iter(self._results)))
+            self._results[fingerprint] = payload
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            hits, misses = self.dedup_hits, self.dedup_misses
+            lookups = hits + misses
+            return {
+                "entries": len(self._results),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,580 @@
+"""The persistent analysis daemon.
+
+:class:`AnalysisServer` is an asyncio server fronting the same worker-pool
+machinery the scenario sweep runner uses
+(:func:`repro.scenarios.runner.run_cluster_job` under a spawn
+``ProcessPoolExecutor``), but long-lived: characterised sessions, the
+persistent disk cache and the fingerprint-keyed result store survive across
+jobs, connections and design revisions.
+
+Execution path of one submitted cluster:
+
+1. fingerprint the (library, spec, config) triple;
+2. serve a stored result on a fingerprint hit -- ``reused``, the pool is
+   never touched, and the payload is byte-identical to the first
+   computation;
+3. coalesce onto an identical job already in flight, if any;
+4. otherwise run it on the pool -- ``recomputed``.  A pool-breaking worker
+   death (segfault/OOM class) rebuilds the pool exactly once per break
+   (generation-guarded, so concurrent victims don't over-count), retries
+   the job up to ``max_retries`` times, and quarantines it into a
+   structured error report after that.  Queued jobs are never lost: every
+   submitted cluster produces either a stored result or an error report.
+
+Fault-tolerance accounting reuses PR 7's
+:class:`~repro.scenarios.report.SweepHealth` ledger, surfaced -- together
+with queue depth, in-flight jobs, dedup and disk-cache hit rates -- by the
+``status`` endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..api import wire
+from ..api.config import AnalysisConfig
+from ..api.report import ClusterError, ClusterReport, SessionReport
+from ..noise.cluster import NoiseClusterSpec
+from ..scenarios.report import SweepHealth
+from ..scenarios.runner import ClusterJobPayload, run_cluster_job
+from .fingerprint import cluster_fingerprint, technology_library_fingerprint
+from .jobstore import JobStore
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+
+__all__ = ["AnalysisServer", "ServiceHandle", "start_server_in_thread"]
+
+_Send = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+class AnalysisServer:
+    """Persistent analysis daemon over localhost TCP or a unix socket.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`AnalysisConfig` for jobs that don't carry their own.
+    num_workers:
+        Worker processes in the pool (spawn start method).  ``0`` runs jobs
+        on a single in-process thread -- no pickling, no subprocesses; the
+        mode unit tests use to prove a dedup hit never touches any pool.
+    host, port:
+        TCP endpoint (``port=0`` picks a free port).  Ignored when
+        ``unix_path`` is given.
+    unix_path:
+        Path of a unix domain socket to listen on instead of TCP.
+    max_retries:
+        Pool-breaking failures one cluster may cause before it is
+        quarantined into an error report.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Optional[AnalysisConfig] = None,
+        num_workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        max_retries: int = 1,
+        mp_start_method: str = "spawn",
+    ):
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be non-negative, got {num_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        self.default_config = config or AnalysisConfig()
+        self.num_workers = num_workers
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.max_retries = max_retries
+        self.mp_start_method = mp_start_method
+
+        self.store = JobStore()
+        self.health = SweepHealth()
+        #: Aggregated worker cache-counter deltas (same channel as sweeps).
+        self.cache_stats: Dict[str, int] = {}
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        #: The bound address once running: ``(host, port)`` or the unix path.
+        self.address: Optional[Union[Tuple[str, int], str]] = None
+
+        self._job_ids = itertools.count(1)
+        self._active_jobs = 0
+        self._queue_depth = 0
+        self._in_flight = 0
+        self._pool_generation = 0
+        self._executor: Optional[Executor] = None
+        self._inflight_futures: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started_monotonic = 0.0
+
+    # ------------------------------------------------------------------ pool
+
+    def _make_executor(self) -> Executor:
+        if self.num_workers <= 0:
+            return ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-service")
+        ctx = multiprocessing.get_context(self.mp_start_method)
+        return ProcessPoolExecutor(max_workers=self.num_workers, mp_context=ctx)
+
+    @staticmethod
+    def _dispose_executor(executor: Optional[Executor]) -> None:
+        """Tear an executor down without waiting on possibly-hung workers."""
+        if executor is None:
+            return
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+        for process in processes:
+            process.join(timeout=5.0)
+
+    async def _rebuild_pool(self, generation: int, cause: str) -> None:
+        """Replace a broken pool exactly once per break.
+
+        Every job in flight when a worker dies observes the same
+        ``BrokenExecutor``; the generation guard makes sure only the first
+        one counts the crash and pays for the rebuild -- the rest retry on
+        the fresh pool.
+        """
+        async with self._pool_lock:
+            if self._pool_generation != generation:
+                return
+            self._pool_generation += 1
+            self.health.worker_crashes += 1
+            self.health.pool_rebuilds += 1
+            self.health.note(f"worker pool broke ({cause}); rebuilding")
+            old = self._executor
+            self._executor = self._make_executor()
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._dispose_executor, old)
+
+    # ------------------------------------------------------------ job engine
+
+    def _error_payload(self, label: str, spec: NoiseClusterSpec, cause: str) -> Dict[str, Any]:
+        report = ClusterReport(
+            label=label,
+            spec=spec,
+            results={},
+            error=ClusterError(
+                exception_type="WorkerCrash",
+                message=cause,
+                cause_chain=(f"WorkerCrash: {cause}",),
+            ),
+        )
+        return report.to_json()
+
+    @staticmethod
+    def _payload_ok(payload: Dict[str, Any]) -> bool:
+        """Whether a cluster-report wire payload carries no error (no decode)."""
+        try:
+            return payload["payload"]["fields"].get("error") is None
+        except (KeyError, TypeError, AttributeError):
+            return False
+
+    async def _compute(
+        self,
+        label: str,
+        spec: NoiseClusterSpec,
+        technology: Any,
+        config: AnalysisConfig,
+    ) -> Dict[str, Any]:
+        """Run one cluster on the pool, retrying across pool breaks."""
+        job = ClusterJobPayload(label=label, technology=technology, spec=spec, config=config)
+        loop = asyncio.get_running_loop()
+        attempts = 0
+        while True:
+            generation = self._pool_generation
+            self._queue_depth += 1
+            try:
+                await self._semaphore.acquire()
+            finally:
+                self._queue_depth -= 1
+            self._in_flight += 1
+            try:
+                payload, delta = await loop.run_in_executor(
+                    self._executor, run_cluster_job, job
+                )
+            except BrokenExecutor as exc:
+                cause = f"{type(exc).__name__}: {exc}"
+                await self._rebuild_pool(generation, cause)
+                attempts += 1
+                if attempts > self.max_retries:
+                    self.health.quarantined.append(label)
+                    self.health.note(
+                        f"quarantined {label} after {attempts} pool-breaking "
+                        f"attempts ({cause})"
+                    )
+                    return self._error_payload(label, spec, cause)
+                self.health.retries += 1
+                continue
+            finally:
+                self._in_flight -= 1
+                self._semaphore.release()
+            for key, value in delta.items():
+                self.cache_stats[key] = self.cache_stats.get(key, 0) + value
+            return payload
+
+    async def _obtain(
+        self,
+        label: str,
+        spec: NoiseClusterSpec,
+        fingerprint: str,
+        technology: Any,
+        config: AnalysisConfig,
+    ) -> Tuple[Dict[str, Any], str]:
+        """Resolve one cluster job: store hit, in-flight coalesce or compute."""
+        stored = self.store.get(fingerprint)
+        if stored is not None:
+            return stored, "reused"
+        existing = self._inflight_futures.get(fingerprint)
+        if existing is not None:
+            return await asyncio.shield(existing), "reused"
+        future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
+        self._inflight_futures[fingerprint] = future
+        try:
+            payload = await self._compute(label, spec, technology, config)
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved: coalesced waiters get their own copy
+            raise
+        else:
+            future.set_result(payload)
+        finally:
+            self._inflight_futures.pop(fingerprint, None)
+        if self._payload_ok(payload):
+            self.store.put(fingerprint, payload)
+        return payload, "recomputed"
+
+    # -------------------------------------------------------------- protocol
+
+    def _hello_message(self) -> Dict[str, Any]:
+        return {
+            "type": "hello",
+            "protocol_version": PROTOCOL_VERSION,
+            "schema_version": wire.SCHEMA_VERSION,
+            "server_version": __version__,
+        }
+
+    def _status_message(self) -> Dict[str, Any]:
+        cache = dict(self.cache_stats)
+        disk_lookups = cache.get("disk_hits", 0) + cache.get("disk_misses", 0)
+        lost = self.jobs_submitted - self.jobs_completed - self.jobs_failed - self._active_jobs
+        return {
+            "type": "status_report",
+            "protocol_version": PROTOCOL_VERSION,
+            "schema_version": wire.SCHEMA_VERSION,
+            "server_version": __version__,
+            "num_workers": self.num_workers,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "queue_depth": self._queue_depth,
+            "in_flight": self._in_flight,
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "active": self._active_jobs,
+                "lost": lost,
+            },
+            "dedup": self.store.stats(),
+            "cache_stats": cache,
+            "cache_hit_rate": (
+                cache.get("disk_hits", 0) / disk_lookups if disk_lookups else 0.0
+            ),
+            "health": self.health.to_dict(),
+        }
+
+    def _parse_job(
+        self, job: Dict[str, Any]
+    ) -> Tuple[str, Any, AnalysisConfig, List[Tuple[str, NoiseClusterSpec]]]:
+        if not isinstance(job, dict):
+            raise ProtocolError("'submit' requires a 'job' object")
+        design_name = str(job.get("design_name", ""))
+        technology = job.get("technology", "cmos130")
+        if isinstance(technology, dict):
+            technology = wire.decode(technology)
+        if "config" in job and job["config"] is not None:
+            config = wire.decode(job["config"])
+            if not isinstance(config, AnalysisConfig):
+                raise ProtocolError("job 'config' must decode to an AnalysisConfig")
+        else:
+            config = self.default_config
+        # The service owns placement: one job occupies one worker slot.
+        config = config.replace(max_workers=1)
+        raw_clusters = job.get("clusters")
+        if not isinstance(raw_clusters, list) or not raw_clusters:
+            raise ProtocolError("job 'clusters' must be a non-empty list")
+        clusters: List[Tuple[str, NoiseClusterSpec]] = []
+        seen_labels = set()
+        for entry in raw_clusters:
+            if not isinstance(entry, dict) or "label" not in entry or "spec" not in entry:
+                raise ProtocolError("each cluster entry needs 'label' and 'spec'")
+            label = str(entry["label"])
+            if label in seen_labels:
+                raise ProtocolError(f"duplicate cluster label {label!r} in one job")
+            seen_labels.add(label)
+            spec = wire.decode(entry["spec"])
+            if not isinstance(spec, NoiseClusterSpec):
+                raise ProtocolError(
+                    f"cluster {label!r} 'spec' must decode to a NoiseClusterSpec"
+                )
+            clusters.append((label, spec))
+        return design_name, technology, config, clusters
+
+    async def _handle_submit(self, message: Dict[str, Any], send: _Send) -> None:
+        job_id = next(self._job_ids)
+        self.jobs_submitted += 1
+        self._active_jobs += 1
+        try:
+            design_name, technology, config, clusters = self._parse_job(
+                message.get("job", {})
+            )
+            library_fp = technology_library_fingerprint(technology)
+            entries = [
+                (label, spec, cluster_fingerprint(spec, config, library_fingerprint=library_fp))
+                for label, spec in clusters
+            ]
+            await send({"type": "ack", "job_id": job_id, "num_clusters": len(entries)})
+            start = time.perf_counter()
+            total = len(entries)
+            completed = 0
+
+            async def handle_one(
+                label: str, spec: NoiseClusterSpec, fingerprint: str
+            ) -> Tuple[str, Dict[str, Any], str]:
+                nonlocal completed
+                payload, provenance = await self._obtain(
+                    label, spec, fingerprint, technology, config
+                )
+                completed += 1
+                await send(
+                    {
+                        "type": "progress",
+                        "job_id": job_id,
+                        "label": label,
+                        "provenance": provenance,
+                        "completed": completed,
+                        "total": total,
+                    }
+                )
+                return label, payload, provenance
+
+            outcomes = await asyncio.gather(
+                *(handle_one(label, spec, fp) for label, spec, fp in entries)
+            )
+            reports: List[ClusterReport] = []
+            reused: List[str] = []
+            recomputed: List[str] = []
+            failed: List[str] = []
+            for label, payload, provenance in outcomes:
+                # A fresh decode per response: the stored payload stays
+                # immutable while each response's report object carries its
+                # own merge-time provenance annotation.
+                report = ClusterReport.from_json(payload)
+                report.provenance = provenance
+                (reused if provenance == "reused" else recomputed).append(label)
+                if report.error is not None:
+                    failed.append(label)
+                reports.append(report)
+            session_report = SessionReport(
+                clusters=reports,
+                methods=config.methods,
+                total_runtime_seconds=time.perf_counter() - start,
+                design_name=design_name,
+            )
+            self.jobs_completed += 1
+            await send(
+                {
+                    "type": "result",
+                    "job_id": job_id,
+                    "report": session_report.to_json(),
+                    "reused": reused,
+                    "recomputed": recomputed,
+                    "failed": failed,
+                    "counters": {
+                        "reused": len(reused),
+                        "recomputed": len(recomputed),
+                        "failed": len(failed),
+                        "dedup": self.store.stats(),
+                    },
+                }
+            )
+        except (ProtocolError, wire.WireFormatError) as exc:
+            self.jobs_failed += 1
+            await send({"type": "error", "job_id": job_id, "message": str(exc)})
+        except Exception as exc:  # the daemon must survive any one bad job
+            self.jobs_failed += 1
+            self.health.note(f"job {job_id} failed: {type(exc).__name__}: {exc}")
+            await send(
+                {
+                    "type": "error",
+                    "job_id": job_id,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        finally:
+            self._active_jobs -= 1
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        send_lock = asyncio.Lock()
+
+        async def send(message: Dict[str, Any]) -> None:
+            async with send_lock:
+                await write_message(writer, message)
+
+        try:
+            await send(self._hello_message())
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    with contextlib.suppress(Exception):
+                        await send({"type": "error", "message": str(exc)})
+                    break
+                if message is None:
+                    break
+                mtype = message["type"]
+                if mtype == "ping":
+                    await send({"type": "pong"})
+                elif mtype == "status":
+                    await send(self._status_message())
+                elif mtype == "submit":
+                    await self._handle_submit(message, send)
+                elif mtype == "shutdown":
+                    await send({"type": "shutdown_ack"})
+                    if self._stop_event is not None:
+                        self._stop_event.set()
+                    break
+                else:
+                    await send(
+                        {"type": "error", "message": f"unknown message type {mtype!r}"}
+                    )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def request_stop(self) -> None:
+        """Ask a running server to stop (safe from any thread)."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(event.set)
+
+    async def run(self, *, ready: Optional[threading.Event] = None) -> None:
+        """Serve until a ``shutdown`` message or :meth:`request_stop`."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._pool_lock = asyncio.Lock()
+        self._semaphore = asyncio.Semaphore(max(1, self.num_workers))
+        self._executor = self._make_executor()
+        self._started_monotonic = time.monotonic()
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path, limit=MAX_MESSAGE_BYTES
+            )
+            self.address = self.unix_path
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=MAX_MESSAGE_BYTES,
+            )
+            bound = server.sockets[0].getsockname()
+            self.address = (bound[0], bound[1])
+        try:
+            if ready is not None:
+                ready.set()
+            await self._stop_event.wait()
+            # Drain active jobs briefly so a shutdown right after a result
+            # doesn't strand a sibling connection mid-job.
+            deadline = time.monotonic() + 10.0
+            while self._active_jobs and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+        finally:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+            self._dispose_executor(self._executor)
+            self._executor = None
+            self._loop = None
+
+
+@dataclass
+class ServiceHandle:
+    """A server running on a background thread, plus its stop switch."""
+
+    server: AnalysisServer
+    thread: threading.Thread
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        assert self.server.address is not None
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_in_thread(
+    server: Optional[AnalysisServer] = None, *, timeout: float = 120.0, **kwargs
+) -> ServiceHandle:
+    """Boot an :class:`AnalysisServer` on a daemon thread and wait for it.
+
+    ``kwargs`` construct the server when one isn't supplied.  Returns once
+    the socket is bound, so ``handle.address`` is immediately usable.
+    """
+    if server is None:
+        server = AnalysisServer(**kwargs)
+    elif kwargs:
+        raise ValueError("pass either a server instance or constructor kwargs, not both")
+    ready = threading.Event()
+    failures: List[BaseException] = []
+
+    def main() -> None:
+        try:
+            asyncio.run(server.run(ready=ready))
+        except BaseException as exc:  # surfaced to the starter below
+            failures.append(exc)
+        finally:
+            ready.set()
+
+    thread = threading.Thread(target=main, name="repro-service", daemon=True)
+    thread.start()
+    if not ready.wait(timeout):
+        server.request_stop()
+        raise RuntimeError(f"analysis service did not start within {timeout}s")
+    if failures:
+        raise RuntimeError("analysis service failed to start") from failures[0]
+    return ServiceHandle(server=server, thread=thread)

@@ -1,21 +1,21 @@
-"""Full-design static noise analysis flow (deprecated facade).
+"""Full-design static noise analysis flow (retired facade).
 
-.. deprecated::
-    :class:`StaticNoiseAnalysisFlow` is a thin compatibility shim over the
-    unified session API.  New code should use
+.. deprecated:: 0.2.0
+.. versionremoved:: 0.3.0
+    :class:`StaticNoiseAnalysisFlow.run` completed its deprecation cycle
+    and now raises :class:`~repro.api.errors.RemovedAPIError`.  Use
     :meth:`repro.api.NoiseAnalysisSession.run_design` with an
     :class:`~repro.sna.extraction.ExtractionConfig`; the cluster-extraction
-    stage lives in :class:`~repro.sna.extraction.ClusterExtractor`.
+    stage lives in :class:`~repro.sna.extraction.ClusterExtractor` and
+    stays reachable through this class's extraction passthroughs.
 
 The report containers (:class:`NetNoiseReport`, :class:`SNAReport`) are kept
-because their text layout is the violation-report format the examples and
-tests expect; the shim converts the session's
-:class:`~repro.api.report.SessionReport` into them.
+because their text layout is the violation-report format some drivers still
+parse.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import List, Mapping, Optional
 
@@ -141,15 +141,14 @@ class StaticNoiseAnalysisFlow:
 
     @property
     def analyzer(self):
-        """The old per-cluster analyzer facade (characterisation cache is
-        library-level, so it shares results with the session)."""
-        if self._analyzer is None:
-            from ..noise.analysis import ClusterNoiseAnalyzer
+        """Removed with :class:`~repro.noise.analysis.ClusterNoiseAnalyzer`."""
+        from ..api.errors import RemovedAPIError
 
-            self._analyzer = ClusterNoiseAnalyzer(
-                self.library, reduction=self.session.config.reduction
-            )
-        return self._analyzer
+        raise RemovedAPIError(
+            "StaticNoiseAnalysisFlow.analyzer",
+            "repro.api.NoiseAnalysisSession",
+            "the flow's .session attribute is a ready-to-use session",
+        )
 
     # ------------------------------------------------------------- extraction
 
@@ -171,43 +170,22 @@ class StaticNoiseAnalysisFlow:
         check_nrc: bool = True,
         dt: Optional[float] = None,
     ) -> SNAReport:
-        """Analyse every victim net of the design with the chosen method.
+        """Removed in 0.3.0; use ``NoiseAnalysisSession.run_design``.
 
-        .. deprecated:: use :meth:`repro.api.NoiseAnalysisSession.run_design`.
-        """
-        warnings.warn(
-            "StaticNoiseAnalysisFlow.run() is deprecated; use "
-            "repro.api.NoiseAnalysisSession.run_design() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        session_report = self.session.run_design(
-            self.design,
-            # The shim predates batch error collection: a failing cluster
-            # must propagate its original exception, as this API always did.
-            on_error="raise",
-            extractor=self.extractor,
-            methods=(method,),
-            dt=dt,
-            check_nrc=check_nrc,
-        )
-        nets = []
-        for cluster in session_report.clusters:
-            result = cluster.primary
-            nets.append(
-                NetNoiseReport(
-                    victim_net=cluster.victim_net,
-                    method=result.method,
-                    peak=result.peak,
-                    area_v_ps=result.area_v_ps,
-                    width_ps=result.width_ps,
-                    nrc_check=cluster.nrc_check(),
-                    runtime_seconds=result.runtime_seconds,
+        .. versionremoved:: 0.3.0
+            Migrate::
+
+                report = flow.session.run_design(
+                    flow.design,
+                    extractor=flow.extractor,
+                    methods=(method,),
+                    check_nrc=check_nrc,
                 )
-            )
-        return SNAReport(
-            design_name=self.design.name,
-            method=method,
-            nets=nets,
-            total_runtime_seconds=session_report.total_runtime_seconds,
+        """
+        from ..api.errors import RemovedAPIError
+
+        raise RemovedAPIError(
+            "StaticNoiseAnalysisFlow.run()",
+            "repro.api.NoiseAnalysisSession.run_design()",
+            "the flow's .session and .extractor attributes plug straight in",
         )

@@ -1,18 +1,11 @@
-"""Deprecation shims: old facades warn but return identical results."""
+"""Retired 0.1-era facades fail loudly with their migration path."""
 
 import warnings
 
 import pytest
 
-from repro.api import AnalysisConfig, NoiseAnalysisSession
-from repro.interconnect import ParallelBusGeometry
-from repro.noise import (
-    AggressorSpec,
-    ClusterNoiseAnalyzer,
-    InputGlitchSpec,
-    NoiseClusterSpec,
-    VictimSpec,
-)
+from repro.api import AnalysisConfig, NoiseAnalysisSession, RemovedAPIError
+from repro.noise import ClusterNoiseAnalyzer
 from repro.sna import Design, ExtractionConfig, StaticNoiseAnalysisFlow
 from repro.technology import build_default_library
 from repro.units import ps
@@ -21,32 +14,6 @@ from repro.units import ps
 @pytest.fixture(scope="module")
 def library():
     return build_default_library("cmos130")
-
-
-@pytest.fixture(scope="module")
-def small_cluster():
-    geometry = ParallelBusGeometry.two_parallel_wires(length_um=300.0, layer_index=4)
-    return NoiseClusterSpec(
-        victim=VictimSpec(
-            net="victim",
-            driver_cell="NAND2_X1",
-            output_high=False,
-            input_glitch=InputGlitchSpec(height=0.9, width=ps(200), start_time=ps(120)),
-            receiver_cell="INV_X1",
-        ),
-        aggressors=[
-            AggressorSpec(
-                net="aggressor",
-                driver_cell="INV_X2",
-                rising=True,
-                input_transition=ps(40),
-                switch_time=ps(150),
-            )
-        ],
-        geometry=geometry,
-        num_segments=6,
-        name="deprecation_cluster",
-    )
 
 
 @pytest.fixture(scope="module")
@@ -64,104 +31,36 @@ def design(library):
     return design
 
 
-class TestClusterNoiseAnalyzerShim:
-    def test_old_signature_warns_and_matches_session(self, library, small_cluster):
-        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
-        with pytest.warns(DeprecationWarning, match="NoiseAnalysisSession.analyze"):
-            old = analyzer.analyze(
-                small_cluster, methods=("macromodel", "superposition"), dt=ps(2)
-            )
+class TestClusterNoiseAnalyzerRemoved:
+    def test_constructor_raises_with_migration_path(self, library):
+        with pytest.raises(RemovedAPIError, match="NoiseAnalysisSession"):
+            ClusterNoiseAnalyzer(library, vccs_grid=13)
 
-        session = NoiseAnalysisSession(
-            library, AnalysisConfig(vccs_grid=13, check_nrc=False)
-        )
-        new = session.analyze(
-            small_cluster, methods=("macromodel", "superposition"), dt=ps(2)
-        )
+    def test_error_names_the_removed_api_and_api_md(self, library):
+        with pytest.raises(RemovedAPIError, match="ClusterNoiseAnalyzer") as excinfo:
+            ClusterNoiseAnalyzer(library)
+        assert "API.md" in str(excinfo.value)
+        assert excinfo.value.replacement == "repro.api.NoiseAnalysisSession"
 
-        # Same result-dict shape as the pre-API facade...
-        assert set(old) == {"macromodel", "superposition"}
-        # ... and numerically identical values through either entry point.
-        for name in old:
-            assert old[name].peak == pytest.approx(new.results[name].peak, rel=1e-12)
-            assert old[name].area_v_ps == pytest.approx(
-                new.results[name].area_v_ps, rel=1e-12
-            )
-
-    def test_positional_methods_argument_still_accepted(self, library, small_cluster):
-        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
-        with pytest.warns(DeprecationWarning):
-            results = analyzer.analyze(small_cluster, ("macromodel",), dt=ps(2))
-        assert list(results) == ["macromodel"]
-
-    def test_unknown_method_still_a_value_error(self, library, small_cluster):
-        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="spice"):
-                analyzer.analyze(small_cluster, methods=("spice",))
-
-    def test_registry_backs_the_shim(self, library):
-        """No if/elif dispatch: the shim resolves methods via the registry."""
-        from repro.api import register_method, unregister_method
-
-        calls = []
-
-        class _Probe:
-            method_name = "probe"
-
-            def analyze(self, spec, *, dt=None, t_stop=None, builder=None):
-                calls.append(spec.name)
-                from repro.noise import MacromodelAnalysis
-
-                return MacromodelAnalysis(library, vccs_grid=13).analyze(
-                    spec, dt=dt, t_stop=t_stop, builder=builder
-                )
-
-        register_method("probe")(lambda ctx: _Probe())
-        try:
-            analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
-            geometry = ParallelBusGeometry.two_parallel_wires(length_um=200.0)
-            spec = NoiseClusterSpec(
-                victim=VictimSpec(net="victim", driver_cell="INV_X1", output_high=False),
-                aggressors=[AggressorSpec(net="aggressor", driver_cell="INV_X1")],
-                geometry=geometry,
-                num_segments=4,
-                name="probe_cluster",
-            )
-            with pytest.warns(DeprecationWarning):
-                results = analyzer.analyze(spec, methods=("probe",), dt=ps(2))
-            assert calls == ["probe_cluster"]
-            assert "probe" in results
-        finally:
-            unregister_method("probe")
+    def test_removal_error_is_a_runtime_error(self, library):
+        # Old call sites catching broad RuntimeError keep their behaviour.
+        with pytest.raises(RuntimeError):
+            ClusterNoiseAnalyzer(library)
 
 
-class TestStaticNoiseAnalysisFlowShim:
-    def test_run_warns_and_matches_run_design(self, library, design):
-        glitches = {"n1": InputGlitchSpec(height=0.8, width=ps(200), start_time=ps(120))}
-        flow = StaticNoiseAnalysisFlow(design, num_segments=4, input_glitches=glitches)
-        with pytest.warns(DeprecationWarning, match="run_design"):
-            old = flow.run(method="macromodel", check_nrc=False, dt=ps(2))
+class TestStaticNoiseAnalysisFlowRunRemoved:
+    def test_run_raises_with_migration_path(self, design):
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4)
+        with pytest.raises(RemovedAPIError, match="run_design"):
+            flow.run(method="macromodel", check_nrc=False, dt=ps(2))
 
-        session = NoiseAnalysisSession(library, AnalysisConfig(check_nrc=False))
-        new = session.run_design(
-            design,
-            extraction=ExtractionConfig(num_segments=4),
-            input_glitches=glitches,
-            methods=("macromodel",),
-            dt=ps(2),
-        )
+    def test_analyzer_property_raises(self, design):
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4)
+        with pytest.raises(RemovedAPIError, match="NoiseAnalysisSession"):
+            flow.analyzer
 
-        assert [net.victim_net for net in old.nets] == [
-            cluster.victim_net for cluster in new.clusters
-        ]
-        for net, cluster in zip(old.nets, new.clusters):
-            assert net.peak == pytest.approx(cluster.primary.peak, rel=1e-12)
-            assert net.area_v_ps == pytest.approx(cluster.primary.area_v_ps, rel=1e-12)
-        # The old report type and text layout are preserved.
-        assert "Static noise analysis report" in old.text()
-
-    def test_extraction_passthroughs_do_not_warn(self, design):
+    def test_extraction_passthroughs_still_work(self, design):
+        """The extraction surface survives the run() retirement, warning-free."""
         flow = StaticNoiseAnalysisFlow(design, num_segments=4, max_aggressors=1)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
@@ -171,3 +70,25 @@ class TestStaticNoiseAnalysisFlowShim:
         assert extraction.victim_net == "n1"
         assert flow.num_segments == 4
         assert flow.max_aggressors == 1
+
+    def test_documented_replacement_produces_the_report(self, library, design):
+        """The migration path in the run() docstring actually works."""
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4)
+        report = flow.session.run_design(
+            design,
+            extractor=flow.extractor,
+            methods=("macromodel",),
+            dt=ps(2),
+            check_nrc=False,
+        )
+        assert [c.victim_net for c in report.clusters] == ["n1", "n2"]
+
+    def test_session_replacement_standalone(self, library, design):
+        session = NoiseAnalysisSession(library, AnalysisConfig(check_nrc=False))
+        report = session.run_design(
+            design,
+            extraction=ExtractionConfig(num_segments=4),
+            methods=("macromodel",),
+            dt=ps(2),
+        )
+        assert len(report.clusters) == 2

@@ -10,7 +10,6 @@ from repro.interconnect import ParallelBusGeometry
 from repro.noise import (
     AggressorSpec,
     ClusterModelBuilder,
-    ClusterNoiseAnalyzer,
     DedicatedNoiseEngine,
     InputGlitchSpec,
     LinearSuperpositionAnalysis,
@@ -260,59 +259,67 @@ class TestInjectedNoise:
 class TestMethodComparison:
     @pytest.fixture(scope="class")
     def results(self, library, small_cluster):
-        analyzer = ClusterNoiseAnalyzer(library, vccs_grid=13)
-        return analyzer, analyzer.analyze(
+        from repro.api import AnalysisConfig, NoiseAnalysisSession
+
+        session = NoiseAnalysisSession(
+            library, AnalysisConfig(vccs_grid=13, check_nrc=False)
+        )
+        report = session.analyze(
             small_cluster,
             methods=("golden", "macromodel", "superposition", "iterative_thevenin"),
             dt=ps(2),
         )
+        return session, report
 
     def test_macromodel_tracks_golden_within_a_few_percent(self, results):
-        _, res = results
+        res = results[1].results
         comparison = compare_results(res["golden"], res["macromodel"])
         assert abs(comparison["peak_error_pct"]) < 8.0
         assert abs(comparison["area_error_pct"]) < 10.0
 
     def test_superposition_underestimates_substantially(self, results):
-        _, res = results
+        res = results[1].results
         comparison = compare_results(res["golden"], res["superposition"])
         assert comparison["peak_error_pct"] < -15.0
         assert comparison["area_error_pct"] < -15.0
 
     def test_iterative_thevenin_between_superposition_and_macromodel(self, results):
-        _, res = results
+        res = results[1].results
         sup_err = abs(compare_results(res["golden"], res["superposition"])["peak_error_pct"])
         zol_err = abs(compare_results(res["golden"], res["iterative_thevenin"])["peak_error_pct"])
         assert zol_err < sup_err
 
     def test_macromodel_is_faster_than_golden(self, results):
-        _, res = results
+        res = results[1].results
         assert res["macromodel"].runtime_seconds < res["golden"].runtime_seconds
 
     def test_comparison_table_format(self, results):
-        analyzer, res = results
-        table = analyzer.comparison_table(res)
+        _, report = results
+        table = report.comparison_table()
         assert "golden" in table and "macromodel" in table
         with pytest.raises(KeyError):
-            analyzer.comparison_table(res, reference="nosuch")
+            report.comparison_table(reference="nosuch")
 
     def test_result_summaries(self, results):
-        _, res = results
+        res = results[1].results
         for result in res.values():
             text = result.summary()
             assert "peak" in text and "area" in text
 
     def test_nrc_check(self, results, library, small_cluster):
-        analyzer, res = results
-        check = analyzer.nrc_check(small_cluster, res["macromodel"], widths=[ps(100), ps(300)])
+        session, report = results
+        nrc = session.characterizer.noise_rejection_curve(
+            small_cluster.victim.receiver_cell, widths=[ps(100), ps(300)]
+        )
+        check = check_against_nrc(report.results["macromodel"], nrc)
         assert check.failure_height > 0.0
         assert isinstance(check.fails, bool)
         assert "NRC" in check.describe() or "glitch" in check.describe()
 
-    def test_unknown_method_rejected(self, library, small_cluster):
-        analyzer = ClusterNoiseAnalyzer(library)
+    def test_unknown_method_rejected(self, results, small_cluster):
+        session, _ = results
         with pytest.raises(ValueError):
-            analyzer.analyze(small_cluster, methods=("spice",))
+            session.analyze(small_cluster, methods=("spice",))
 
 
 class TestMacromodelOptions:

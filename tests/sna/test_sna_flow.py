@@ -117,23 +117,36 @@ class TestFlow:
         with pytest.raises(ValueError):
             flow.extract_cluster("a")  # primary input has no driver
 
-    def test_run_produces_report(self, design):
+    def test_run_removed_with_migration_path(self, design):
+        from repro.api import RemovedAPIError
+
+        flow = StaticNoiseAnalysisFlow(design, num_segments=4)
+        with pytest.raises(RemovedAPIError, match="run_design"):
+            flow.run(method="macromodel", check_nrc=False, dt=ps(2))
+
+    def test_run_design_replacement_produces_report(self, design):
         flow = StaticNoiseAnalysisFlow(
             design,
             num_segments=4,
             input_glitches={"n1": InputGlitchSpec(height=0.8, width=ps(200), start_time=ps(120))},
         )
-        report = flow.run(method="macromodel", check_nrc=False, dt=ps(2))
-        assert len(report.nets) == 3
+        report = flow.session.run_design(
+            design,
+            extractor=flow.extractor,
+            methods=("macromodel",),
+            dt=ps(2),
+            check_nrc=False,
+        )
+        assert len(report.clusters) == 3
         assert report.total_runtime_seconds > 0.0
         text = report.text()
         assert "n1" in text and "violations" in text
-        n1 = next(n for n in report.nets if n.victim_net == "n1")
-        n2 = next(n for n in report.nets if n.victim_net == "n2")
+        n1 = report.cluster("n1").primary
+        n2 = report.cluster("n2").primary
         # The weakly-driven NAND2 net with a glitch sees more noise than the
         # strongly-driven INV_X2 net.
         assert n1.peak > n2.peak
-        assert not n1.fails  # NRC not checked
+        assert not report.cluster("n1").fails  # NRC not checked
 
     def test_max_aggressor_filtering(self, design):
         flow = StaticNoiseAnalysisFlow(design, max_aggressors=1, num_segments=4)
