@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Full-chip streaming ingest benchmark: throughput and memory flatness.
+
+Drives the streaming SPEF path end to end on synthetic full-chip designs
+(:class:`repro.sna.synth_design.SyntheticChip`): lazy ``*D_NET`` line
+generation -> incremental parse -> bounded-window cluster extraction.  Three
+phases, each with its own gate:
+
+* **throughput** -- nets/second over the largest design of the mode (full
+  mode ingests >= 1M nets); gated by the absolute ``MIN_NETS_PER_SECOND``
+  floor here and by ``check_regression.py`` against the committed
+  ``BENCH_fullchip.json`` in CI.
+* **memory flatness** -- tracemalloc peak while ingesting a design and one
+  4x larger; bounded-memory streaming means the peak must *not* scale with
+  design size (``MAX_MEMORY_GROWTH``), and the rolling window high-water
+  mark must stay within ``MAX_OPEN_NETS_FACTOR * bus_width``.
+* **equivalence** -- on a small chip the streamed clusters must be
+  bit-identical to the in-memory ``ClusterExtractor`` on a design annotated
+  from the same SPEF text.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fullchip.py [--quick|--smoke]
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sna import (  # noqa: E402
+    ClusterExtractor,
+    StreamingClusterExtractor,
+    SyntheticChip,
+    annotate_design,
+)
+from repro.technology import build_default_library  # noqa: E402
+
+#: Absolute ingest floor (nets/second) on any supported machine; the CI
+#: regression gate against the committed baseline is much tighter.
+MIN_NETS_PER_SECOND = 1500.0
+#: Peak traced memory on the 4x design may exceed the base design's by at
+#: most this factor -- the bounded-window claim, as a hard number.
+MAX_MEMORY_GROWTH = 1.5
+#: The rolling window may hold at most this many times ``bus_width`` nets.
+MAX_OPEN_NETS_FACTOR = 8
+
+BUS_WIDTH = 8
+SEED = 20260808
+
+
+def make_chip(num_nets, *, driverless_every=97):
+    return SyntheticChip(
+        num_nets=num_nets,
+        bus_width=BUS_WIDTH,
+        topology="grid",
+        seed=SEED,
+        driverless_every=driverless_every,
+    )
+
+
+def ingest(chip, technology, *, max_open_nets=None):
+    """One full streaming pass; returns (elapsed_seconds, extractor)."""
+    extractor = StreamingClusterExtractor(chip, technology, max_open_nets=max_open_nets)
+    start = time.perf_counter()
+    count = 0
+    for _ in extractor.extract(chip.spef_lines(technology, style="dnet")):
+        count += 1
+    elapsed = time.perf_counter() - start
+    assert count == extractor.stats.clusters
+    return elapsed, extractor
+
+
+def run_throughput(num_nets, technology):
+    chip = make_chip(num_nets)
+    window_cap = MAX_OPEN_NETS_FACTOR * BUS_WIDTH
+    elapsed, extractor = ingest(chip, technology, max_open_nets=window_cap)
+    row = {
+        "case": f"throughput_{num_nets}",
+        "num_nets": num_nets,
+        "num_couplings": extractor.stats.couplings_seen,
+        "clusters": extractor.stats.clusters,
+        "seconds": elapsed,
+        "nets_per_second": num_nets / elapsed,
+        "peak_open_nets": extractor.stats.peak_open_nets,
+        "evictions": extractor.stats.evictions,
+    }
+    print(
+        f"throughput: {num_nets:>9,} nets -> {row['clusters']:,} clusters in "
+        f"{elapsed:7.1f} s = {row['nets_per_second']:8,.0f} nets/s  "
+        f"(window peak {row['peak_open_nets']})"
+    )
+    return row
+
+
+def run_memory(base_nets, technology):
+    """Tracemalloc peaks at N and 4N nets: streaming must stay flat."""
+    rows = []
+    for num_nets in (base_nets, 4 * base_nets):
+        chip = make_chip(num_nets)
+        tracemalloc.start()
+        _, extractor = ingest(chip, technology)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rows.append(
+            {
+                "case": f"memory_{num_nets}",
+                "num_nets": num_nets,
+                "peak_traced_kb": peak / 1e3,
+                "peak_open_nets": extractor.stats.peak_open_nets,
+            }
+        )
+        print(
+            f"memory:     {num_nets:>9,} nets -> peak {peak / 1e3:8.1f} KB traced, "
+            f"window peak {extractor.stats.peak_open_nets}"
+        )
+    return rows
+
+
+def run_equivalence(technology):
+    """Streamed clusters == in-memory clusters on the same SPEF text."""
+    library = build_default_library(technology)
+    chip = SyntheticChip(
+        num_nets=240, bus_width=6, topology="grid", seed=SEED, driverless_every=23
+    )
+    design = chip.build_design(library, connectivity_only=True)
+    text = "\n".join(chip.spef_lines(technology, style="dnet"))
+    annotate_design(design, text)
+    in_memory = {
+        item.victim_net: item for item in ClusterExtractor(design).extract_clusters()
+    }
+    streamed = {
+        item.victim_net: item
+        for item in StreamingClusterExtractor(chip, technology).extract(
+            chip.spef_lines(technology, style="dnet")
+        )
+    }
+    mismatches = []
+    if set(in_memory) != set(streamed):
+        mismatches.append(
+            f"victim sets differ: {sorted(set(in_memory) ^ set(streamed))[:5]}"
+        )
+    else:
+        for net, expected in in_memory.items():
+            got = streamed[net]
+            if expected.spec != got.spec:
+                mismatches.append(f"spec differs for victim '{net}'")
+            elif expected.skipped_aggressors != got.skipped_aggressors:
+                mismatches.append(f"skipped-aggressor provenance differs for '{net}'")
+    print(
+        f"equivalence: {len(in_memory)} clusters, "
+        f"{'IDENTICAL' if not mismatches else 'MISMATCH'}"
+    )
+    return {
+        "case": "equivalence_240",
+        "clusters": len(in_memory),
+        "identical": not mismatches,
+        "mismatches": mismatches[:10],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sizes for local iteration"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="smallest gated run for the CI job"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_fullchip.json"),
+        help="path of the JSON report (default: repo-root BENCH_fullchip.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        throughput_nets, memory_base = 120_000, 25_000
+    elif args.quick:
+        throughput_nets, memory_base = 250_000, 25_000
+    else:
+        throughput_nets, memory_base = 1_000_000, 50_000
+
+    library = build_default_library("cmos130")
+    technology = library.technology
+
+    throughput = run_throughput(throughput_nets, technology)
+    memory_rows = run_memory(memory_base, technology)
+    equivalence = run_equivalence(technology)
+    rows = [throughput, *memory_rows, equivalence]
+
+    growth = memory_rows[1]["peak_traced_kb"] / memory_rows[0]["peak_traced_kb"]
+    summary = {
+        "nets_per_second": throughput["nets_per_second"],
+        "throughput_nets": throughput_nets,
+        "memory_growth_ratio": growth,
+        "memory_peak_kb": memory_rows[1]["peak_traced_kb"],
+        "peak_open_nets": throughput["peak_open_nets"],
+        "equivalence_identical": equivalence["identical"],
+    }
+    report = {
+        "benchmark": "bench_fullchip",
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "quick": args.quick,
+        "smoke": args.smoke,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "results": rows,
+        "summary": summary,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"\ningest {throughput['nets_per_second']:,.0f} nets/s "
+        f"(floor {MIN_NETS_PER_SECOND:,.0f}); memory x{growth:.2f} on a 4x design "
+        f"(bound {MAX_MEMORY_GROWTH}); window peak {summary['peak_open_nets']} "
+        f"(bound {MAX_OPEN_NETS_FACTOR * BUS_WIDTH})"
+    )
+    print(f"wrote {output}")
+
+    failures = []
+    if throughput["nets_per_second"] < MIN_NETS_PER_SECOND:
+        failures.append(
+            f"ingest rate {throughput['nets_per_second']:,.0f} nets/s is below "
+            f"the {MIN_NETS_PER_SECOND:,.0f} floor"
+        )
+    if growth > MAX_MEMORY_GROWTH:
+        failures.append(
+            f"peak memory grew {growth:.2f}x on a 4x design (> {MAX_MEMORY_GROWTH}x): "
+            f"streaming is not bounded-memory"
+        )
+    for row in memory_rows:
+        if row["peak_open_nets"] > MAX_OPEN_NETS_FACTOR * BUS_WIDTH:
+            failures.append(
+                f"window held {row['peak_open_nets']} nets at {row['num_nets']} nets "
+                f"(> {MAX_OPEN_NETS_FACTOR * BUS_WIDTH})"
+            )
+    if not equivalence["identical"]:
+        failures.append(
+            "streamed clusters differ from in-memory extraction: "
+            + "; ".join(equivalence["mismatches"])
+        )
+    if failures:
+        print("FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

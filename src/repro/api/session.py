@@ -38,9 +38,21 @@ from .report import ClusterError, ClusterReport, SessionReport
 
 if TYPE_CHECKING:
     from ..sna.design import Design
-    from ..sna.extraction import ClusterExtractor, ExtractionConfig
+    from ..sna.extraction import ClusterExtraction, ClusterExtractor, ExtractionConfig
 
 __all__ = ["NoiseAnalysisSession"]
+
+
+def _chunked(items: Iterable, size: int) -> Iterable[list]:
+    """Batch an iterable into lists of ``size`` without materialising it."""
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 class NoiseAnalysisSession:
@@ -314,8 +326,11 @@ class NoiseAnalysisSession:
 
     def run_design(
         self,
-        design: "Design",
+        design: Optional["Design"] = None,
         *,
+        stream: Optional[Iterable["ClusterExtraction"]] = None,
+        design_name: Optional[str] = None,
+        chunk_size: Optional[int] = None,
         extraction: Optional["ExtractionConfig"] = None,
         input_glitches=None,
         extractor: Optional["ClusterExtractor"] = None,
@@ -328,42 +343,81 @@ class NoiseAnalysisSession:
     ) -> SessionReport:
         """Full-design SNA: extract every noise cluster, analyse, NRC-check.
 
-        Pass an :class:`~repro.sna.extraction.ExtractionConfig` (and optional
-        per-net ``input_glitches``) to control extraction, or a prebuilt
-        ``extractor`` for full control.  ``on_error`` is forwarded to
-        :meth:`analyze_many`: by default a failing cluster is reported as a
-        structured per-cluster error instead of aborting the design run.
+        Two sources of clusters:
+
+        * ``design`` -- in-memory extraction: pass an
+          :class:`~repro.sna.extraction.ExtractionConfig` (and optional
+          per-net ``input_glitches``) to control extraction, or a prebuilt
+          ``extractor`` for full control.
+        * ``stream`` -- any iterable of
+          :class:`~repro.sna.extraction.ClusterExtraction`, e.g. the lazy
+          output of
+          :meth:`repro.sna.stream.StreamingClusterExtractor.extract` over a
+          full-chip SPEF.  Extraction is *pipelined* into analysis in chunks
+          of ``chunk_size`` clusters (default scales with the worker count),
+          so analysis of one chunk overlaps no further than the window the
+          streaming extractor holds -- the whole design is never
+          materialised.
+
+        ``on_error`` is forwarded to :meth:`analyze_many`: by default a
+        failing cluster is reported as a structured per-cluster error instead
+        of aborting the design run.
         """
         from ..sna.extraction import ClusterExtractor
 
-        if extractor is None:
-            extractor = ClusterExtractor(
-                design, config=extraction, input_glitches=input_glitches
-            )
-        elif extraction is not None or input_glitches is not None:
+        if (design is None) == (stream is None):
+            raise ValueError("pass exactly one of design= or stream=")
+        if stream is not None and (
+            extraction is not None or input_glitches is not None or extractor is not None
+        ):
             raise ValueError(
-                "pass either a prebuilt extractor or extraction/input_glitches, not both"
+                "extraction/input_glitches/extractor configure in-memory "
+                "extraction; with stream= configure the streaming extractor "
+                "that produces the stream instead"
             )
         names = self._resolve_methods(methods)
         start = time.perf_counter()
-        extractions = extractor.extract_clusters()
-        reports = self.analyze_many(
-            [extraction.spec for extraction in extractions],
-            methods=names,
-            dt=dt,
-            t_stop=t_stop,
-            check_nrc=check_nrc,
-            max_workers=max_workers,
-            on_error=on_error,
-        )
-        for extraction, report in zip(extractions, reports):
-            report.victim_net = extraction.victim_net
+
+        if design is not None:
+            if extractor is None:
+                extractor = ClusterExtractor(
+                    design, config=extraction, input_glitches=input_glitches
+                )
+            elif extraction is not None or input_glitches is not None:
+                raise ValueError(
+                    "pass either a prebuilt extractor or extraction/input_glitches, not both"
+                )
+            chunks: Iterable[List["ClusterExtraction"]] = [extractor.extract_clusters()]
+            name = design.name
+        else:
+            workers = self.config.max_workers if max_workers is None else max_workers
+            if chunk_size is None:
+                chunk_size = max(4 * max(workers, 1), 16)
+            if chunk_size < 1:
+                raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+            chunks = _chunked(stream, chunk_size)
+            name = design_name or "streamed_design"
+
+        reports: List[ClusterReport] = []
+        for chunk in chunks:
+            chunk_reports = self.analyze_many(
+                [item.spec for item in chunk],
+                methods=names,
+                dt=dt,
+                t_stop=t_stop,
+                check_nrc=check_nrc,
+                max_workers=max_workers,
+                on_error=on_error,
+            )
+            for item, report in zip(chunk, chunk_reports):
+                report.victim_net = item.victim_net
+            reports.extend(chunk_reports)
         total = time.perf_counter() - start
         return SessionReport(
             clusters=reports,
             methods=names,
             total_runtime_seconds=total,
-            design_name=design.name,
+            design_name=name,
         )
 
     # ---------------------------------------------------------------- summary

@@ -167,6 +167,82 @@ class ServiceClient:
             else:
                 raise ServiceError(f"unexpected message during submit: {message!r}")
 
+    def submit_design_stream(
+        self,
+        extractions: Iterable[Any],
+        *,
+        chunk_size: int = 64,
+        config: Optional[AnalysisConfig] = None,
+        technology: Any = "cmos130",
+        design_name: str = "",
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> ServiceResult:
+        """Stream a full-chip extraction into the service, chunk by chunk.
+
+        ``extractions`` is a lazy iterable of
+        :class:`~repro.sna.extraction.ClusterExtraction` (e.g.
+        ``StreamingClusterExtractor.extract(...)``) or of ``(label, spec)``
+        pairs; clusters are submitted in chunks of ``chunk_size`` as the
+        extractor discovers them, so neither client nor server ever holds
+        the whole design.  Each chunk is a :meth:`submit_design` revision --
+        the server's fingerprint store still deduplicates repeated clusters
+        across chunks and revisions.  Returns one merged
+        :class:`ServiceResult` (``job_id`` of the last chunk; int counters
+        summed across chunks).
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        merged: Optional[ServiceResult] = None
+        chunk: List[Tuple[str, NoiseClusterSpec]] = []
+
+        def flush() -> None:
+            nonlocal merged
+            if not chunk:
+                return
+            result = self.submit_design(
+                list(chunk),
+                config=config,
+                technology=technology,
+                design_name=design_name,
+                on_progress=on_progress,
+            )
+            if merged is None:
+                merged = result
+            else:
+                merged.job_id = result.job_id
+                merged.report.clusters.extend(result.report.clusters)
+                merged.report.total_runtime_seconds += result.report.total_runtime_seconds
+                merged.reused.extend(result.reused)
+                merged.recomputed.extend(result.recomputed)
+                merged.failed.extend(result.failed)
+                for key, value in result.counters.items():
+                    if isinstance(value, int) and isinstance(merged.counters.get(key), int):
+                        merged.counters[key] += value
+                    else:
+                        merged.counters[key] = value
+            chunk.clear()
+
+        for item in extractions:
+            if isinstance(item, tuple):
+                label, spec = item
+                chunk.append((str(label), spec))
+            else:
+                chunk.append((item.spec.name, item.spec))
+            if len(chunk) >= chunk_size:
+                flush()
+        flush()
+        if merged is None:
+            return ServiceResult(
+                job_id=-1,
+                report=SessionReport(
+                    clusters=[],
+                    methods=(),
+                    total_runtime_seconds=0.0,
+                    design_name=design_name,
+                ),
+            )
+        return merged
+
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:

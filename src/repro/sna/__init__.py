@@ -7,24 +7,53 @@ reporting are driven by :meth:`repro.api.NoiseAnalysisSession.run_design`;
 :class:`StaticNoiseAnalysisFlow` remains as a deprecated facade over it.
 """
 
-from .design import CouplingAnnotation, Design, Instance, Net
-from .extraction import ClusterExtraction, ClusterExtractor, ExtractionConfig
+from .design import CouplingAnnotation, Design, DesignConnectivity, Instance, Net
+from .extraction import ClusterExtraction, ClusterExtractor, ExtractionConfig, build_cluster
 from .flow import NetNoiseReport, SNAReport, StaticNoiseAnalysisFlow
-from .spef import SPEFError, annotate_design, read_coupling_file, write_coupling_file
+from .spef import (
+    CouplingDeclaration,
+    NetClosed,
+    NetDeclaration,
+    SPEFError,
+    annotate_design,
+    parse_spef,
+    read_coupling_file,
+    write_coupling_file,
+)
+from .stream import (
+    DesignRoles,
+    NetRole,
+    StreamingClusterExtractor,
+    StreamStats,
+    StreamWindowExceeded,
+)
+from .synth_design import SyntheticChip
 
 __all__ = [
     "Design",
+    "DesignConnectivity",
     "Instance",
     "Net",
     "CouplingAnnotation",
     "ClusterExtractor",
     "ExtractionConfig",
     "ClusterExtraction",
+    "build_cluster",
     "StaticNoiseAnalysisFlow",
     "NetNoiseReport",
     "SNAReport",
+    "parse_spef",
+    "NetDeclaration",
+    "CouplingDeclaration",
+    "NetClosed",
     "read_coupling_file",
     "write_coupling_file",
     "annotate_design",
     "SPEFError",
+    "StreamingClusterExtractor",
+    "DesignRoles",
+    "NetRole",
+    "StreamStats",
+    "StreamWindowExceeded",
+    "SyntheticChip",
 ]

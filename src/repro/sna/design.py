@@ -9,12 +9,12 @@ coupling annotations from which noise clusters can be extracted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..technology.library import CellLibrary
 
-__all__ = ["Instance", "Net", "CouplingAnnotation", "Design"]
+__all__ = ["Instance", "Net", "CouplingAnnotation", "Design", "DesignConnectivity"]
 
 
 @dataclass
@@ -156,6 +156,16 @@ class Design:
             return annotation
         return False
 
+    def connectivity(self) -> "DesignConnectivity":
+        """Build an O(1)-lookup index over drivers, receivers and couplings.
+
+        The per-query methods above scan every instance (or coupling) per
+        call, which is fine interactively but quadratic when extraction walks
+        every net of a large design.  The index is a snapshot -- rebuild it
+        after editing the design.
+        """
+        return DesignConnectivity(self)
+
     def summary(self) -> str:
         return (
             f"Design '{self.name}': {len(self.instances)} instances, "
@@ -164,3 +174,41 @@ class Design:
 
     def __repr__(self) -> str:
         return self.summary()
+
+
+class DesignConnectivity:
+    """Immutable O(1) index of a design's drivers, receivers and couplings.
+
+    Lookup results match the design's linear-scan queries exactly, including
+    tie-breaking: the first instance in insertion order wins ``driver_of``,
+    receivers and couplings keep their insertion order.
+    """
+
+    def __init__(self, design: Design):
+        self.design = design
+        self._drivers: Dict[str, Instance] = {}
+        self._receivers: Dict[str, List[Tuple[Instance, str]]] = {}
+        self._couplings: Dict[str, List[Tuple[str, float]]] = {}
+        library = design.library
+        for instance in design.instances.values():
+            output = instance.output_net(library)
+            if output is not None:
+                self._drivers.setdefault(output, instance)
+            for pin, net in instance.input_nets(library).items():
+                self._receivers.setdefault(net, []).append((instance, pin))
+        for coupling in design.couplings:
+            self._couplings.setdefault(coupling.net_a, []).append(
+                (coupling.net_b, coupling.coupled_length_um)
+            )
+            self._couplings.setdefault(coupling.net_b, []).append(
+                (coupling.net_a, coupling.coupled_length_um)
+            )
+
+    def driver_of(self, net: str) -> Optional[Instance]:
+        return self._drivers.get(net)
+
+    def receivers_of(self, net: str) -> List[Tuple[Instance, str]]:
+        return self._receivers.get(net, [])
+
+    def aggressors_of(self, net: str) -> List[Tuple[str, float]]:
+        return self._couplings.get(net, [])

@@ -1,71 +1,598 @@
-"""A small SPEF-like coupling parasitics reader/writer.
+"""Streaming SPEF-subset reader/writer for coupling parasitics.
 
-Real SNA flows read coupling parasitics from SPEF.  This module implements a
-compact subset sufficient to annotate a :class:`~repro.sna.design.Design`
-with per-net routing data and net-to-net coupling:
+Real SNA flows read coupling parasitics from SPEF.  This module implements an
+*incremental* parser for the subset a full-chip noise flow needs: it walks a
+line iterable (a file handle, a generator, or ``text.splitlines()``) and
+yields typed parse events, never holding more than the in-progress ``*D_NET``
+block and the ``*NAME_MAP`` in memory.  Two net grammars are understood:
 
-    *NET <name> *LENGTH <um> *LAYER <index>
-    *COUPLING <net_a> <net_b> <coupled_length_um>
+* the repo's compact format (one line per net, couplings anywhere)::
 
-Lines starting with ``//`` are comments.  The writer produces the same
-format, so annotated designs can be round-tripped in tests.
+      *NET <name> [*LENGTH <um>] [*LAYER <index>]
+      *COUPLING <net_a> <net_b> <coupled_length_um>
+
+* an industry-style ``*D_NET`` detail block (capacitances in the file's
+  ``*C_UNIT``; the ``*LAYER``/``*LENGTH`` tokens on the ``*D_NET`` line are
+  an extension of this subset -- plain SPEF carries neither)::
+
+      *D_NET <net> <total_cap> [*LAYER <index>] [*LENGTH <um>]
+      *CONN
+      *I <node> <direction> ...      // ignored
+      *CAP
+      <index> <node> <cap>           // ground capacitance
+      <index> <node> <node> <cap>    // coupling capacitance
+      *RES
+      <index> <node> <node> <ohm>    // ignored
+      *END
+
+Header statements (``*SPEF``, ``*DESIGN``, ``*DIVIDER``, ...) are skipped;
+``*C_UNIT`` and ``*DELIMITER`` are honoured; a ``*NAME_MAP`` section maps
+``*<index>`` tokens to names.  Coupling capacitances between the same pair of
+nets inside one block are summed (multi-segment extraction); the mirrored
+listing of a coupling in the partner net's block is recognised and merged by
+the consumers.  Lines starting with ``//`` are comments.  Malformed input
+raises :class:`SPEFError` carrying the offending line number.
+
+Capacitance-declared geometry is converted to the design model's
+length/layer form by :func:`resolve_net_geometry` and
+:func:`resolve_coupled_length` using the per-layer coefficients of a
+:class:`~repro.technology.process.Technology` -- the inverse of what
+:class:`~repro.interconnect.geometry.ParallelBusGeometry` does at extraction
+time.
+
+The writer still produces the compact format, so annotated designs round-trip
+in tests.
 """
 
 from __future__ import annotations
 
-from typing import List
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..technology.process import Technology
 from .design import Design
 
-__all__ = ["SPEFError", "read_coupling_file", "write_coupling_file", "annotate_design"]
+__all__ = [
+    "SPEFError",
+    "SpefEvent",
+    "NetDeclaration",
+    "CouplingDeclaration",
+    "NetClosed",
+    "parse_spef",
+    "resolve_net_geometry",
+    "resolve_coupled_length",
+    "read_coupling_file",
+    "write_coupling_file",
+    "annotate_design",
+    "DEFAULT_LENGTH_UM",
+    "DEFAULT_LAYER_INDEX",
+]
+
+#: Geometry a net gets when the file declares neither lengths nor usable
+#: capacitances (mirrors the :class:`~repro.sna.design.Net` defaults).
+DEFAULT_LENGTH_UM = 100.0
+DEFAULT_LAYER_INDEX = 3
+
+#: ``*C_UNIT`` multiplier units understood by the subset (SPEF default: 1 FF).
+_CAP_UNITS = {"FF": 1e-15, "PF": 1e-12, "NF": 1e-9, "UF": 1e-6, "F": 1.0}
+
+#: Header statements skipped outright (arguments and all).
+_IGNORED_HEADERS = frozenset(
+    {
+        "*SPEF",
+        "*DESIGN",
+        "*DATE",
+        "*VENDOR",
+        "*PROGRAM",
+        "*VERSION",
+        "*DESIGN_FLOW",
+        "*DIVIDER",
+        "*BUS_DELIMITER",
+        "*T_UNIT",
+        "*R_UNIT",
+        "*L_UNIT",
+        "*GROUND_NET",
+    }
+)
+
+#: Relative tolerance when matching the mirrored listing of a coupling cap.
+_MIRROR_REL_TOL = 1e-9
 
 
 class SPEFError(ValueError):
-    """Raised for malformed parasitics files."""
+    """Raised for malformed parasitics files.
+
+    ``line_number`` carries the 1-based line the error was detected on
+    (``None`` for file-level errors); the message always spells it out.
+    """
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        super().__init__(message)
+        self.line_number = line_number
 
 
-def read_coupling_file(text: str) -> dict:
-    """Parse the parasitics text into ``{"nets": {...}, "couplings": [...]}``."""
-    nets = {}
-    couplings = []
-    for line_number, raw in enumerate(text.splitlines(), start=1):
+def _err(line_number: int, message: str) -> SPEFError:
+    return SPEFError(f"line {line_number}: {message}", line_number)
+
+
+# --------------------------------------------------------------------- events
+
+
+@dataclass(frozen=True, slots=True)
+class NetDeclaration:
+    """A net's geometry/capacitance declaration.
+
+    Compact ``*NET`` lines carry ``length_um``/``layer_index`` directly;
+    ``*D_NET`` blocks carry capacitances (``total_cap_f`` from the block
+    header, ``ground_cap_f`` summed over the block's ground-cap entries) that
+    :func:`resolve_net_geometry` converts into a length.  Unset fields are
+    ``None``.
+    """
+
+    name: str
+    line_number: int
+    length_um: Optional[float] = None
+    layer_index: Optional[int] = None
+    total_cap_f: Optional[float] = None
+    ground_cap_f: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class CouplingDeclaration:
+    """One declared net-to-net coupling.
+
+    Compact ``*COUPLING`` lines carry ``coupled_length_um``; ``*D_NET`` cap
+    entries carry ``cap_f`` (the per-pair sum over the declaring block, whose
+    net is always ``net_a``).  Exactly one of the two is set.
+    """
+
+    net_a: str
+    net_b: str
+    line_number: int
+    coupled_length_um: Optional[float] = None
+    cap_f: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class NetClosed:
+    """End of a net's ``*D_NET`` block: all its incident couplings are known.
+
+    Compact-format nets are never explicitly closed; they complete only when
+    the stream ends.
+    """
+
+    name: str
+    line_number: int
+
+
+SpefEvent = Union[NetDeclaration, CouplingDeclaration, NetClosed]
+
+
+# --------------------------------------------------------------------- parser
+
+
+def parse_spef(source: Union[str, Iterable[str]]) -> Iterator[SpefEvent]:
+    """Incrementally parse a SPEF-subset document into typed events.
+
+    ``source`` is an iterable of lines (an open file handle or any generator
+    of lines streams; a ``str`` is treated as whole-document text for
+    convenience).  The parser holds only the name map and the currently open
+    ``*D_NET`` block, so memory stays bounded by the name map plus one block
+    regardless of file size.
+
+    A ``*D_NET`` block is emitted atomically at its ``*END``: first the
+    :class:`NetDeclaration`, then one :class:`CouplingDeclaration` per
+    distinct partner net (in first-appearance order, same-pair segment caps
+    summed), then :class:`NetClosed`.
+    """
+    if isinstance(source, str):
+        source = source.splitlines()
+
+    name_map: Dict[str, str] = {}
+    cap_scale = 1e-15  # SPEF default: *C_UNIT 1 FF
+    delimiter = ":"
+    in_name_map = False
+
+    # State of the open *D_NET block (dnet_name is the open/closed flag).
+    dnet_name: Optional[str] = None
+    dnet_line = 0
+    dnet_total = 0.0
+    dnet_layer: Optional[int] = None
+    dnet_length: Optional[float] = None
+    dnet_ground = 0.0
+    dnet_has_ground = False
+    dnet_partners: Dict[str, Tuple[float, int]] = {}
+    section = ""
+
+    def resolve(token: str, line_number: int) -> str:
+        if token.startswith("*") and token[1:].isdigit():
+            try:
+                return name_map[token[1:]]
+            except KeyError:
+                raise _err(line_number, f"name index {token} is not in the *NAME_MAP") from None
+        return token
+
+    def node_net(token: str, line_number: int) -> str:
+        return resolve(token.split(delimiter, 1)[0], line_number)
+
+    def parse_net_attributes(
+        tokens: List[str], start: int, line_number: int
+    ) -> Tuple[Optional[float], Optional[int]]:
+        """The optional ``*LENGTH``/``*LAYER`` token pairs of a net line."""
+        length_um: Optional[float] = None
+        layer_index: Optional[int] = None
+        index = start
+        while index < len(tokens):
+            key = tokens[index].upper()
+            if key == "*LENGTH":
+                length_um = float(tokens[index + 1])
+                if length_um <= 0:
+                    raise _err(line_number, f"net length must be positive, got {length_um:g}")
+            elif key == "*LAYER":
+                layer_index = int(tokens[index + 1])
+            else:
+                raise _err(line_number, f"unknown token '{tokens[index]}'")
+            index += 2
+        return length_um, layer_index
+
+    for line_number, raw in enumerate(source, start=1):
         line = raw.strip()
         if not line or line.startswith("//"):
             continue
         tokens = line.split()
-        keyword = tokens[0].upper()
+        head = tokens[0]
+
+        if in_name_map:
+            if head.startswith("*") and head[1:].isdigit():
+                if len(tokens) != 2:
+                    raise _err(line_number, f"malformed *NAME_MAP entry '{line}'")
+                index = head[1:]
+                if index in name_map:
+                    raise _err(line_number, f"duplicate *NAME_MAP index *{index}")
+                name_map[index] = tokens[1]
+                continue
+            in_name_map = False  # any non-entry line ends the map section
+
+        keyword = head.upper()
         try:
-            if keyword == "*NET":
-                entry = {"length_um": 100.0, "layer_index": 3}
-                name = tokens[1]
-                index = 2
-                while index < len(tokens):
-                    key = tokens[index].upper()
-                    if key == "*LENGTH":
-                        entry["length_um"] = float(tokens[index + 1])
-                        index += 2
-                    elif key == "*LAYER":
-                        entry["layer_index"] = int(tokens[index + 1])
-                        index += 2
+            if dnet_name is not None:
+                # ---------------------------------- inside a *D_NET block
+                if not head.startswith("*"):
+                    if section == "CAP":
+                        if not tokens[0].isdigit():
+                            raise _err(
+                                line_number, f"*CAP entry must start with an index: '{line}'"
+                            )
+                        if len(tokens) == 3:
+                            net = node_net(tokens[1], line_number)
+                            if net != dnet_name:
+                                raise _err(
+                                    line_number,
+                                    f"ground capacitance node '{tokens[1]}' does not "
+                                    f"belong to net '{dnet_name}'",
+                                )
+                            value = float(tokens[2]) * cap_scale
+                            if value < 0:
+                                raise _err(line_number, "ground capacitance must be non-negative")
+                            dnet_ground += value
+                            dnet_has_ground = True
+                        elif len(tokens) == 4:
+                            net_a = node_net(tokens[1], line_number)
+                            net_b = node_net(tokens[2], line_number)
+                            if net_a == net_b:
+                                raise _err(
+                                    line_number, f"net '{net_a}' cannot couple to itself"
+                                )
+                            if dnet_name not in (net_a, net_b):
+                                raise _err(
+                                    line_number,
+                                    f"coupling capacitance {tokens[1]}--{tokens[2]} does "
+                                    f"not touch net '{dnet_name}'",
+                                )
+                            value = float(tokens[3]) * cap_scale
+                            if value <= 0:
+                                raise _err(line_number, "coupling capacitance must be positive")
+                            partner = net_b if net_a == dnet_name else net_a
+                            if partner in dnet_partners:
+                                prior, first_line = dnet_partners[partner]
+                                dnet_partners[partner] = (prior + value, first_line)
+                            else:
+                                dnet_partners[partner] = (value, line_number)
+                        else:
+                            raise _err(line_number, f"malformed *CAP entry '{line}'")
+                    elif section in ("RES", "INDUC"):
+                        pass  # resistive/inductive detail is not modelled
                     else:
-                        raise SPEFError(f"line {line_number}: unknown token '{tokens[index]}'")
-                nets[name] = entry
-            elif keyword == "*COUPLING":
-                couplings.append(
-                    {"net_a": tokens[1], "net_b": tokens[2], "coupled_length_um": float(tokens[3])}
+                        raise _err(
+                            line_number,
+                            f"element line outside a *CAP/*RES section: '{line}'",
+                        )
+                elif section == "CONN" and keyword in ("*I", "*P"):
+                    pass  # connectivity detail comes from the design database
+                elif keyword == "*CONN":
+                    section = "CONN"
+                elif keyword == "*CAP":
+                    section = "CAP"
+                elif keyword == "*RES":
+                    section = "RES"
+                elif keyword == "*INDUC":
+                    section = "INDUC"
+                elif keyword == "*END":
+                    if len(tokens) != 1:
+                        raise _err(line_number, f"trailing tokens after *END: '{line}'")
+                    yield NetDeclaration(
+                        name=dnet_name,
+                        line_number=dnet_line,
+                        length_um=dnet_length,
+                        layer_index=dnet_layer,
+                        total_cap_f=dnet_total,
+                        ground_cap_f=dnet_ground if dnet_has_ground else None,
+                    )
+                    for partner, (cap_f, first_line) in dnet_partners.items():
+                        yield CouplingDeclaration(
+                            net_a=dnet_name,
+                            net_b=partner,
+                            line_number=first_line,
+                            cap_f=cap_f,
+                        )
+                    yield NetClosed(name=dnet_name, line_number=line_number)
+                    dnet_name = None
+                    section = ""
+                else:
+                    raise _err(
+                        line_number,
+                        f"unknown keyword '{head}' inside *D_NET '{dnet_name}'",
+                    )
+
+            # --------------------------------------------- top-level lines
+            elif keyword == "*NET":
+                name = resolve(tokens[1], line_number)
+                length_um, layer_index = parse_net_attributes(tokens, 2, line_number)
+                yield NetDeclaration(
+                    name=name,
+                    line_number=line_number,
+                    length_um=length_um,
+                    layer_index=layer_index,
                 )
+            elif keyword == "*COUPLING":
+                if len(tokens) != 4:
+                    raise _err(
+                        line_number,
+                        f"*COUPLING takes exactly two nets and a length, got '{line}'",
+                    )
+                net_a = resolve(tokens[1], line_number)
+                net_b = resolve(tokens[2], line_number)
+                if net_a == net_b:
+                    raise _err(line_number, f"net '{net_a}' cannot couple to itself")
+                coupled = float(tokens[3])
+                if coupled <= 0:
+                    raise _err(line_number, f"coupled length must be positive, got {coupled:g}")
+                yield CouplingDeclaration(
+                    net_a=net_a,
+                    net_b=net_b,
+                    line_number=line_number,
+                    coupled_length_um=coupled,
+                )
+            elif keyword == "*D_NET":
+                if len(tokens) < 3:
+                    raise _err(line_number, f"malformed *D_NET header '{line}'")
+                dnet_name = resolve(tokens[1], line_number)
+                dnet_line = line_number
+                dnet_total = float(tokens[2]) * cap_scale
+                if dnet_total < 0:
+                    raise _err(line_number, "total capacitance must be non-negative")
+                dnet_length, dnet_layer = parse_net_attributes(tokens, 3, line_number)
+                dnet_ground = 0.0
+                dnet_has_ground = False
+                dnet_partners = {}
+                section = ""
+            elif keyword == "*NAME_MAP":
+                if len(tokens) != 1:
+                    raise _err(line_number, f"trailing tokens after *NAME_MAP: '{line}'")
+                in_name_map = True
+            elif keyword == "*C_UNIT":
+                if len(tokens) != 3:
+                    raise _err(line_number, f"malformed *C_UNIT statement '{line}'")
+                unit = tokens[2].upper()
+                if unit not in _CAP_UNITS:
+                    raise _err(
+                        line_number,
+                        f"unknown capacitance unit '{tokens[2]}' "
+                        f"(supported: {sorted(_CAP_UNITS)})",
+                    )
+                cap_scale = float(tokens[1]) * _CAP_UNITS[unit]
+            elif keyword == "*DELIMITER":
+                if len(tokens) != 2 or len(tokens[1]) != 1:
+                    raise _err(line_number, f"malformed *DELIMITER statement '{line}'")
+                delimiter = tokens[1]
+            elif keyword in _IGNORED_HEADERS:
+                pass
             else:
-                raise SPEFError(f"line {line_number}: unknown keyword '{keyword}'")
+                raise _err(line_number, f"unknown keyword '{head}'")
         except (IndexError, ValueError) as exc:
             if isinstance(exc, SPEFError):
                 raise
-            raise SPEFError(f"line {line_number}: malformed entry '{line}'") from exc
+            raise _err(line_number, f"malformed entry '{line}'") from exc
+
+    if dnet_name is not None:
+        raise _err(dnet_line, f"*D_NET '{dnet_name}' is never closed by *END")
+
+
+# --------------------------------------------------- geometry resolution
+
+
+def resolve_net_geometry(
+    declaration: NetDeclaration, technology: Optional[Technology] = None
+) -> Tuple[float, int]:
+    """Resolve a net declaration to the design model's ``(length_um, layer)``.
+
+    Declared lengths win; otherwise the ground (or, failing that, total)
+    capacitance is divided by the layer's per-micrometre ground capacitance
+    -- the inverse of the extraction-time conversion.  A declaration with
+    neither falls back to the design defaults.
+    """
+    layer_index = (
+        declaration.layer_index if declaration.layer_index is not None else DEFAULT_LAYER_INDEX
+    )
+    if declaration.length_um is not None:
+        return declaration.length_um, layer_index
+    cap = declaration.ground_cap_f
+    if cap is None:
+        cap = declaration.total_cap_f
+    if cap is not None and cap > 0:
+        if technology is None:
+            raise SPEFError(
+                f"line {declaration.line_number}: net '{declaration.name}' declares "
+                f"capacitance; a technology is needed to derive its length",
+                declaration.line_number,
+            )
+        try:
+            layer = technology.layer(layer_index)
+        except KeyError as exc:
+            raise _err(declaration.line_number, str(exc)) from exc
+        return cap / layer.ground_cap_per_um, layer_index
+    return DEFAULT_LENGTH_UM, layer_index
+
+
+def resolve_coupled_length(
+    coupling: CouplingDeclaration,
+    technology: Optional[Technology] = None,
+    layer_index: int = DEFAULT_LAYER_INDEX,
+) -> float:
+    """Resolve a coupling declaration to a coupled run length in micrometres.
+
+    Capacitance-declared couplings divide by the per-micrometre coupling
+    capacitance of ``layer_index`` -- by convention the layer of the net
+    whose block declared the coupling first (``net_a``).
+    """
+    if coupling.coupled_length_um is not None:
+        return coupling.coupled_length_um
+    assert coupling.cap_f is not None
+    if technology is None:
+        raise SPEFError(
+            f"line {coupling.line_number}: coupling '{coupling.net_a}'--'{coupling.net_b}' "
+            f"declares capacitance; a technology is needed to derive its length",
+            coupling.line_number,
+        )
+    try:
+        layer = technology.layer(layer_index)
+    except KeyError as exc:
+        raise _err(coupling.line_number, str(exc)) from exc
+    return coupling.cap_f / layer.coupling_cap_per_um
+
+
+def mirrors_coupling(first: CouplingDeclaration, second: CouplingDeclaration) -> bool:
+    """Whether ``second`` is the partner block's listing of ``first``.
+
+    In ``*D_NET`` files every coupling capacitance appears in both endpoint
+    blocks; the mirrored listing carries (within rounding) the same summed
+    capacitance and is merged, not duplicated.
+    """
+    return (
+        first.cap_f is not None
+        and second.cap_f is not None
+        and math.isclose(first.cap_f, second.cap_f, rel_tol=_MIRROR_REL_TOL)
+    )
+
+
+# ---------------------------------------------------------- whole-file reads
+
+
+def read_coupling_file(text: str, *, technology: Optional[Technology] = None) -> dict:
+    """Parse the parasitics text into ``{"nets": {...}, "couplings": [...]}``.
+
+    The in-memory convenience wrapper over :func:`parse_spef`: net entries
+    carry ``length_um``/``layer_index`` (resolved through ``technology`` when
+    the file declares capacitances; ``length_um`` is ``None`` when a
+    conversion would be needed but no technology was given) plus the raw
+    ``total_cap_f``/``ground_cap_f``; coupling entries carry
+    ``coupled_length_um`` (or ``None``) and ``cap_f``.  Duplicate net
+    declarations and duplicate couplings raise :class:`SPEFError`; the
+    mirrored ``*D_NET`` listing of a coupling is merged.
+    """
+    nets: Dict[str, dict] = {}
+    couplings: List[dict] = []
+    pair_index: Dict[frozenset, int] = {}
+    declarations: Dict[str, NetDeclaration] = {}
+    raw_pairs: Dict[frozenset, CouplingDeclaration] = {}
+    for event in parse_spef(text):
+        if isinstance(event, NetDeclaration):
+            if event.name in nets:
+                raise _err(
+                    event.line_number,
+                    f"net '{event.name}' is declared more than once "
+                    f"(first on line {declarations[event.name].line_number})",
+                )
+            declarations[event.name] = event
+            if event.length_um is not None or technology is not None:
+                length_um, layer_index = resolve_net_geometry(event, technology)
+            else:
+                # Capacitance-only declaration and no technology to convert
+                # with: leave the length unresolved.
+                layer_index = (
+                    event.layer_index if event.layer_index is not None else DEFAULT_LAYER_INDEX
+                )
+                length_um = None if event.total_cap_f is not None else DEFAULT_LENGTH_UM
+            nets[event.name] = {
+                "length_um": length_um,
+                "layer_index": layer_index,
+                "total_cap_f": event.total_cap_f,
+                "ground_cap_f": event.ground_cap_f,
+            }
+        elif isinstance(event, CouplingDeclaration):
+            key = frozenset((event.net_a, event.net_b))
+            if key in pair_index:
+                if mirrors_coupling(raw_pairs[key], event):
+                    continue
+                raise _err(
+                    event.line_number,
+                    f"duplicate coupling between '{event.net_a}' and '{event.net_b}' "
+                    f"(first on line {raw_pairs[key].line_number})",
+                )
+            pair_index[key] = len(couplings)
+            raw_pairs[key] = event
+            couplings.append(
+                {
+                    "net_a": event.net_a,
+                    "net_b": event.net_b,
+                    "coupled_length_um": event.coupled_length_um,
+                    "cap_f": event.cap_f,
+                }
+            )
     return {"nets": nets, "couplings": couplings}
 
 
-def annotate_design(design: Design, text: str) -> None:
-    """Apply a parasitics file to a design (lengths, layers, couplings)."""
-    data = read_coupling_file(text)
+def annotate_design(design: Design, text: str, *, allow_new_nets: bool = False) -> None:
+    """Apply a parasitics file to a design (lengths, layers, couplings).
+
+    Nets referenced by the file but absent from the design raise
+    :class:`SPEFError` listing the unknown names -- a parasitics/netlist name
+    mismatch is a data bug, not a request to grow the design.  Pass
+    ``allow_new_nets=True`` to restore the old behaviour for nets with their
+    own declarations (coupling endpoints must still exist).  Capacitance
+    declarations are converted through the design library's technology.
+    """
+    technology = design.library.technology
+    data = read_coupling_file(text, technology=technology)
+    declared = set(data["nets"])
+    unknown = set() if allow_new_nets else {
+        name for name in declared if name not in design.nets
+    }
+    for coupling in data["couplings"]:
+        for name in (coupling["net_a"], coupling["net_b"]):
+            if name not in design.nets and not (allow_new_nets and name in declared):
+                unknown.add(name)
+    if unknown:
+        # With allow_new_nets, `unknown` only holds coupling endpoints the
+        # file never declares -- those are always errors.
+        shown = sorted(unknown)
+        listing = ", ".join(shown[:10]) + (", ..." if len(shown) > 10 else "")
+        hint = "" if allow_new_nets else " (pass allow_new_nets=True to create them)"
+        raise SPEFError(
+            f"parasitics reference {len(unknown)} nets not in design "
+            f"'{design.name}': {listing}{hint}"
+        )
     for name, entry in data["nets"].items():
         if name not in design.nets:
             design.add_net(name)
@@ -73,13 +600,22 @@ def annotate_design(design: Design, text: str) -> None:
         net.length_um = entry["length_um"]
         net.layer_index = entry["layer_index"]
     for coupling in data["couplings"]:
-        design.add_coupling(
-            coupling["net_a"], coupling["net_b"], coupling["coupled_length_um"]
-        )
+        coupled = coupling["coupled_length_um"]
+        if coupled is None:
+            declaration = CouplingDeclaration(
+                net_a=coupling["net_a"],
+                net_b=coupling["net_b"],
+                line_number=0,
+                cap_f=coupling["cap_f"],
+            )
+            coupled = resolve_coupled_length(
+                declaration, technology, design.nets[coupling["net_a"]].layer_index
+            )
+        design.add_coupling(coupling["net_a"], coupling["net_b"], coupled)
 
 
 def write_coupling_file(design: Design) -> str:
-    """Serialise a design's routing/coupling annotations."""
+    """Serialise a design's routing/coupling annotations (compact format)."""
     lines: List[str] = [f"// parasitics for design {design.name}"]
     for name, net in sorted(design.nets.items()):
         lines.append(f"*NET {name} *LENGTH {net.length_um:g} *LAYER {net.layer_index}")

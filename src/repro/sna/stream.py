@@ -1,0 +1,496 @@
+"""Bounded-memory cluster extraction over a SPEF parse-event stream.
+
+:class:`~repro.sna.extraction.ClusterExtractor` needs the whole annotated
+:class:`~repro.sna.design.Design` in memory; full-chip parasitics files do
+not fit.  :class:`StreamingClusterExtractor` consumes the typed event stream
+of :func:`repro.sna.spef.parse_spef` instead, holding only a rolling window
+of per-net state: a net's geometry and coupling list are kept from its first
+mention until it *and every net coupled to it* are finished, then evicted.
+Clusters are yielded as soon as they are complete -- for ``*D_NET`` input
+that is the moment the victim's block closes and all its partners' geometry
+is known, typically a handful of nets into the file.
+
+Equivalence contract
+--------------------
+On any input that also fits in memory, the extractions yielded here are
+*identical* to ``ClusterExtractor.extract_clusters()`` on a design annotated
+from the same text -- same specs, same aggressor budget policy, same
+skipped-aggressor provenance -- because both funnel through
+:func:`repro.sna.extraction.build_cluster`.  Only the *emission order*
+differs: streaming yields in completion order, the in-memory extractor in
+sorted-victim order.
+
+Memory guarantees (and their preconditions)
+-------------------------------------------
+The window stays bounded when (a) every coupled net has its own ``*D_NET``
+block (standard SPEF lists each coupling in both endpoint blocks), and
+(b) the file has coupling locality -- a net's block and its partners' blocks
+are near each other.  The peak window is then O(neighborhood size), not
+O(design size); ``stats.peak_open_nets`` records the high-water mark and
+``max_open_nets`` turns a locality violation into a hard
+:class:`StreamWindowExceeded` instead of silent memory growth.  The legacy
+compact format has no block structure, so compact nets only complete at end
+of stream: it parses fine but is not bounded-memory.
+
+Asymmetric files (a coupling listed in only one endpoint's block) are
+detected on a best-effort basis: a coupling arriving after its partner's
+block closed raises :class:`~repro.sna.spef.SPEFError` while the partner is
+still windowed; a partner already evicted is indistinguishable from a
+not-yet-seen net, and the coupling then completes at end of stream like
+compact input.
+
+Connectivity (drivers, receivers, quiet levels) is not part of SPEF; a
+:class:`RoleProvider` supplies it per net in O(1) -- either
+:class:`DesignRoles` over an in-memory design database or a synthetic/
+procedural provider such as :class:`repro.sna.synth_design.SyntheticChip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Protocol, Set, Tuple, Union
+
+from ..noise.cluster import InputGlitchSpec
+from ..technology.process import Technology
+from .design import Design
+from .extraction import ClusterExtraction, ExtractionConfig, build_cluster
+from .spef import (
+    DEFAULT_LAYER_INDEX,
+    DEFAULT_LENGTH_UM,
+    CouplingDeclaration,
+    NetClosed,
+    NetDeclaration,
+    SpefEvent,
+    SPEFError,
+    mirrors_coupling,
+    parse_spef,
+    resolve_coupled_length,
+    resolve_net_geometry,
+)
+
+__all__ = [
+    "NetRole",
+    "RoleProvider",
+    "DesignRoles",
+    "StreamStats",
+    "StreamWindowExceeded",
+    "StreamingClusterExtractor",
+]
+
+
+@dataclass(frozen=True)
+class NetRole:
+    """Connectivity facts about one net, supplied from outside the SPEF.
+
+    ``length_um``/``layer_index`` are the fallback geometry used when the
+    parasitics stream does not declare the net (mirrors the design-database
+    defaults).
+    """
+
+    driver_cell: Optional[str] = None
+    receiver_cell: Optional[str] = None
+    receiver_pin: Optional[str] = None
+    quiet_high: Optional[bool] = None
+    is_primary_input: bool = False
+    length_um: float = DEFAULT_LENGTH_UM
+    layer_index: int = DEFAULT_LAYER_INDEX
+
+
+class RoleProvider(Protocol):
+    """O(1) per-net connectivity lookup backing the streaming extractor."""
+
+    def role(self, net: str) -> NetRole:
+        """The role of ``net``; raise ``KeyError`` for unknown nets."""
+        ...
+
+
+class DesignRoles:
+    """Role provider over an in-memory design database.
+
+    Builds the design's :class:`~repro.sna.design.DesignConnectivity` index
+    once, so each lookup is O(1) and matches the in-memory extractor's
+    driver/receiver selection (first instance in insertion order) exactly.
+    """
+
+    def __init__(self, design: Design):
+        self.design = design
+        self._index = design.connectivity()
+
+    def role(self, net: str) -> NetRole:
+        try:
+            info = self.design.nets[net]
+        except KeyError:
+            raise KeyError(
+                f"net '{net}' is not in design '{self.design.name}'"
+            ) from None
+        driver = self._index.driver_of(net)
+        receivers = self._index.receivers_of(net)
+        receiver_instance, receiver_pin = receivers[0] if receivers else (None, None)
+        return NetRole(
+            driver_cell=driver.cell if driver is not None else None,
+            receiver_cell=receiver_instance.cell if receiver_instance is not None else None,
+            receiver_pin=receiver_pin,
+            quiet_high=info.quiet_high,
+            is_primary_input=net in self.design.primary_inputs,
+            length_um=info.length_um,
+            layer_index=info.layer_index,
+        )
+
+
+class StreamWindowExceeded(RuntimeError):
+    """The rolling window outgrew ``max_open_nets``.
+
+    Raised when the input violates the locality preconditions (e.g. a
+    compact-format file streamed with a bound, or a ``*D_NET`` file whose
+    coupled blocks are arbitrarily far apart).
+    """
+
+
+@dataclass
+class StreamStats:
+    """Counters of one streaming-extraction pass."""
+
+    nets_seen: int = 0
+    couplings_seen: int = 0
+    clusters: int = 0
+    #: Nets that closed without producing a cluster (non-candidates).
+    skipped_nets: int = 0
+    #: High-water mark of the rolling window (nets with live state).
+    peak_open_nets: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class _NetState:
+    """Rolling per-net state; lives from first mention until eviction."""
+
+    name: str
+    declared: bool = False
+    declaration_line: int = 0
+    length_um: float = DEFAULT_LENGTH_UM
+    layer_index: int = DEFAULT_LAYER_INDEX
+    #: neighbor -> (coupled_length_um, raw cap_f or None), insertion-ordered.
+    couplings: Dict[str, Tuple[float, Optional[float]]] = field(default_factory=dict)
+    closed: bool = False
+    #: No further emission possible (emitted, or determined non-candidate).
+    done: bool = False
+    #: Neighbors whose geometry this closed victim is still waiting for.
+    waiting_on: Set[str] = field(default_factory=set)
+    #: Cached role-provider answer (roles are immutable per pass).
+    role: Optional[NetRole] = None
+
+
+class StreamingClusterExtractor:
+    """Extract noise clusters from a SPEF event stream with bounded memory.
+
+    Parameters
+    ----------
+    roles:
+        Per-net connectivity provider (see :class:`RoleProvider`).
+    technology:
+        Layer stack used to convert declared capacitances into lengths.
+    config, input_glitches:
+        As for :class:`~repro.sna.extraction.ClusterExtractor`.
+    max_open_nets:
+        Optional hard cap on the rolling window; ``None`` = unbounded.
+    skip_unusable:
+        A victim whose every coupling is driverless raises ``ValueError``
+        (matching the in-memory extractor).  Set True to count it in
+        ``stats.skipped_nets`` and keep streaming instead.
+    """
+
+    def __init__(
+        self,
+        roles: RoleProvider,
+        technology: Optional[Technology] = None,
+        *,
+        config: Optional[ExtractionConfig] = None,
+        input_glitches: Optional[Mapping[str, InputGlitchSpec]] = None,
+        max_open_nets: Optional[int] = None,
+        skip_unusable: bool = False,
+    ):
+        self.roles = roles
+        self.technology = technology
+        self.config = config or ExtractionConfig()
+        self.input_glitches = dict(input_glitches or {})
+        self.max_open_nets = max_open_nets
+        self.skip_unusable = skip_unusable
+        self.stats = StreamStats()
+        self._states: Dict[str, _NetState] = {}
+        self._waiting: Dict[str, List[str]] = {}
+
+    @classmethod
+    def for_design(cls, design: Design, **kwargs) -> "StreamingClusterExtractor":
+        """Extractor whose roles and technology come from a design database."""
+        return cls(DesignRoles(design), design.library.technology, **kwargs)
+
+    # -------------------------------------------------------------- pipeline
+
+    def extract(
+        self, events: Union[str, Iterable[str], Iterable[SpefEvent]]
+    ) -> Iterator[ClusterExtraction]:
+        """Yield completed clusters while consuming ``events``.
+
+        ``events`` may be raw SPEF input (text, a file handle, any line
+        iterable) or an already-parsed :data:`~repro.sna.spef.SpefEvent`
+        stream.  One extractor instance handles one pass; ``self.stats``
+        describes it afterwards.
+        """
+        if self._states or self.stats.nets_seen:
+            raise RuntimeError("StreamingClusterExtractor instances are single-use")
+        events = self._as_events(events)
+        for event in events:
+            if isinstance(event, NetDeclaration):
+                yield from self._on_declaration(event)
+            elif isinstance(event, CouplingDeclaration):
+                self._on_coupling(event)
+            elif isinstance(event, NetClosed):
+                yield from self._on_closed(event)
+        yield from self._finish()
+
+    @staticmethod
+    def _as_events(
+        events: Union[str, Iterable[str], Iterable[SpefEvent]]
+    ) -> Iterable[SpefEvent]:
+        if isinstance(events, str):
+            return parse_spef(events)
+        iterator = iter(events)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return ()
+        if isinstance(first, str):
+
+            def lines() -> Iterator[str]:
+                yield first  # type: ignore[misc]
+                yield from iterator  # type: ignore[misc]
+
+            return parse_spef(lines())
+
+        def rechain() -> Iterator[SpefEvent]:
+            yield first  # type: ignore[misc]
+            yield from iterator  # type: ignore[misc]
+
+        return rechain()
+
+    # ------------------------------------------------------------- handlers
+
+    def _state(self, net: str) -> _NetState:
+        state = self._states.get(net)
+        if state is None:
+            state = _NetState(net)
+            self._states[net] = state
+            open_nets = len(self._states)
+            if open_nets > self.stats.peak_open_nets:
+                self.stats.peak_open_nets = open_nets
+            if self.max_open_nets is not None and open_nets > self.max_open_nets:
+                raise StreamWindowExceeded(
+                    f"streaming window grew to {open_nets} open nets "
+                    f"(max_open_nets={self.max_open_nets}); the input likely "
+                    f"lacks *D_NET block structure or coupling locality"
+                )
+        return state
+
+    def _role(self, state: _NetState) -> NetRole:
+        if state.role is None:
+            state.role = self.roles.role(state.name)
+        return state.role
+
+    def _on_declaration(self, event: NetDeclaration) -> Iterator[ClusterExtraction]:
+        self.stats.nets_seen += 1
+        state = self._state(event.name)
+        if state.declared:
+            raise SPEFError(
+                f"line {event.line_number}: net '{event.name}' is declared more "
+                f"than once (first on line {state.declaration_line})",
+                event.line_number,
+            )
+        role = self._role(state)
+        declaration = event
+        if declaration.layer_index is None and declaration.length_um is None:
+            # The net's fallback geometry comes from the role provider, not
+            # the module defaults, when the file declares neither.
+            if declaration.total_cap_f is None and declaration.ground_cap_f is None:
+                state.length_um, state.layer_index = role.length_um, role.layer_index
+                state.declared = True
+                state.declaration_line = event.line_number
+                yield from self._release_waiters(event.name)
+                return
+            declaration = NetDeclaration(
+                name=event.name,
+                line_number=event.line_number,
+                layer_index=role.layer_index,
+                total_cap_f=event.total_cap_f,
+                ground_cap_f=event.ground_cap_f,
+            )
+        state.length_um, state.layer_index = resolve_net_geometry(declaration, self.technology)
+        state.declared = True
+        state.declaration_line = event.line_number
+        yield from self._release_waiters(event.name)
+
+    def _release_waiters(self, net: str) -> Iterator[ClusterExtraction]:
+        for victim in self._waiting.pop(net, []):
+            state = self._states.get(victim)
+            if state is None or state.done:
+                continue
+            state.waiting_on.discard(net)
+            if state.closed and not state.waiting_on:
+                yield from self._emit(state)
+
+    def _on_coupling(self, event: CouplingDeclaration) -> None:
+        state_a = self._state(event.net_a)
+        recorded = state_a.couplings.get(event.net_b)
+        if recorded is not None:
+            prior = CouplingDeclaration(
+                net_a=event.net_a, net_b=event.net_b, line_number=0, cap_f=recorded[1]
+            )
+            if mirrors_coupling(prior, event):
+                return  # the partner block's mirrored listing
+            raise SPEFError(
+                f"line {event.line_number}: duplicate coupling between "
+                f"'{event.net_a}' and '{event.net_b}'",
+                event.line_number,
+            )
+        state_b = self._state(event.net_b)
+        for endpoint in (state_a, state_b):
+            if endpoint.done:
+                raise SPEFError(
+                    f"line {event.line_number}: coupling to '{endpoint.name}' "
+                    f"arrives after its *D_NET block closed; SPEF input must "
+                    f"list every coupling in both endpoint blocks",
+                    event.line_number,
+                )
+        self.stats.couplings_seen += 1
+        # Capacitance-declared couplings convert through the layer of the
+        # net whose block declared them first (net_a) -- same convention as
+        # annotate_design.
+        coupled_length = resolve_coupled_length(event, self.technology, state_a.layer_index)
+        state_a.couplings[event.net_b] = (coupled_length, event.cap_f)
+        state_b.couplings[event.net_a] = (coupled_length, event.cap_f)
+
+    def _on_closed(self, event: NetClosed) -> Iterator[ClusterExtraction]:
+        state = self._states[event.name]
+        state.closed = True
+        role = self._role(state)
+        if not self._is_candidate(state, role):
+            self.stats.skipped_nets += 1
+            self._mark_done(state)
+            return
+        missing = {
+            neighbor
+            for neighbor in state.couplings
+            if not self._states[neighbor].declared
+        }
+        if missing:
+            state.waiting_on = missing
+            for neighbor in missing:
+                self._waiting.setdefault(neighbor, []).append(event.name)
+            return
+        yield from self._emit(state)
+
+    def _finish(self) -> Iterator[ClusterExtraction]:
+        """Drain nets that never closed (compact format, undeclared partners).
+
+        End of stream closes everything: remaining geometry falls back to the
+        role provider, then pending victims emit in first-mention order.
+        """
+        for state in list(self._states.values()):
+            if not state.declared:
+                role = self._role(state)
+                state.length_um, state.layer_index = role.length_um, role.layer_index
+                state.declared = True
+        for state in list(self._states.values()):
+            if state.done:
+                continue
+            state.closed = True
+            state.waiting_on.clear()
+            role = self._role(state)
+            if self._is_candidate(state, role):
+                yield from self._emit(state)
+            else:
+                self.stats.skipped_nets += 1
+                self._mark_done(state)
+        self._waiting.clear()
+
+    # ------------------------------------------------------------- emission
+
+    @staticmethod
+    def _is_candidate(state: _NetState, role: NetRole) -> bool:
+        return (
+            bool(state.couplings)
+            and not role.is_primary_input
+            and role.driver_cell is not None
+            and role.receiver_cell is not None
+            and role.receiver_pin is not None
+        )
+
+    def _emit(self, state: _NetState) -> Iterator[ClusterExtraction]:
+        role = self._role(state)
+
+        def aggressor_info(net: str) -> Optional[Tuple[str, float]]:
+            neighbor_state = self._states.get(net)
+            if neighbor_state is not None:
+                neighbor_role = self._role(neighbor_state)
+                if neighbor_role.driver_cell is None:
+                    return None
+                if neighbor_state.declared:
+                    return neighbor_role.driver_cell, neighbor_state.length_um
+                return neighbor_role.driver_cell, neighbor_role.length_um
+            neighbor_role = self.roles.role(net)
+            if neighbor_role.driver_cell is None:
+                return None
+            return neighbor_role.driver_cell, neighbor_role.length_um
+
+        couplings = [
+            (neighbor, coupled_length)
+            for neighbor, (coupled_length, _) in state.couplings.items()
+        ]
+        try:
+            extraction = build_cluster(
+                state.name,
+                config=self.config,
+                victim_length_um=state.length_um,
+                victim_layer_index=state.layer_index,
+                victim_quiet_high=bool(role.quiet_high),
+                victim_driver_cell=role.driver_cell,  # type: ignore[arg-type]
+                receiver_cell=role.receiver_cell,  # type: ignore[arg-type]
+                receiver_pin=role.receiver_pin,  # type: ignore[arg-type]
+                couplings=couplings,
+                aggressor_info=aggressor_info,
+                input_glitch=self.input_glitches.get(state.name),
+            )
+        except ValueError:
+            if not self.skip_unusable:
+                raise
+            self.stats.skipped_nets += 1
+            self._mark_done(state)
+            return
+        self.stats.clusters += 1
+        self._mark_done(state)
+        yield extraction
+
+    # ------------------------------------------------------------- eviction
+
+    def _mark_done(self, state: _NetState) -> None:
+        state.done = True
+        self._try_evict(state.name)
+        for neighbor in list(state.couplings):
+            self._try_evict(neighbor)
+
+    def _try_evict(self, net: str) -> None:
+        """Free a net's state once nothing can reference it again.
+
+        A net is evictable when it is done and every coupled neighbor is
+        done: its geometry can no longer feed another victim's cluster, and
+        (because mirrored listings precede the partner's ``*END``) no future
+        event needs its coupling set for mirror matching.
+        """
+        state = self._states.get(net)
+        if state is None or not state.done:
+            return
+        for neighbor in state.couplings:
+            neighbor_state = self._states.get(neighbor)
+            if neighbor_state is not None and not neighbor_state.done:
+                return
+        del self._states[net]
+        self.stats.evictions += 1

@@ -1,0 +1,286 @@
+"""Deterministic synthetic full-chip designs for ingest benchmarks/tests.
+
+No real full-chip SPEF ships with the repository, so scale testing needs a
+generator: :class:`SyntheticChip` describes a parameterized design --
+millions of nets, bus or grid coupling topology with realistic locality,
+deterministic per-net variation -- **procedurally**.  Its
+:meth:`~SyntheticChip.role` answers the streaming extractor's connectivity
+queries in O(1) from index arithmetic (no per-net storage at all), and
+:meth:`~SyntheticChip.spef_lines` lazily emits the matching parasitics file,
+so a billion-line ingest run needs neither the design nor the file in
+memory.  For sizes that do fit, :meth:`~SyntheticChip.build_design`
+materialises the equivalent in-memory :class:`~repro.sna.design.Design` for
+differential testing against :class:`~repro.sna.extraction.ClusterExtractor`.
+
+Topology: nets are laid out in buses (rows) of ``bus_width``; ``n<i>``
+couples to its horizontal neighbour ``n<i+1>`` within the row, and -- in the
+``"grid"`` topology -- to its vertical neighbour ``n<i+bus_width>``.  Every
+coupling partner is at most ``bus_width`` nets away, which is exactly the
+locality the bounded-memory streaming window relies on.  Rows cycle through
+metal layers; per-net lengths and coupled lengths vary via a seeded integer
+hash (no RNG state, so any net's facts are computable independently).  Every
+``driverless_every``-th net has no driver -- a floating aggressor that
+exercises the aggressor-budget policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..technology.library import CellLibrary
+from ..technology.process import Technology
+from .design import Design
+from .stream import NetRole
+
+__all__ = ["SyntheticChip"]
+
+_MASK64 = (1 << 64) - 1
+
+#: Driver cells cycled across driven nets (all in the default library).
+_DRIVER_CELLS = ("INV_X1", "INV_X2", "NAND2_X1", "NOR2_X1")
+_RECEIVER_CELL = "INV_X1"
+_RECEIVER_PIN = "A"
+#: Metal layers cycled per row (middle of the default 6-layer stack).
+_LAYER_CYCLE = (3, 4, 5)
+
+
+def _mix(index: int, seed: int, salt: int) -> int:
+    """SplitMix64-style avalanche over (net index, seed, salt)."""
+    x = (index * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9 + salt * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    x = (x * 0xD6E8FEB86659FD93) & _MASK64
+    x ^= x >> 27
+    return x
+
+
+def _frac(index: int, seed: int, salt: int) -> float:
+    return _mix(index, seed, salt) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class SyntheticChip:
+    """A procedurally defined full-chip design (implements ``RoleProvider``)."""
+
+    num_nets: int
+    bus_width: int = 8
+    topology: str = "grid"  # "bus" (rows only) or "grid" (rows + columns)
+    seed: int = 0
+    base_length_um: float = 180.0
+    #: Every k-th net has no driver (0 disables); floating aggressors.
+    driverless_every: int = 0
+
+    def __post_init__(self):
+        if self.num_nets < 2:
+            raise ValueError(f"num_nets must be at least 2, got {self.num_nets}")
+        if self.bus_width < 2:
+            raise ValueError(f"bus_width must be at least 2, got {self.bus_width}")
+        if self.topology not in ("bus", "grid"):
+            raise ValueError(f"topology must be 'bus' or 'grid', got '{self.topology}'")
+        if self.base_length_um <= 0:
+            raise ValueError("base_length_um must be positive")
+
+    # ----------------------------------------------------------- per-net facts
+
+    def net_name(self, index: int) -> str:
+        return f"n{index}"
+
+    def net_index(self, net: str) -> int:
+        if not net.startswith("n") or not net[1:].isdigit():
+            raise KeyError(f"'{net}' is not a synthetic signal net")
+        index = int(net[1:])
+        if not 0 <= index < self.num_nets:
+            raise KeyError(f"net '{net}' is outside this {self.num_nets}-net chip")
+        return index
+
+    def length_um(self, index: int) -> float:
+        return self.base_length_um * (0.6 + 0.8 * _frac(index, self.seed, 1))
+
+    def layer_index(self, index: int) -> int:
+        return _LAYER_CYCLE[(index // self.bus_width) % len(_LAYER_CYCLE)]
+
+    def quiet_high(self, index: int) -> bool:
+        return bool(_mix(index, self.seed, 2) & 1)
+
+    def is_driverless(self, index: int) -> bool:
+        return self.driverless_every > 0 and index % self.driverless_every == 0
+
+    def driver_cell(self, index: int) -> Optional[str]:
+        if self.is_driverless(index):
+            return None
+        return _DRIVER_CELLS[_mix(index, self.seed, 3) % len(_DRIVER_CELLS)]
+
+    def neighbors(self, index: int) -> Iterator[int]:
+        """Coupling partners of net ``index``, lower partner first."""
+        width = self.bus_width
+        if self.topology == "grid" and index - width >= 0:
+            yield index - width
+        if index % width > 0:
+            yield index - 1
+        if index % width < width - 1 and index + 1 < self.num_nets:
+            yield index + 1
+        if self.topology == "grid" and index + width < self.num_nets:
+            yield index + width
+
+    def coupled_length_um(self, low: int, high: int) -> float:
+        """Common run length of the (low, high) coupling, independent of side."""
+        bound = min(self.length_um(low), self.length_um(high))
+        return bound * (0.35 + 0.5 * _frac(low * 0x1F123BB5 + high, self.seed, 4))
+
+    # -------------------------------------------------------------- RoleProvider
+
+    def role(self, net: str) -> NetRole:
+        index = self.net_index(net)
+        return NetRole(
+            driver_cell=self.driver_cell(index),
+            receiver_cell=_RECEIVER_CELL,
+            receiver_pin=_RECEIVER_PIN,
+            quiet_high=self.quiet_high(index),
+            is_primary_input=False,
+            length_um=self.length_um(index),
+            layer_index=self.layer_index(index),
+        )
+
+    # ------------------------------------------------------------ SPEF emission
+
+    def spef_lines(
+        self,
+        technology: Technology,
+        *,
+        style: str = "dnet",
+        use_name_map: bool = False,
+    ) -> Iterator[str]:
+        """Lazily emit the chip's parasitics file, one line at a time.
+
+        ``style="dnet"`` writes one ``*D_NET`` block per net with ground and
+        coupling *capacitances* (derived from the geometric model through the
+        layer coefficients, so the parser's cap-to-length conversion recovers
+        the geometry); each coupling is listed in both endpoint blocks, as
+        real SPEF does.  ``style="compact"`` writes the legacy
+        ``*NET``/``*COUPLING`` form with explicit lengths.  ``use_name_map``
+        routes all net references through a ``*NAME_MAP`` section
+        (``dnet`` style only).
+        """
+        if style not in ("dnet", "compact"):
+            raise ValueError(f"style must be 'dnet' or 'compact', got '{style}'")
+        yield "*SPEF \"IEEE 1481-1998 subset\""
+        yield f"*DESIGN \"synthetic_chip_{self.num_nets}\""
+        yield "*DELIMITER :"
+        yield "*C_UNIT 1 FF"
+
+        def ref(index: int) -> str:
+            return f"*{index}" if use_name_map else self.net_name(index)
+
+        if style == "compact":
+            for index in range(self.num_nets):
+                yield (
+                    f"*NET {self.net_name(index)} "
+                    f"*LENGTH {self.length_um(index)!r} *LAYER {self.layer_index(index)}"
+                )
+            for index in range(self.num_nets):
+                for neighbor in self.neighbors(index):
+                    if neighbor < index:
+                        continue  # emit each pair once, from its low side
+                    yield (
+                        f"*COUPLING {self.net_name(index)} {self.net_name(neighbor)} "
+                        f"{self.coupled_length_um(index, neighbor)!r}"
+                    )
+            return
+
+        if use_name_map:
+            yield "*NAME_MAP"
+            for index in range(self.num_nets):
+                yield f"*{index} {self.net_name(index)}"
+
+        for index in range(self.num_nets):
+            layer = technology.layer(self.layer_index(index))
+            ground_ff = self.length_um(index) * layer.ground_cap_per_um / 1e-15
+            coupling_caps = []
+            for neighbor in self.neighbors(index):
+                low, high = min(index, neighbor), max(index, neighbor)
+                # By the both-blocks convention the conversion layer is the
+                # lower net's (its block declares the coupling first).
+                cc_per_um = technology.layer(self.layer_index(low)).coupling_cap_per_um
+                coupling_caps.append(
+                    (neighbor, self.coupled_length_um(low, high) * cc_per_um / 1e-15)
+                )
+            total_ff = ground_ff + sum(cap for _, cap in coupling_caps)
+            yield f"*D_NET {ref(index)} {total_ff!r} *LAYER {self.layer_index(index)}"
+            yield "*CAP"
+            yield f"1 {ref(index)}:1 {ground_ff!r}"
+            for position, (neighbor, cap_ff) in enumerate(coupling_caps, start=2):
+                yield f"{position} {ref(index)}:2 {ref(neighbor)}:2 {cap_ff!r}"
+            yield "*END"
+
+    # ------------------------------------------------------- in-memory mirror
+
+    def build_design(
+        self,
+        library: CellLibrary,
+        name: str = "synthetic_chip",
+        *,
+        connectivity_only: bool = False,
+    ) -> Design:
+        """Materialise the equivalent in-memory design (small chips only).
+
+        The design's connectivity reproduces :meth:`role` exactly: per net a
+        driver instance ``u<i>`` (unless driverless) fed from a primary-input
+        pool and a receiver ``r<i>`` (``INV_X1`` pin ``A``), so differential
+        tests can compare the in-memory extractor on this design against the
+        streaming extractor on :meth:`spef_lines` output.
+
+        ``connectivity_only=True`` leaves out the coupling annotations so the
+        design can instead be annotated from a :meth:`spef_lines` document --
+        both extraction paths then derive geometry from the *same* parsed
+        capacitances, making their specs bit-identical.
+        """
+        design = Design(name, library)
+        design.add_primary_input("pi0")
+        design.add_primary_input("pi1")
+        for index in range(self.num_nets):
+            design.add_net(
+                self.net_name(index),
+                length_um=self.length_um(index),
+                layer_index=self.layer_index(index),
+                quiet_high=self.quiet_high(index),
+            )
+        for index in range(self.num_nets):
+            net = self.net_name(index)
+            cell = self.driver_cell(index)
+            if cell is not None:
+                connections = {"A": "pi0", "Z": net}
+                if library.cell(cell).inputs == ["A", "B"]:
+                    connections["B"] = "pi1"
+                design.add_instance(f"u{index}", cell, connections)
+            design.add_instance(
+                f"r{index}", _RECEIVER_CELL, {_RECEIVER_PIN: net, "Z": f"ro{index}"}
+            )
+        if not connectivity_only:
+            for index in range(self.num_nets):
+                for neighbor in self.neighbors(index):
+                    if neighbor < index:
+                        continue
+                    design.add_coupling(
+                        self.net_name(index),
+                        self.net_name(neighbor),
+                        self.coupled_length_um(index, neighbor),
+                    )
+        return design
+
+    # ------------------------------------------------------------- statistics
+
+    def num_couplings(self) -> int:
+        return sum(
+            1
+            for index in range(self.num_nets)
+            for neighbor in self.neighbors(index)
+            if neighbor > index
+        )
+
+    def pair_count_estimate(self) -> Tuple[int, int]:
+        """(horizontal, vertical) coupling counts without enumerating nets."""
+        width = self.bus_width
+        full_rows, remainder = divmod(self.num_nets, width)
+        horizontal = full_rows * (width - 1) + max(0, remainder - 1)
+        vertical = max(0, self.num_nets - width) if self.topology == "grid" else 0
+        return horizontal, vertical

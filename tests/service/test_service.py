@@ -14,6 +14,7 @@ import pytest
 
 from repro import faults
 from repro.api import AnalysisConfig
+from repro.sna import ExtractionConfig, SyntheticChip
 from repro.experiments import figure1_cluster
 from repro.service import (
     AnalysisServer,
@@ -342,3 +343,48 @@ class TestWorkerCrash:
         finally:
             del os.environ[faults.FAULT_PLAN_ENV]
             faults.clear_plan()
+
+
+# ---------------------------------------------------------------------------
+# Streaming full-chip ingest
+
+
+class TestStreamingSubmit:
+    def extractions(self, chip):
+        from repro.sna import StreamingClusterExtractor
+        from repro.technology import get_technology
+
+        technology = get_technology("cmos130")
+        extractor = StreamingClusterExtractor(
+            chip, technology, config=ExtractionConfig(num_segments=3, max_aggressors=2)
+        )
+        return extractor.extract(chip.spef_lines(technology, style="dnet"))
+
+    def test_streamed_design_is_submitted_in_chunks(self, service):
+        server, client = service
+        chip = SyntheticChip(num_nets=8, bus_width=4, topology="bus", seed=9)
+        result = client.submit_design_stream(
+            self.extractions(chip), chunk_size=3, design_name="fullchip"
+        )
+        labels = sorted(f"cluster_n{i}" for i in range(8))
+        assert sorted(result.recomputed) == labels
+        assert result.reused == [] and result.failed == []
+        assert sorted(r.label for r in result.report.clusters) == labels
+        assert result.counters["recomputed"] == 8
+        # 8 clusters in chunks of 3 -> 3 submit_design revisions.
+        assert client.status()["jobs"]["submitted"] == 3
+        assert result.report.total_runtime_seconds > 0.0
+
+    def test_second_stream_is_fully_deduplicated(self, service):
+        _, client = service
+        chip = SyntheticChip(num_nets=8, bus_width=4, topology="bus", seed=9)
+        client.submit_design_stream(self.extractions(chip), chunk_size=3)
+        again = client.submit_design_stream(self.extractions(chip), chunk_size=5)
+        assert again.recomputed == []
+        assert sorted(again.reused) == sorted(f"cluster_n{i}" for i in range(8))
+
+    def test_empty_stream(self, service):
+        _, client = service
+        result = client.submit_design_stream(iter([]))
+        assert result.job_id == -1
+        assert result.report.clusters == []

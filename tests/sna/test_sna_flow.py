@@ -81,11 +81,23 @@ class TestParasitics:
 *NET n9 *LENGTH 100 *LAYER 2
 *COUPLING n1 n9 200
 """
-        annotate_design(d, text)
+        annotate_design(d, text, allow_new_nets=True)
         assert d.nets["n1"].length_um == pytest.approx(420.0)
         assert d.nets["n1"].layer_index == 5
         assert "n9" in d.nets
         assert d.aggressors_of("n1") == [("n9", 200.0)]
+
+    def test_annotation_rejects_unknown_nets_by_default(self, library):
+        d = Design("annotated", library)
+        d.add_primary_input("a")
+        d.add_instance("u1", "INV_X1", {"A": "a", "Z": "n1"})
+        text = "*NET n1 *LENGTH 420 *LAYER 5\n*NET n9 *LENGTH 100 *LAYER 2\n"
+        with pytest.raises(SPEFError, match="n9") as excinfo:
+            annotate_design(d, text)
+        assert "allow_new_nets" in str(excinfo.value)
+        # Nothing was applied: the design is untouched on failure.
+        assert d.nets["n1"].length_um == pytest.approx(100.0)
+        assert "n9" not in d.nets
 
     def test_errors(self):
         with pytest.raises(SPEFError):

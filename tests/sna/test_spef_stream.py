@@ -1,0 +1,324 @@
+"""The incremental SPEF-subset parser: grammar, events, line-numbered errors."""
+
+import io
+
+import pytest
+
+from repro.sna import (
+    CouplingDeclaration,
+    NetClosed,
+    NetDeclaration,
+    SPEFError,
+    annotate_design,
+    parse_spef,
+    read_coupling_file,
+)
+from repro.sna.design import Design
+from repro.sna.spef import resolve_coupled_length, resolve_net_geometry
+from repro.technology import build_default_library, get_technology
+
+
+@pytest.fixture(scope="module")
+def technology():
+    return get_technology("cmos130")
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+DNET_DOC = """\
+*SPEF "IEEE 1481-1998 subset"
+*DESIGN "two_nets"
+*DELIMITER :
+*C_UNIT 1 FF
+// a two-net detail document
+*D_NET net_a 12.0 *LAYER 4
+*CONN
+*I inst:A I
+*CAP
+1 net_a:1 4.0
+2 net_a:2 net_b:2 3.0
+3 net_a:3 net_b:3 5.0
+*RES
+1 net_a:1 net_a:2 2.5
+*END
+*D_NET net_b 8.0 *LAYER 3
+*CAP
+1 net_b:1 2.0
+2 net_b:2 net_a:2 8.0
+*END
+"""
+
+
+class TestParseEvents:
+    def test_dnet_block_event_sequence(self):
+        events = list(parse_spef(DNET_DOC))
+        assert [type(e).__name__ for e in events] == [
+            "NetDeclaration",
+            "CouplingDeclaration",
+            "NetClosed",
+            "NetDeclaration",
+            "CouplingDeclaration",
+            "NetClosed",
+        ]
+        declaration = events[0]
+        assert declaration.name == "net_a"
+        assert declaration.layer_index == 4
+        assert declaration.total_cap_f == pytest.approx(12.0e-15)
+        assert declaration.ground_cap_f == pytest.approx(4.0e-15)
+        # The two net_a--net_b segments are summed into one declaration.
+        coupling = events[1]
+        assert (coupling.net_a, coupling.net_b) == ("net_a", "net_b")
+        assert coupling.cap_f == pytest.approx(8.0e-15)
+        assert coupling.coupled_length_um is None
+        assert isinstance(events[2], NetClosed) and events[2].name == "net_a"
+
+    def test_accepts_file_handles_and_line_iterables(self):
+        from_text = list(parse_spef(DNET_DOC))
+        from_handle = list(parse_spef(io.StringIO(DNET_DOC)))
+        from_lines = list(parse_spef(iter(DNET_DOC.splitlines())))
+        assert from_text == from_handle == from_lines
+
+    def test_compact_events(self):
+        events = list(
+            parse_spef("*NET n1 *LENGTH 350 *LAYER 4\n*COUPLING n1 n2 120.5\n")
+        )
+        assert events == [
+            NetDeclaration(name="n1", line_number=1, length_um=350.0, layer_index=4),
+            CouplingDeclaration(
+                net_a="n1", net_b="n2", line_number=2, coupled_length_um=120.5
+            ),
+        ]
+
+    def test_name_map_resolution(self):
+        text = (
+            "*NAME_MAP\n*1 alpha\n*2 beta\n"
+            "*D_NET *1 5.0\n*CAP\n1 *1:1 2.0\n2 *1:2 *2:2 3.0\n*END\n"
+        )
+        events = list(parse_spef(text))
+        assert events[0].name == "alpha"
+        assert (events[1].net_a, events[1].net_b) == ("alpha", "beta")
+
+    def test_c_unit_scaling(self):
+        text = "*C_UNIT 1 PF\n*D_NET n1 2.0\n*CAP\n1 n1:1 2.0\n*END\n"
+        (declaration, closed) = parse_spef(text)
+        assert declaration.total_cap_f == pytest.approx(2.0e-12)
+        assert declaration.ground_cap_f == pytest.approx(2.0e-12)
+
+    def test_custom_delimiter(self):
+        text = "*DELIMITER /\n*D_NET n1 1.0\n*CAP\n1 n1/1 1.0\n*END\n"
+        (declaration, closed) = parse_spef(text)
+        assert declaration.ground_cap_f == pytest.approx(1.0e-15)
+
+    def test_comments_and_blank_lines_are_skipped(self):
+        assert list(parse_spef("// nothing\n\n  \n")) == []
+
+
+def error_of(text):
+    with pytest.raises(SPEFError) as excinfo:
+        list(parse_spef(text))
+    return excinfo.value
+
+
+class TestParseErrors:
+    def test_unknown_keyword_carries_line_number(self):
+        error = error_of("// ok\n*WHAT n1\n")
+        assert error.line_number == 2
+        assert "unknown keyword '*WHAT'" in str(error)
+
+    def test_malformed_numbers(self):
+        error = error_of("*COUPLING n1 n2 not_a_number")
+        assert error.line_number == 1 and "malformed entry" in str(error)
+        error = error_of("*NET n1 *LENGTH abc")
+        assert "malformed entry" in str(error)
+
+    def test_coupling_trailing_garbage(self):
+        error = error_of("*COUPLING n1 n2 120 junk")
+        assert error.line_number == 1
+        assert "exactly two nets and a length" in str(error)
+
+    def test_compact_self_coupling(self):
+        error = error_of("*COUPLING n1 n1 120")
+        assert "cannot couple to itself" in str(error)
+
+    def test_cap_self_coupling(self):
+        error = error_of("*D_NET n1 1.0\n*CAP\n1 n1:1 n1:2 0.5\n*END\n")
+        assert error.line_number == 3
+        assert "cannot couple to itself" in str(error)
+
+    def test_ground_cap_node_must_belong_to_owner(self):
+        error = error_of("*D_NET n1 1.0\n*CAP\n1 n2:1 0.5\n*END\n")
+        assert error.line_number == 3
+        assert "does not belong to net 'n1'" in str(error)
+
+    def test_coupling_cap_must_touch_owner(self):
+        error = error_of("*D_NET n1 1.0\n*CAP\n1 n2:1 n3:1 0.5\n*END\n")
+        assert "does not touch net 'n1'" in str(error)
+
+    def test_unclosed_dnet_block(self):
+        error = error_of("*D_NET n1 1.0\n*CAP\n1 n1:1 0.5\n")
+        assert error.line_number == 1
+        assert "never closed by *END" in str(error)
+
+    def test_end_outside_block(self):
+        error = error_of("*END\n")
+        assert "unknown keyword '*END'" in str(error)
+
+    def test_duplicate_name_map_index(self):
+        error = error_of("*NAME_MAP\n*1 alpha\n*1 beta\n")
+        assert error.line_number == 3
+        assert "duplicate *NAME_MAP index" in str(error)
+
+    def test_unknown_name_map_index(self):
+        error = error_of("*NAME_MAP\n*1 alpha\n*NET *7 *LENGTH 10\n")
+        assert "name index *7 is not in the *NAME_MAP" in str(error)
+
+    def test_unknown_capacitance_unit(self):
+        error = error_of("*C_UNIT 1 PARSECS\n")
+        assert "unknown capacitance unit" in str(error)
+
+    def test_nonpositive_lengths(self):
+        assert "must be positive" in str(error_of("*NET n1 *LENGTH -10"))
+        assert "must be positive" in str(error_of("*COUPLING n1 n2 0"))
+
+    def test_negative_capacitances(self):
+        assert "non-negative" in str(error_of("*D_NET n1 -1.0\n*END\n"))
+        assert "non-negative" in str(
+            error_of("*D_NET n1 1.0\n*CAP\n1 n1:1 -0.5\n*END\n")
+        )
+        assert "must be positive" in str(
+            error_of("*D_NET n1 1.0\n*CAP\n1 n1:1 n2:1 0\n*END\n")
+        )
+
+    def test_element_line_outside_section(self):
+        error = error_of("*D_NET n1 1.0\n1 n1:1 0.5\n*END\n")
+        assert "outside a *CAP/*RES section" in str(error)
+
+    def test_malformed_dnet_header_and_cap_entries(self):
+        assert "malformed *D_NET header" in str(error_of("*D_NET n1\n"))
+        assert "malformed *CAP entry" in str(
+            error_of("*D_NET n1 1.0\n*CAP\n1 n1:1 n2:1 n3:1 0.5\n*END\n")
+        )
+        assert "must start with an index" in str(
+            error_of("*D_NET n1 1.0\n*CAP\nx n1:1 0.5\n*END\n")
+        )
+
+
+class TestReadCouplingFile:
+    def test_duplicate_net_declaration(self):
+        with pytest.raises(SPEFError, match="line 2.*declared more than once"):
+            read_coupling_file("*NET n1 *LENGTH 10\n*NET n1 *LENGTH 20\n")
+
+    def test_duplicate_compact_coupling(self):
+        text = "*COUPLING n1 n2 10\n*COUPLING n2 n1 10\n"
+        with pytest.raises(SPEFError, match="line 2.*duplicate coupling"):
+            read_coupling_file(text)
+
+    def test_dnet_mirror_listing_is_merged(self, technology):
+        data = read_coupling_file(DNET_DOC, technology=technology)
+        assert len(data["couplings"]) == 1
+        coupling = data["couplings"][0]
+        assert (coupling["net_a"], coupling["net_b"]) == ("net_a", "net_b")
+        assert coupling["cap_f"] == pytest.approx(8.0e-15)
+
+    def test_conflicting_mirror_cap_is_an_error(self):
+        text = (
+            "*D_NET a 1.0\n*CAP\n1 a:1 b:1 3.0\n*END\n"
+            "*D_NET b 1.0\n*CAP\n1 b:1 a:1 4.0\n*END\n"
+        )
+        with pytest.raises(SPEFError, match="duplicate coupling"):
+            read_coupling_file(text)
+
+    def test_cap_to_length_conversion(self, technology):
+        layer = technology.layer(4)
+        ground_ff = 120.0 * layer.ground_cap_per_um / 1e-15
+        coupled_ff = 80.0 * layer.coupling_cap_per_um / 1e-15
+        text = (
+            f"*D_NET a 9.9 *LAYER 4\n*CAP\n"
+            f"1 a:1 {ground_ff!r}\n2 a:2 b:2 {coupled_ff!r}\n*END\n"
+        )
+        data = read_coupling_file(text, technology=technology)
+        assert data["nets"]["a"]["length_um"] == pytest.approx(120.0)
+        assert data["couplings"][0]["cap_f"] == pytest.approx(coupled_ff * 1e-15)
+
+    def test_cap_only_without_technology_leaves_length_unresolved(self):
+        data = read_coupling_file("*D_NET a 5.0\n*END\n")
+        assert data["nets"]["a"]["length_um"] is None
+
+    def test_unknown_layer_is_a_spef_error(self, technology):
+        text = "*D_NET a 5.0 *LAYER 99\n*CAP\n1 a:1 5.0\n*END\n"
+        with pytest.raises(SPEFError, match="no metal layer 99"):
+            read_coupling_file(text, technology=technology)
+
+
+class TestResolveHelpers:
+    def test_declared_length_wins(self, technology):
+        declaration = NetDeclaration(
+            name="a", line_number=1, length_um=55.0, layer_index=5, total_cap_f=1e-12
+        )
+        assert resolve_net_geometry(declaration, technology) == (55.0, 5)
+
+    def test_cap_without_technology_raises(self):
+        declaration = NetDeclaration(name="a", line_number=3, total_cap_f=1e-12)
+        with pytest.raises(SPEFError, match="line 3"):
+            resolve_net_geometry(declaration)
+        coupling = CouplingDeclaration(net_a="a", net_b="b", line_number=4, cap_f=1e-15)
+        with pytest.raises(SPEFError, match="line 4"):
+            resolve_coupled_length(coupling)
+
+    def test_defaults_without_any_declaration(self):
+        declaration = NetDeclaration(name="a", line_number=1)
+        assert resolve_net_geometry(declaration) == (100.0, 3)
+
+
+class TestAnnotateDesign:
+    def make_design(self, library):
+        design = Design("chip", library)
+        design.add_primary_input("a")
+        design.add_instance("u1", "INV_X1", {"A": "a", "Z": "n1"})
+        design.add_instance("u2", "INV_X1", {"A": "n1", "Z": "o1"})
+        design.add_net("n2")
+        design.add_instance("u3", "INV_X1", {"A": "a", "Z": "n2"})
+        return design
+
+    def test_unknown_net_raises_by_default(self, library):
+        design = self.make_design(library)
+        with pytest.raises(SPEFError, match="ghost.*allow_new_nets"):
+            annotate_design(design, "*NET ghost *LENGTH 10\n")
+        with pytest.raises(SPEFError, match="ghost"):
+            annotate_design(design, "*COUPLING n1 ghost 10\n")
+
+    def test_allow_new_nets_restores_creation(self, library):
+        design = self.make_design(library)
+        annotate_design(
+            design, "*NET ghost *LENGTH 10 *LAYER 2\n*COUPLING n1 ghost 5\n",
+            allow_new_nets=True,
+        )
+        assert design.nets["ghost"].length_um == 10.0
+        assert design.aggressors_of("n1") == [("ghost", 5.0)]
+
+    def test_coupling_to_truly_unknown_net_still_fails(self, library):
+        design = self.make_design(library)
+        # allow_new_nets only covers nets the file *declares*.
+        with pytest.raises(SPEFError, match="phantom"):
+            annotate_design(design, "*COUPLING n1 phantom 5\n", allow_new_nets=True)
+
+    def test_dnet_annotation_converts_through_library_technology(self, library):
+        design = self.make_design(library)
+        technology = library.technology
+        layer = technology.layer(4)
+        ground_ff = 75.0 * layer.ground_cap_per_um / 1e-15
+        coupled_ff = 40.0 * layer.coupling_cap_per_um / 1e-15
+        text = (
+            f"*D_NET n1 9.9 *LAYER 4\n*CAP\n"
+            f"1 n1:1 {ground_ff!r}\n2 n1:2 n2:2 {coupled_ff!r}\n*END\n"
+            f"*D_NET n2 9.9 *LAYER 4\n*CAP\n"
+            f"1 n2:2 n1:2 {coupled_ff!r}\n*END\n"
+        )
+        annotate_design(design, text)
+        assert design.nets["n1"].length_um == pytest.approx(75.0)
+        assert design.nets["n1"].layer_index == 4
+        ((net, coupled),) = design.aggressors_of("n1")
+        assert net == "n2" and coupled == pytest.approx(40.0)

@@ -1,0 +1,370 @@
+"""Streaming cluster extraction: differentials, budget policy, windowing."""
+
+import random
+
+import pytest
+
+from repro.api import AnalysisConfig, NoiseAnalysisSession
+from repro.sna import (
+    ClusterExtractor,
+    Design,
+    ExtractionConfig,
+    SPEFError,
+    StreamingClusterExtractor,
+    SyntheticChip,
+    annotate_design,
+    parse_spef,
+    write_coupling_file,
+)
+from repro.sna.stream import DesignRoles, StreamWindowExceeded
+from repro.technology import build_default_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library("cmos130")
+
+
+@pytest.fixture(scope="module")
+def technology(library):
+    return library.technology
+
+
+def assert_identical(streamed, in_memory):
+    """Same victims, bit-identical specs, same skipped-aggressor provenance."""
+    streamed = {item.victim_net: item for item in streamed}
+    in_memory = {item.victim_net: item for item in in_memory}
+    assert set(streamed) == set(in_memory)
+    for net, expected in in_memory.items():
+        got = streamed[net]
+        assert got.spec == expected.spec, f"spec differs for victim '{net}'"
+        assert got.aggressor_nets == expected.aggressor_nets
+        assert got.skipped_aggressors == expected.skipped_aggressors
+
+
+def random_design(library, seed, num_nets=30):
+    """A seeded random design whose compact SPEF round-trips exactly.
+
+    Integer lengths survive ``write_coupling_file``'s ``%g`` formatting, so
+    the streamed geometry is bit-identical to the design's.
+    """
+    rng = random.Random(seed)
+    design = Design(f"rand_{seed}", library)
+    design.add_primary_input("pi")
+    nets = [f"m{i}" for i in range(num_nets)]
+    driverless = set(rng.sample(range(num_nets), max(1, num_nets // 10)))
+    cells = ["INV_X1", "INV_X2", "INV_X4", "NAND2_X1", "NOR2_X2"]
+    for i, net in enumerate(nets):
+        design.add_net(
+            net,
+            length_um=float(rng.randrange(80, 400)),
+            layer_index=rng.choice([2, 3, 4, 5]),
+            quiet_high=rng.choice([None, False, True]),
+        )
+    for i, net in enumerate(nets):
+        if i not in driverless:
+            cell = rng.choice(cells)
+            connections = {"A": "pi", "Z": net}
+            if library.cell(cell).inputs == ["A", "B"]:
+                connections["B"] = "pi"
+            design.add_instance(f"u{i}", cell, connections)
+        if rng.random() < 0.9:
+            design.add_instance(f"r{i}", "INV_X1", {"A": net, "Z": f"o{i}"})
+    pairs = set()
+    for _ in range(2 * num_nets):
+        a, b = rng.sample(range(num_nets), 2)
+        key = frozenset((a, b))
+        if key not in pairs:
+            pairs.add(key)
+            design.add_coupling(nets[a], nets[b], float(rng.randrange(20, 200)))
+    # No victim may end up with *only* driverless partners: the in-memory
+    # extractor (rightly) raises for those, which is not what this
+    # differential is probing.
+    partners = {i: set() for i in range(num_nets)}
+    for key in pairs:
+        a, b = tuple(key)
+        partners[a].add(b)
+        partners[b].add(a)
+    driven = sorted(set(range(num_nets)) - driverless)
+    for i in range(num_nets):
+        if partners[i] and partners[i] <= driverless:
+            rescue = next(d for d in driven if d != i and d not in partners[i])
+            design.add_coupling(nets[i], nets[rescue], float(rng.randrange(20, 200)))
+    return design
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_random_design_compact_round_trip(self, library, technology, seed):
+        design = random_design(library, seed)
+        text = write_coupling_file(design)
+        config = ExtractionConfig(num_segments=4, max_aggressors=3)
+        in_memory = ClusterExtractor(design, config=config).extract_clusters()
+        streaming = StreamingClusterExtractor.for_design(design, config=config)
+        assert_identical(streaming.extract(text), in_memory)
+
+    @pytest.mark.parametrize("style,use_name_map", [
+        ("dnet", False),
+        ("dnet", True),
+        ("compact", False),
+    ])
+    def test_synthetic_chip(self, library, technology, style, use_name_map):
+        chip = SyntheticChip(
+            num_nets=96, bus_width=6, topology="grid", seed=11, driverless_every=17
+        )
+        # Annotating from the same text feeds both extractors the same
+        # parsed capacitances, so dnet cap->length conversion round-trips.
+        design = chip.build_design(library, connectivity_only=(style == "dnet"))
+        if style == "dnet":
+            text = "\n".join(
+                chip.spef_lines(technology, style=style, use_name_map=use_name_map)
+            )
+            annotate_design(design, text)
+            lines = chip.spef_lines(technology, style=style, use_name_map=use_name_map)
+        else:
+            lines = chip.spef_lines(technology, style=style)
+        in_memory = ClusterExtractor(design).extract_clusters()
+        streaming = StreamingClusterExtractor(chip, technology)
+        assert_identical(streaming.extract(lines), in_memory)
+        assert streaming.stats.clusters == len(in_memory)
+        assert streaming.stats.nets_seen == chip.num_nets
+        assert streaming.stats.couplings_seen == chip.num_couplings()
+
+    def test_bus_topology_and_event_stream_input(self, library, technology):
+        chip = SyntheticChip(num_nets=40, bus_width=8, topology="bus", seed=3)
+        design = chip.build_design(library)
+        in_memory = ClusterExtractor(design).extract_clusters()
+        events = list(parse_spef("\n".join(chip.spef_lines(technology, style="compact"))))
+        streaming = StreamingClusterExtractor(chip, technology)
+        assert_identical(streaming.extract(events), in_memory)
+
+
+class TestAggressorBudget:
+    """The satellite bugfix: driverless couplings must not consume slots."""
+
+    def build(self, library):
+        design = Design("budget", library)
+        design.add_primary_input("pi")
+        for net, length in [("v", 300.0), ("d0", 300.0), ("a1", 300.0), ("a2", 300.0)]:
+            design.add_net(net, length_um=length, layer_index=4)
+        for i, net in enumerate(["v", "a1", "a2"]):
+            design.add_instance(f"u{i}", "INV_X1", {"A": "pi", "Z": net})
+        design.add_instance("r0", "INV_X1", {"A": "v", "Z": "out"})
+        # Strongest coupling is the driverless net d0.
+        design.add_coupling("v", "d0", 500.0)
+        design.add_coupling("v", "a1", 300.0)
+        design.add_coupling("v", "a2", 200.0)
+        return design
+
+    def test_in_memory_budget_not_consumed_by_driverless(self, library):
+        design = self.build(library)
+        config = ExtractionConfig(max_aggressors=2, num_segments=4)
+        extraction = ClusterExtractor(design, config=config).extract_cluster("v")
+        # Before the fix d0 burnt a slot and a2 was dropped.
+        assert extraction.aggressor_nets == ["a1", "a2"]
+        assert extraction.skipped_aggressors == ["d0"]
+
+    def test_streaming_matches(self, library):
+        design = self.build(library)
+        config = ExtractionConfig(max_aggressors=2, num_segments=4)
+        streaming = StreamingClusterExtractor.for_design(design, config=config)
+        (extraction,) = streaming.extract(write_coupling_file(design))
+        assert extraction.aggressor_nets == ["a1", "a2"]
+        assert extraction.skipped_aggressors == ["d0"]
+
+    def test_budget_still_caps_usable_aggressors(self, library):
+        design = self.build(library)
+        design.add_instance("u3", "INV_X2", {"A": "pi", "Z": "d0"})  # now driven
+        config = ExtractionConfig(max_aggressors=2, num_segments=4)
+        extraction = ClusterExtractor(design, config=config).extract_cluster("v")
+        assert extraction.aggressor_nets == ["d0", "a1"]
+        assert extraction.skipped_aggressors == ["a2"]
+
+
+class TestStreamingBehaviour:
+    def test_dnet_clusters_emit_before_end_of_stream(self, technology):
+        """Bounded memory requires emission long before the file ends."""
+        chip = SyntheticChip(num_nets=400, bus_width=4, topology="grid", seed=5)
+        lines = list(chip.spef_lines(technology, style="dnet"))
+        first_cluster_at = None
+        consumed = 0
+
+        def counting_lines():
+            nonlocal consumed
+            for line in lines:
+                consumed += 1
+                yield line
+
+        extractor = StreamingClusterExtractor(chip, technology)
+        for _ in extractor.extract(counting_lines()):
+            if first_cluster_at is None:
+                first_cluster_at = consumed
+        assert first_cluster_at is not None
+        # The first victim completes once its row+column neighborhood is
+        # declared -- a handful of blocks into a 400-net file.
+        assert first_cluster_at < len(lines) / 10
+
+    def test_window_stays_bounded_on_dnet_input(self, technology):
+        chip = SyntheticChip(num_nets=2000, bus_width=8, topology="grid", seed=5)
+        extractor = StreamingClusterExtractor(chip, technology, max_open_nets=64)
+        clusters = sum(1 for _ in extractor.extract(chip.spef_lines(technology)))
+        assert clusters == extractor.stats.clusters > 0
+        assert extractor.stats.peak_open_nets <= 3 * chip.bus_width
+        assert extractor.stats.evictions > 0
+        # Everything was evicted: no state survives the pass.
+        assert extractor._states == {}
+
+    def test_compact_input_trips_the_window_valve(self, technology):
+        # Compact files have no block structure: nets only complete at EOF,
+        # so a window bound must fail fast instead of growing silently.
+        chip = SyntheticChip(num_nets=200, bus_width=8, topology="grid", seed=5)
+        extractor = StreamingClusterExtractor(chip, technology, max_open_nets=64)
+        with pytest.raises(StreamWindowExceeded, match="max_open_nets=64"):
+            list(extractor.extract(chip.spef_lines(technology, style="compact")))
+
+    def test_instances_are_single_use(self, technology):
+        chip = SyntheticChip(num_nets=20, bus_width=4, seed=1)
+        extractor = StreamingClusterExtractor(chip, technology)
+        list(extractor.extract(chip.spef_lines(technology)))
+        with pytest.raises(RuntimeError, match="single-use"):
+            list(extractor.extract(chip.spef_lines(technology)))
+
+    def two_net_design(self, library):
+        design = Design("pair", library)
+        design.add_primary_input("pi")
+        for i, net in enumerate(["m0", "m1"]):
+            design.add_net(net, length_um=100.0)
+            design.add_instance(f"u{i}", "INV_X1", {"A": "pi", "Z": net})
+            design.add_instance(f"r{i}", "INV_X1", {"A": net, "Z": f"o{i}"})
+        return design
+
+    def test_asymmetric_dnet_file_is_rejected(self, library):
+        # m0's block closed without the m1 coupling, then a later block
+        # couples back to it: the mirror-listing contract is broken and
+        # eviction would be unsound.  (m0 has no receiver so it finishes at
+        # *END but stays windowed for its still-open m2 neighbor -- the
+        # violation is detectable.)
+        design = self.two_net_design(library)
+        design.add_net("m2", length_um=100.0)
+        design.add_instance("u2", "INV_X1", {"A": "pi", "Z": "m2"})
+        design.add_instance("r2", "INV_X1", {"A": "m2", "Z": "o2"})
+        design.instances.pop("r0")
+        text = (
+            "*D_NET m0 1.0\n*CAP\n1 m0:1 m2:1 2.0\n*END\n"
+            "*D_NET m1 1.0\n*CAP\n1 m1:1 m0:1 5.0\n*END\n"
+        )
+        extractor = StreamingClusterExtractor.for_design(design)
+        with pytest.raises(SPEFError, match="after its \\*D_NET block closed"):
+            list(extractor.extract(text))
+
+    def test_conflicting_mirror_cap_is_rejected(self, library):
+        text = (
+            "*D_NET m0 1.0\n*CAP\n1 m0:1 m1:1 2.0\n*END\n"
+            "*D_NET m1 1.0\n*CAP\n1 m1:1 m0:1 3.0\n*END\n"
+        )
+        extractor = StreamingClusterExtractor.for_design(self.two_net_design(library))
+        with pytest.raises(SPEFError, match="duplicate coupling"):
+            list(extractor.extract(text))
+
+    def test_duplicate_declaration_is_rejected(self, library):
+        extractor = StreamingClusterExtractor.for_design(self.two_net_design(library))
+        with pytest.raises(SPEFError, match="declared more than once"):
+            list(extractor.extract("*NET m0 *LENGTH 10\n*NET m0 *LENGTH 20\n"))
+
+
+class TestUnusableVictims:
+    def build(self, library):
+        # v couples only to the driverless net d: no usable aggressors.
+        design = Design("unusable", library)
+        design.add_primary_input("pi")
+        design.add_net("v", length_um=200.0)
+        design.add_net("d", length_um=200.0)
+        design.add_instance("u0", "INV_X1", {"A": "pi", "Z": "v"})
+        design.add_instance("r0", "INV_X1", {"A": "v", "Z": "out"})
+        design.add_coupling("v", "d", 100.0)
+        return design
+
+    def test_both_extractors_raise_by_default(self, library):
+        design = self.build(library)
+        with pytest.raises(ValueError, match="no usable aggressors"):
+            ClusterExtractor(design).extract_clusters()
+        extractor = StreamingClusterExtractor.for_design(design)
+        with pytest.raises(ValueError, match="no usable aggressors"):
+            list(extractor.extract(write_coupling_file(design)))
+
+    def test_skip_unusable_streams_past(self, library):
+        design = self.build(library)
+        extractor = StreamingClusterExtractor.for_design(design, skip_unusable=True)
+        clusters = list(extractor.extract(write_coupling_file(design)))
+        assert clusters == []
+        assert extractor.stats.skipped_nets >= 1
+
+
+class TestDesignRoles:
+    def test_unknown_net_raises_key_error(self, library):
+        design = random_design(library, 2, num_nets=4)
+        roles = DesignRoles(design)
+        with pytest.raises(KeyError, match="ghost"):
+            roles.role("ghost")
+
+    def test_role_reports_connectivity(self, library):
+        design = random_design(library, 2, num_nets=4)
+        roles = DesignRoles(design)
+        role = roles.role("pi")
+        assert role.is_primary_input and role.driver_cell is None
+        for net, info in design.nets.items():
+            role = roles.role(net)
+            assert role.length_um == info.length_um
+            assert role.layer_index == info.layer_index
+
+
+SESSION_CONFIG = dict(methods=("macromodel",), dt=4e-12, check_nrc=False)
+
+
+class TestSessionStreaming:
+    def test_stream_report_matches_design_report(self, library, technology):
+        chip = SyntheticChip(num_nets=8, bus_width=4, topology="bus", seed=9)
+        design = chip.build_design(library)
+        config = ExtractionConfig(num_segments=3, max_aggressors=2)
+        session = NoiseAnalysisSession(library, AnalysisConfig(vccs_grid=5))
+        from_design = session.run_design(
+            design,
+            extractor=ClusterExtractor(design, config=config),
+            **SESSION_CONFIG,
+        )
+        streaming = StreamingClusterExtractor(chip, technology, config=config)
+        from_stream = session.run_design(
+            stream=streaming.extract(chip.spef_lines(technology)),
+            design_name="synthetic_chip",
+            chunk_size=3,
+            max_workers=2,
+            **SESSION_CONFIG,
+        )
+        assert from_stream.design_name == "synthetic_chip"
+        assert sorted(r.victim_net for r in from_stream.clusters) == sorted(
+            r.victim_net for r in from_design.clusters
+        )
+        by_net = {r.victim_net: r for r in from_design.clusters}
+        for report in from_stream.clusters:
+            assert report.primary.peak == pytest.approx(
+                by_net[report.victim_net].primary.peak, rel=1e-9
+            )
+
+    def test_exactly_one_source_required(self, library):
+        session = NoiseAnalysisSession(library, AnalysisConfig(vccs_grid=5))
+        with pytest.raises(ValueError, match="exactly one of design= or stream="):
+            session.run_design()
+        design = random_design(library, 3, num_nets=4)
+        with pytest.raises(ValueError, match="exactly one of design= or stream="):
+            session.run_design(design, stream=iter([]))
+
+    def test_stream_rejects_extraction_knobs(self, library):
+        session = NoiseAnalysisSession(library, AnalysisConfig(vccs_grid=5))
+        with pytest.raises(ValueError, match="extraction"):
+            session.run_design(stream=iter([]), extraction=ExtractionConfig())
+
+    def test_empty_stream_yields_empty_report(self, library):
+        session = NoiseAnalysisSession(library, AnalysisConfig(vccs_grid=5))
+        report = session.run_design(stream=iter([]), **SESSION_CONFIG)
+        assert report.clusters == []
+        assert report.design_name == "streamed_design"
